@@ -1,0 +1,269 @@
+// Ablation studies for the design choices documented in DESIGN.md 3b:
+//   A1  Appro rounding divisor (paper's 4 vs alternatives) and backfill
+//   A2  reward model: demand-independent (paper) vs proportional
+//   A3  user-attachment skew: uniform vs Zipf hotspots
+//   A4  DynamicRR arm-selection rule: successive elimination vs fixed arms
+//       at the range endpoints (learning value)
+//
+//   ./bench/ablations [--seeds=3]
+#include <iostream>
+
+#include "baselines/greedy.h"
+#include "baselines/heu_kkt.h"
+#include "bench/bench_util.h"
+#include "core/appro.h"
+#include "core/backhaul.h"
+#include "core/heu.h"
+#include "sim/dynamic_rr.h"
+#include "sim/online_sim.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mecar;
+
+benchx::Instance make_offline(unsigned seed, mec::RewardModel model,
+                              double skew) {
+  util::Rng rng(seed);
+  mec::Topology topo = mec::generate_topology({}, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 250;
+  wparams.reward_model = model;
+  wparams.home_skew = skew;
+  auto requests = mec::generate_requests(wparams, topo, rng);
+  auto realized = core::realize_demand_levels(requests, rng);
+  return {std::move(topo), std::move(requests), std::move(realized)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int seeds = static_cast<int>(cli.get_int_or("seeds", 3));
+
+  // A1: rounding divisor x backfill.
+  {
+    util::Table table({"divisor", "backfill", "Appro reward ($)",
+                       "admitted", "LP bound ($)"});
+    for (double divisor : {1.0, 2.0, 4.0, 8.0}) {
+      for (bool backfill : {false, true}) {
+        util::RunningStats reward, admitted, bound;
+        for (unsigned seed : benchx::bench_seeds(seeds)) {
+          const auto inst =
+              make_offline(seed, mec::RewardModel::kIndependent, 1.0);
+          core::AlgorithmParams params;
+          params.rounding_divisor = divisor;
+          params.backfill = backfill;
+          util::Rng rng(seed + 9);
+          const auto res = core::run_appro(inst.topo, inst.requests,
+                                           inst.realized, params, rng);
+          reward.add(res.total_reward());
+          admitted.add(res.num_admitted());
+          bound.add(res.lp_bound);
+        }
+        table.add_row({util::format_double(divisor, 0),
+                       backfill ? "on" : "off",
+                       util::format_double(reward.mean(), 1),
+                       util::format_double(admitted.mean(), 1),
+                       util::format_double(bound.mean(), 1)});
+      }
+    }
+    table.print(std::cout, "A1: Appro rounding divisor x backfill");
+    std::cout << "note: Theorem 1's 1/8 guarantee is proven for divisor 4; "
+                 "smaller divisors admit more but void the bound\n\n";
+  }
+
+  // A2: reward model.
+  {
+    util::Table table({"reward model", "Heu ($)", "Greedy ($)", "HeuKKT ($)",
+                       "Heu/Greedy"});
+    for (const auto model : {mec::RewardModel::kIndependent,
+                             mec::RewardModel::kProportional}) {
+      util::RunningStats heu, greedy, kkt;
+      for (unsigned seed : benchx::bench_seeds(seeds)) {
+        const auto inst = make_offline(seed, model, 1.0);
+        const core::AlgorithmParams params;
+        util::Rng rng(seed + 9);
+        heu.add(core::run_heu(inst.topo, inst.requests, inst.realized, params,
+                              rng)
+                    .total_reward());
+        greedy.add(baselines::run_greedy(inst.topo, inst.requests,
+                                         inst.realized, params)
+                       .total_reward());
+        kkt.add(baselines::run_heu_kkt(inst.topo, inst.requests,
+                                       inst.realized, params)
+                    .total_reward());
+      }
+      table.add_row(
+          {model == mec::RewardModel::kIndependent ? "independent (paper)"
+                                                   : "proportional",
+           util::format_double(heu.mean(), 1),
+           util::format_double(greedy.mean(), 1),
+           util::format_double(kkt.mean(), 1),
+           util::format_double(heu.mean() / greedy.mean(), 2)});
+    }
+    table.print(std::cout, "A2: demand-independent vs proportional rewards");
+    std::cout << '\n';
+  }
+
+  // A3: attachment skew.
+  {
+    util::Table table(
+        {"home skew", "Heu ($)", "Greedy ($)", "Heu/Greedy"});
+    for (double skew : {0.0, 0.5, 1.0, 1.5}) {
+      util::RunningStats heu, greedy;
+      for (unsigned seed : benchx::bench_seeds(seeds)) {
+        const auto inst =
+            make_offline(seed, mec::RewardModel::kIndependent, skew);
+        const core::AlgorithmParams params;
+        util::Rng rng(seed + 9);
+        heu.add(core::run_heu(inst.topo, inst.requests, inst.realized, params,
+                              rng)
+                    .total_reward());
+        greedy.add(baselines::run_greedy(inst.topo, inst.requests,
+                                         inst.realized, params)
+                       .total_reward());
+      }
+      table.add_row({util::format_double(skew, 1),
+                     util::format_double(heu.mean(), 1),
+                     util::format_double(greedy.mean(), 1),
+                     util::format_double(heu.mean() / greedy.mean(), 2)});
+    }
+    table.print(std::cout, "A3: global vs local strategies under hotspots");
+    std::cout << '\n';
+  }
+
+  // A4: learning value — DynamicRR vs the fixed endpoints of its range.
+  {
+    util::Table table({"policy", "total reward ($)", "dropped"});
+    struct Variant {
+      std::string name;
+      double lo, hi;
+      int kappa;
+    };
+    const sim::DynamicRrParams defaults;
+    const std::vector<Variant> variants{
+        {"DynamicRR (learned)", defaults.threshold_min_mhz,
+         defaults.threshold_max_mhz, defaults.kappa},
+        {"fixed min threshold", defaults.threshold_min_mhz,
+         defaults.threshold_min_mhz, 1},
+        {"fixed max threshold", defaults.threshold_max_mhz,
+         defaults.threshold_max_mhz, 1},
+    };
+    for (const auto& variant : variants) {
+      util::RunningStats reward, dropped;
+      for (unsigned seed : benchx::bench_seeds(seeds)) {
+        benchx::InstanceConfig config;
+        config.num_requests = 300;
+        config.horizon_slots = 600;
+        const auto inst = benchx::make_instance(seed, config);
+        sim::OnlineParams oparams;
+        oparams.horizon_slots = 600;
+        sim::DynamicRrParams dparams;
+        dparams.threshold_min_mhz = variant.lo;
+        dparams.threshold_max_mhz = variant.hi;
+        dparams.kappa = variant.kappa;
+        sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
+                                    dparams, util::Rng(seed + 9));
+        sim::OnlineSimulator simulator(inst.topo, inst.requests,
+                                       inst.realized, oparams);
+        const auto m = simulator.run(policy);
+        reward.add(m.total_reward);
+        dropped.add(m.dropped);
+      }
+      table.add_row({variant.name, util::format_double(reward.mean(), 1),
+                     util::format_double(dropped.mean(), 1)});
+    }
+    table.print(std::cout, "A4: learned threshold vs fixed endpoints");
+    std::cout << '\n';
+  }
+
+  // A5: arm-selection rule — the paper's successive elimination against
+  // UCB1, epsilon-greedy, Thompson sampling, and the zooming algorithm
+  // (adaptive discretization of the Lipschitz interval).
+  {
+    util::Table table({"learner", "total reward ($)", "dropped"});
+    const std::vector<std::pair<std::string, sim::ThresholdLearner>> rules{
+        {"successive elimination (paper)",
+         sim::ThresholdLearner::kSuccessiveElimination},
+        {"UCB1", sim::ThresholdLearner::kUcb1},
+        {"epsilon-greedy", sim::ThresholdLearner::kEpsilonGreedy},
+        {"Thompson sampling", sim::ThresholdLearner::kThompson},
+        {"zooming (adaptive grid)", sim::ThresholdLearner::kZooming},
+    };
+    for (const auto& [name, learner] : rules) {
+      util::RunningStats reward, dropped;
+      for (unsigned seed : benchx::bench_seeds(seeds)) {
+        benchx::InstanceConfig config;
+        config.num_requests = 300;
+        config.horizon_slots = 600;
+        const auto inst = benchx::make_instance(seed, config);
+        sim::OnlineParams oparams;
+        oparams.horizon_slots = 600;
+        sim::DynamicRrParams dparams;
+        dparams.learner = learner;
+        sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
+                                    dparams, util::Rng(seed + 9));
+        sim::OnlineSimulator simulator(inst.topo, inst.requests,
+                                       inst.realized, oparams);
+        const auto m = simulator.run(policy);
+        reward.add(m.total_reward);
+        dropped.add(m.dropped);
+      }
+      table.add_row({name, util::format_double(reward.mean(), 1),
+                     util::format_double(dropped.mean(), 1)});
+    }
+    table.print(std::cout, "A5: DynamicRR arm-selection rule");
+    std::cout << '\n';
+  }
+
+  // A6: backhaul bandwidth (extension): audited reward of bandwidth-blind
+  // vs bandwidth-aware Appro as links tighten.
+  {
+    util::Table table({"link bw (MB/s)", "blind audited ($)", "voided",
+                       "aware audited ($)", "peak link util"});
+    for (double bw : {1e9, 120.0, 60.0, 30.0}) {
+      util::RunningStats blind_r, voided, aware_r, util_peak;
+      for (unsigned seed : benchx::bench_seeds(seeds)) {
+        util::Rng rng(seed);
+        mec::TopologyParams tparams;
+        tparams.link_bandwidth_min_mbps = bw * 0.7;
+        tparams.link_bandwidth_max_mbps = bw * 1.3;
+        const mec::Topology topo = mec::generate_topology(tparams, rng);
+        mec::WorkloadParams wparams;
+        wparams.num_requests = 250;
+        wparams.home_skew = 1.5;
+        const auto requests = mec::generate_requests(wparams, topo, rng);
+        const auto realized = core::realize_demand_levels(requests, rng);
+
+        core::AlgorithmParams blind;
+        util::Rng r1(seed + 9);
+        auto blind_result =
+            core::run_appro(topo, requests, realized, blind, r1);
+        const auto audit =
+            core::apply_backhaul_audit(topo, requests, blind_result);
+        blind_r.add(blind_result.total_reward());
+        voided.add(audit.voided);
+        util_peak.add(audit.peak_link_utilization);
+
+        core::AlgorithmParams aware = blind;
+        aware.enforce_backhaul = true;
+        util::Rng r2(seed + 9);
+        auto aware_result =
+            core::run_appro(topo, requests, realized, aware, r2);
+        core::apply_backhaul_audit(topo, requests, aware_result);
+        aware_r.add(aware_result.total_reward());
+      }
+      table.add_row({bw >= 1e8 ? "unbounded" : util::format_double(bw, 0),
+                     util::format_double(blind_r.mean(), 1),
+                     util::format_double(voided.mean(), 1),
+                     util::format_double(aware_r.mean(), 1),
+                     util::format_double(util_peak.mean(), 2)});
+    }
+    table.print(std::cout,
+                "A6: backhaul bandwidth extension (blind vs aware Appro)");
+  }
+  return 0;
+}

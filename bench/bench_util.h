@@ -1,0 +1,87 @@
+// Shared plumbing for the figure-reproduction drivers: instance
+// construction with the paper's section VI-A defaults and seed-averaged
+// series collection. Each driver prints the exact series of one paper
+// figure as an aligned table plus a CSV block.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "mec/topology.h"
+#include "mec/workload.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mecar::benchx {
+
+/// One simulation instance: network + workload + pre-drawn realizations
+/// (common random numbers across all algorithms under comparison).
+struct Instance {
+  mec::Topology topo;
+  std::vector<mec::ARRequest> requests;
+  std::vector<std::size_t> realized;
+};
+
+struct InstanceConfig {
+  int num_requests = 150;
+  int num_stations = 20;
+  double rate_min = 30.0;
+  double rate_max = 50.0;
+  int horizon_slots = 0;  // 0 = offline
+};
+
+inline Instance make_instance(unsigned seed, const InstanceConfig& config) {
+  util::Rng rng(seed);
+  mec::TopologyParams tparams;
+  tparams.num_stations = config.num_stations;
+  mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = config.num_requests;
+  wparams.rate_min = config.rate_min;
+  wparams.rate_max = config.rate_max;
+  wparams.horizon_slots = config.horizon_slots;
+  auto requests = mec::generate_requests(wparams, topo, rng);
+  auto realized = core::realize_demand_levels(requests, rng);
+  return Instance{std::move(topo), std::move(requests), std::move(realized)};
+}
+
+/// Accumulates named series over sweep points: series["Appro"] is the
+/// vector of y-values, one per sweep point, averaged over seeds.
+class SeriesCollector {
+ public:
+  explicit SeriesCollector(std::vector<std::string> names) {
+    for (auto& name : names) series_[std::move(name)];
+  }
+
+  /// Starts a new sweep point (call once per x value).
+  void start_point() {
+    for (auto& [name, values] : series_) {
+      values.emplace_back();
+    }
+  }
+
+  /// Adds one seed's sample at the current sweep point.
+  void add(const std::string& name, double value) {
+    series_.at(name).back().add(value);
+  }
+
+  double mean_at(const std::string& name, std::size_t point) const {
+    return series_.at(name).at(point).mean();
+  }
+
+ private:
+  std::map<std::string, std::vector<util::RunningStats>> series_;
+};
+
+/// Default seeds a bench averages over (override with --seeds=N).
+inline std::vector<unsigned> bench_seeds(int count) {
+  std::vector<unsigned> seeds;
+  for (int i = 0; i < count; ++i) {
+    seeds.push_back(7u + 1000u * static_cast<unsigned>(i));
+  }
+  return seeds;
+}
+
+}  // namespace mecar::benchx

@@ -1,0 +1,120 @@
+// Figure 3 reproduction: offline algorithms Appro, Heu, Greedy, OCORP,
+// HeuKKT over |R| in {100, 150, 200, 250, 300}.
+//   (a) total reward   (b) average request latency   (c) running time
+//
+//   ./bench/fig3_offline [--seeds=3] [--points=100,150,200,250,300]
+#include <iostream>
+
+#include "baselines/greedy.h"
+#include "baselines/heu_kkt.h"
+#include "baselines/ocorp.h"
+#include "bench/bench_util.h"
+#include "core/appro.h"
+#include "core/heu.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace mecar;
+  const util::Cli cli(argc, argv);
+  const int seeds = static_cast<int>(cli.get_int_or("seeds", 3));
+  const std::vector<int> points{100, 150, 200, 250, 300};
+  const std::vector<std::string> algos{"Appro", "Heu", "Greedy", "OCORP",
+                                       "HeuKKT"};
+
+  benchx::SeriesCollector reward(algos);
+  benchx::SeriesCollector latency(algos);
+  benchx::SeriesCollector runtime(algos);
+
+  for (int num_requests : points) {
+    reward.start_point();
+    latency.start_point();
+    runtime.start_point();
+    for (unsigned seed : benchx::bench_seeds(seeds)) {
+      benchx::InstanceConfig config;
+      config.num_requests = num_requests;
+      const auto inst = benchx::make_instance(seed, config);
+      const core::AlgorithmParams params;
+
+      auto record = [&](const std::string& name,
+                        const core::OffloadResult& res, double ms) {
+        reward.add(name, res.total_reward());
+        latency.add(name, res.average_latency_ms());
+        runtime.add(name, ms);
+      };
+      {
+        util::Rng rng(seed + 1);
+        util::Timer t;
+        const auto res =
+            core::run_appro(inst.topo, inst.requests, inst.realized, params, rng);
+        record("Appro", res, t.elapsed_ms());
+      }
+      {
+        util::Rng rng(seed + 1);
+        util::Timer t;
+        const auto res =
+            core::run_heu(inst.topo, inst.requests, inst.realized, params, rng);
+        record("Heu", res, t.elapsed_ms());
+      }
+      {
+        util::Timer t;
+        record("Greedy",
+               baselines::run_greedy(inst.topo, inst.requests, inst.realized,
+                                     params),
+               t.elapsed_ms());
+      }
+      {
+        util::Timer t;
+        record("OCORP",
+               baselines::run_ocorp(inst.topo, inst.requests, inst.realized,
+                                    params),
+               t.elapsed_ms());
+      }
+      {
+        util::Timer t;
+        record("HeuKKT",
+               baselines::run_heu_kkt(inst.topo, inst.requests, inst.realized,
+                                      params),
+               t.elapsed_ms());
+      }
+    }
+  }
+
+  auto emit = [&](const std::string& title, const benchx::SeriesCollector& s,
+                  int precision) {
+    std::vector<std::string> header{"|R|"};
+    header.insert(header.end(), algos.begin(), algos.end());
+    util::Table table(header);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      std::vector<double> row;
+      for (const auto& a : algos) row.push_back(s.mean_at(a, p));
+      table.add_numeric_row(std::to_string(points[p]), row, precision);
+    }
+    table.print(std::cout, title);
+    std::cout << '\n';
+  };
+
+  emit("Fig 3(a): total reward ($) vs number of requests", reward, 1);
+  emit("Fig 3(b): average latency (ms) vs number of requests", latency, 2);
+  emit("Fig 3(c): running time (ms) vs number of requests", runtime, 2);
+
+  // Headline check (section VI-B / abstract): Appro and Heu vs HeuKKT at
+  // the largest request count.
+  const std::size_t last = points.size() - 1;
+  const double kkt = reward.mean_at("HeuKKT", last);
+  std::cout << "headline: Appro/HeuKKT = "
+            << util::format_double(reward.mean_at("Appro", last) / kkt, 3)
+            << " (paper ~1.09), Heu/HeuKKT = "
+            << util::format_double(reward.mean_at("Heu", last) / kkt, 3)
+            << " (paper ~1.17), Heu/Greedy = "
+            << util::format_double(reward.mean_at("Heu", last) /
+                                       reward.mean_at("Greedy", last),
+                                   3)
+            << " (paper ~2.01), Heu/OCORP = "
+            << util::format_double(reward.mean_at("Heu", last) /
+                                       reward.mean_at("OCORP", last),
+                                   3)
+            << " (paper ~1.61)\n";
+  return 0;
+}

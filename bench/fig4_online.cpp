@@ -1,0 +1,99 @@
+// Figure 4 reproduction: online algorithms DynamicRR, Greedy, OCORP,
+// HeuKKT over |R| in {100, 150, 200, 250, 300} on a 600-slot horizon.
+//   (a) total reward   (b) average request latency
+//
+//   ./bench/fig4_online [--seeds=3] [--horizon=600]
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "sim/dynamic_rr.h"
+#include "sim/online_baselines.h"
+#include "sim/online_sim.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mecar;
+  const util::Cli cli(argc, argv);
+  const int seeds = static_cast<int>(cli.get_int_or("seeds", 3));
+  const int horizon = static_cast<int>(cli.get_int_or("horizon", 600));
+  const std::vector<int> points{100, 150, 200, 250, 300};
+  const std::vector<std::string> algos{"DynamicRR", "Greedy", "OCORP",
+                                       "HeuKKT"};
+
+  benchx::SeriesCollector reward(algos);
+  benchx::SeriesCollector latency(algos);
+  benchx::SeriesCollector drops(algos);
+
+  for (int num_requests : points) {
+    reward.start_point();
+    latency.start_point();
+    drops.start_point();
+    for (unsigned seed : benchx::bench_seeds(seeds)) {
+      benchx::InstanceConfig config;
+      config.num_requests = num_requests;
+      config.horizon_slots = horizon;
+      const auto inst = benchx::make_instance(seed, config);
+      sim::OnlineParams params;
+      params.horizon_slots = horizon;
+
+      auto run = [&](const std::string& name, sim::OnlinePolicy& policy) {
+        sim::OnlineSimulator simulator(inst.topo, inst.requests,
+                                       inst.realized, params);
+        const auto m = simulator.run(policy);
+        reward.add(name, m.total_reward);
+        latency.add(name, m.avg_latency_ms);
+        drops.add(name, m.dropped);
+      };
+      {
+        sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
+                                    sim::DynamicRrParams{},
+                                    util::Rng(seed + 1));
+        run("DynamicRR", policy);
+      }
+      {
+        sim::GreedyOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
+        run("Greedy", policy);
+      }
+      {
+        sim::OcorpOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
+        run("OCORP", policy);
+      }
+      {
+        sim::HeuKktOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
+        run("HeuKKT", policy);
+      }
+    }
+  }
+
+  auto emit = [&](const std::string& title, const benchx::SeriesCollector& s,
+                  int precision) {
+    std::vector<std::string> header{"|R|"};
+    header.insert(header.end(), algos.begin(), algos.end());
+    util::Table table(header);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      std::vector<double> row;
+      for (const auto& a : algos) row.push_back(s.mean_at(a, p));
+      table.add_numeric_row(std::to_string(points[p]), row, precision);
+    }
+    table.print(std::cout, title);
+    std::cout << '\n';
+  };
+
+  emit("Fig 4(a): total reward ($) vs number of requests", reward, 1);
+  emit("Fig 4(b): average latency (ms) vs number of requests", latency, 2);
+  emit("Fig 4(+): starved requests vs number of requests", drops, 1);
+
+  const std::size_t last = points.size() - 1;
+  std::cout << "headline: DynamicRR/HeuKKT = "
+            << util::format_double(reward.mean_at("DynamicRR", last) /
+                                       reward.mean_at("HeuKKT", last),
+                                   3)
+            << " (paper: DynamicRR above HeuKKT), DynamicRR/OCORP = "
+            << util::format_double(reward.mean_at("DynamicRR", last) /
+                                       reward.mean_at("OCORP", last),
+                                   3)
+            << '\n';
+  return 0;
+}

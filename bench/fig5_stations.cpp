@@ -1,0 +1,106 @@
+// Figure 5 reproduction: all six algorithms over |BS| in {10..50} at the
+// default |R| = 150.
+//   (a) total reward   (b) average request latency
+//
+// Offline algorithms run on the offline instance; DynamicRR runs the
+// 600-slot online instance on the same topology (as in the paper, the
+// figure overlays offline and online algorithms).
+//
+//   ./bench/fig5_stations [--seeds=3]
+#include <iostream>
+
+#include "baselines/greedy.h"
+#include "baselines/heu_kkt.h"
+#include "baselines/ocorp.h"
+#include "bench/bench_util.h"
+#include "core/appro.h"
+#include "core/heu.h"
+#include "sim/dynamic_rr.h"
+#include "sim/online_sim.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mecar;
+  const util::Cli cli(argc, argv);
+  const int seeds = static_cast<int>(cli.get_int_or("seeds", 3));
+  const std::vector<int> points{10, 20, 30, 40, 50};
+  const std::vector<std::string> algos{"Appro",  "Heu",   "DynamicRR",
+                                       "Greedy", "OCORP", "HeuKKT"};
+
+  benchx::SeriesCollector reward(algos);
+  benchx::SeriesCollector latency(algos);
+
+  for (int num_stations : points) {
+    reward.start_point();
+    latency.start_point();
+    for (unsigned seed : benchx::bench_seeds(seeds)) {
+      benchx::InstanceConfig config;
+      config.num_requests = 150;
+      config.num_stations = num_stations;
+      const auto inst = benchx::make_instance(seed, config);
+      const core::AlgorithmParams params;
+
+      auto record = [&](const std::string& name,
+                        const core::OffloadResult& res) {
+        reward.add(name, res.total_reward());
+        latency.add(name, res.average_latency_ms());
+      };
+      {
+        util::Rng rng(seed + 1);
+        record("Appro", core::run_appro(inst.topo, inst.requests,
+                                        inst.realized, params, rng));
+      }
+      {
+        util::Rng rng(seed + 1);
+        record("Heu", core::run_heu(inst.topo, inst.requests, inst.realized,
+                                    params, rng));
+      }
+      record("Greedy", baselines::run_greedy(inst.topo, inst.requests,
+                                             inst.realized, params));
+      record("OCORP", baselines::run_ocorp(inst.topo, inst.requests,
+                                           inst.realized, params));
+      record("HeuKKT", baselines::run_heu_kkt(inst.topo, inst.requests,
+                                              inst.realized, params));
+      {
+        // Online instance on the same topology scale.
+        benchx::InstanceConfig online_config = config;
+        online_config.horizon_slots = 600;
+        const auto online_inst =
+            benchx::make_instance(seed, online_config);
+        sim::OnlineParams oparams;
+        oparams.horizon_slots = 600;
+        sim::DynamicRrPolicy policy(online_inst.topo, core::AlgorithmParams{},
+                                    sim::DynamicRrParams{},
+                                    util::Rng(seed + 1));
+        sim::OnlineSimulator simulator(online_inst.topo, online_inst.requests,
+                                       online_inst.realized, oparams);
+        const auto m = simulator.run(policy);
+        reward.add("DynamicRR", m.total_reward);
+        latency.add("DynamicRR", m.avg_latency_ms);
+      }
+    }
+  }
+
+  auto emit = [&](const std::string& title, const benchx::SeriesCollector& s,
+                  int precision) {
+    std::vector<std::string> header{"|BS|"};
+    header.insert(header.end(), algos.begin(), algos.end());
+    util::Table table(header);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      std::vector<double> row;
+      for (const auto& a : algos) row.push_back(s.mean_at(a, p));
+      table.add_numeric_row(std::to_string(points[p]), row, precision);
+    }
+    table.print(std::cout, title);
+    std::cout << '\n';
+  };
+
+  emit("Fig 5(a): total reward ($) vs number of base stations", reward, 1);
+  emit("Fig 5(b): average latency (ms) vs number of base stations", latency,
+       2);
+
+  std::cout << "shape: reward should grow with |BS| (more capacity), latency "
+               "should fall (closer placements)\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark) for the core pipeline stages:
+// topology generation, workload generation, randomized rounding +
+// admission (Appro end-to-end), Heu migration overhead, and one DynamicRR
+// simulation slot.
+#include <benchmark/benchmark.h>
+
+#include "core/appro.h"
+#include "core/heu.h"
+#include "core/rounding.h"
+#include "lp/simplex.h"
+#include "mec/workload.h"
+#include "sim/dynamic_rr.h"
+#include "sim/online_sim.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mecar;
+
+void BM_TopologyGeneration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  mec::TopologyParams params;
+  params.num_stations = n;
+  util::Rng rng(3);
+  for (auto _ : state) {
+    auto topo = mec::generate_topology(params, rng);
+    benchmark::DoNotOptimize(topo.num_stations());
+  }
+}
+BENCHMARK(BM_TopologyGeneration)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(5);
+  const mec::Topology topo = mec::generate_topology({}, rng);
+  mec::WorkloadParams params;
+  params.num_requests = n;
+  for (auto _ : state) {
+    auto requests = mec::generate_requests(params, topo, rng);
+    benchmark::DoNotOptimize(requests.size());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(150)->Arg(300);
+
+struct Fixture {
+  mec::Topology topo;
+  std::vector<mec::ARRequest> requests;
+  std::vector<std::size_t> realized;
+  static Fixture make(int num_requests) {
+    util::Rng rng(9);
+    mec::Topology topo = mec::generate_topology({}, rng);
+    mec::WorkloadParams wparams;
+    wparams.num_requests = num_requests;
+    auto requests = mec::generate_requests(wparams, topo, rng);
+    auto realized = core::realize_demand_levels(requests, rng);
+    return {std::move(topo), std::move(requests), std::move(realized)};
+  }
+};
+
+void BM_ApproEndToEnd(benchmark::State& state) {
+  const auto fixture = Fixture::make(static_cast<int>(state.range(0)));
+  const core::AlgorithmParams params;
+  unsigned seed = 0;
+  for (auto _ : state) {
+    util::Rng rng(++seed);
+    auto result = core::run_appro(fixture.topo, fixture.requests,
+                                  fixture.realized, params, rng);
+    benchmark::DoNotOptimize(result.total_reward());
+  }
+}
+BENCHMARK(BM_ApproEndToEnd)->Arg(50)->Arg(150)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HeuEndToEnd(benchmark::State& state) {
+  const auto fixture = Fixture::make(static_cast<int>(state.range(0)));
+  const core::AlgorithmParams params;
+  unsigned seed = 0;
+  for (auto _ : state) {
+    util::Rng rng(++seed);
+    auto result = core::run_heu(fixture.topo, fixture.requests,
+                                fixture.realized, params, rng);
+    benchmark::DoNotOptimize(result.total_reward());
+  }
+}
+BENCHMARK(BM_HeuEndToEnd)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+void BM_RandomizedRoundingOnly(benchmark::State& state) {
+  const auto fixture = Fixture::make(150);
+  const core::AlgorithmParams params;
+  const auto inst = core::build_slot_lp(fixture.topo, fixture.requests,
+                                        params);
+  const auto res = lp::SimplexSolver().solve(inst.model);
+  util::Rng rng(13);
+  for (auto _ : state) {
+    auto picks = core::randomized_round(inst, res.x, 4.0,
+                                        fixture.requests.size(), rng);
+    benchmark::DoNotOptimize(picks.size());
+  }
+}
+BENCHMARK(BM_RandomizedRoundingOnly);
+
+void BM_DynamicRrFullHorizon(benchmark::State& state) {
+  util::Rng rng(17);
+  const mec::Topology topo = mec::generate_topology({}, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = static_cast<int>(state.range(0));
+  wparams.horizon_slots = 200;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto realized = core::realize_demand_levels(requests, rng);
+  sim::OnlineParams params;
+  params.horizon_slots = 200;
+  unsigned seed = 0;
+  for (auto _ : state) {
+    sim::DynamicRrPolicy policy(topo, core::AlgorithmParams{},
+                                sim::DynamicRrParams{}, util::Rng(++seed));
+    sim::OnlineSimulator simulator(topo, requests, realized, params);
+    auto metrics = simulator.run(policy);
+    benchmark::DoNotOptimize(metrics.total_reward);
+  }
+}
+BENCHMARK(BM_DynamicRrFullHorizon)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

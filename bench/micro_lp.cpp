@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) for the LP/MIP substrate: simplex
+// solve time vs model size, slot-LP construction, branch-and-bound on
+// knapsack-style binary programs.
+#include <benchmark/benchmark.h>
+
+#include "core/slot_lp.h"
+#include "lp/branch_and_bound.h"
+#include "lp/revised_simplex.h"
+#include "lp/simplex.h"
+#include "mec/workload.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mecar;
+
+/// Random dense-ish LP: n vars, m <= rows, positive data (always feasible
+/// and bounded thanks to per-variable caps).
+lp::Model random_lp(int n, int m, unsigned seed) {
+  util::Rng rng(seed);
+  lp::Model model;
+  for (int j = 0; j < n; ++j) {
+    model.add_variable("x" + std::to_string(j), rng.uniform(0.5, 2.0), 5.0);
+  }
+  for (int r = 0; r < m; ++r) {
+    std::vector<lp::Term> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.3)) terms.push_back({j, rng.uniform(0.1, 1.5)});
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    model.add_constraint("r" + std::to_string(r), lp::Sense::kLe,
+                         rng.uniform(2.0, 10.0), std::move(terms));
+  }
+  return model;
+}
+
+void BM_SimplexRandomLp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = n / 2;
+  const lp::Model model = random_lp(n, m, 42);
+  lp::SimplexSolver solver;
+  for (auto _ : state) {
+    auto result = solver.solve(model);
+    benchmark::DoNotOptimize(result.objective);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SimplexRandomLp)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_SlotLpBuild(benchmark::State& state) {
+  const int num_requests = static_cast<int>(state.range(0));
+  util::Rng rng(7);
+  const mec::Topology topo = mec::generate_topology({}, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = num_requests;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const core::AlgorithmParams params;
+  for (auto _ : state) {
+    auto inst = core::build_slot_lp(topo, requests, params);
+    benchmark::DoNotOptimize(inst.model.num_variables());
+  }
+}
+BENCHMARK(BM_SlotLpBuild)->Arg(50)->Arg(150)->Arg(300);
+
+void BM_SlotLpSolve(benchmark::State& state) {
+  const int num_requests = static_cast<int>(state.range(0));
+  util::Rng rng(7);
+  const mec::Topology topo = mec::generate_topology({}, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = num_requests;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const core::AlgorithmParams params;
+  const auto inst = core::build_slot_lp(topo, requests, params);
+  lp::SimplexSolver solver;
+  for (auto _ : state) {
+    auto result = solver.solve(inst.model);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_SlotLpSolve)->Arg(50)->Arg(100)->Arg(150)
+    ->Unit(benchmark::kMillisecond);
+
+
+void BM_SlotLpSolveRevised(benchmark::State& state) {
+  const int num_requests = static_cast<int>(state.range(0));
+  util::Rng rng(7);
+  const mec::Topology topo = mec::generate_topology({}, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = num_requests;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const core::AlgorithmParams params;
+  const auto inst = core::build_slot_lp(topo, requests, params);
+  lp::RevisedSimplexSolver solver;
+  for (auto _ : state) {
+    auto result = solver.solve(inst.model);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_SlotLpSolveRevised)->Arg(50)->Arg(100)->Arg(150)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BranchAndBoundKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(11);
+  lp::Model model;
+  std::vector<lp::Term> weight;
+  for (int j = 0; j < n; ++j) {
+    model.add_variable("b" + std::to_string(j), rng.uniform(1.0, 10.0), 1.0,
+                       /*integral=*/true);
+    weight.push_back({j, rng.uniform(1.0, 5.0)});
+  }
+  model.add_constraint("w", lp::Sense::kLe, 0.35 * 3.0 * n, weight);
+  lp::BranchAndBound solver;
+  for (auto _ : state) {
+    auto result = solver.solve(model);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_BranchAndBoundKnapsack)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

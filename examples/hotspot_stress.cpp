@@ -1,0 +1,60 @@
+// Domain scenario: a stadium event. User attachment is extremely skewed
+// (Zipf ~1.6) toward a few cells; the experiment shows why global,
+// uncertainty-aware offloading (Appro/Heu) keeps earning reward when the
+// local strategies (Greedy/OCORP) jam the hot cells.
+//
+//   ./examples/hotspot_stress [--seed=N] [--skew=1.6] [--requests=250]
+#include <iostream>
+
+#include "baselines/greedy.h"
+#include "baselines/heu_kkt.h"
+#include "baselines/ocorp.h"
+#include "core/appro.h"
+#include "core/heu.h"
+#include "mec/topology.h"
+#include "mec/workload.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mecar;
+  const util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 42));
+  const double skew = cli.get_double_or("skew", 1.6);
+  const int num_requests = static_cast<int>(cli.get_int_or("requests", 250));
+
+  util::Table table({"skew", "Appro ($)", "Heu ($)", "Greedy ($)",
+                     "OCORP ($)", "HeuKKT ($)", "Heu/Greedy"});
+
+  for (double s : {0.0, skew / 2.0, skew}) {
+    util::Rng rng(seed);
+    const mec::Topology topo = mec::generate_topology({}, rng);
+    mec::WorkloadParams wparams;
+    wparams.num_requests = num_requests;
+    wparams.home_skew = s;
+    const auto requests = mec::generate_requests(wparams, topo, rng);
+    const auto realized = core::realize_demand_levels(requests, rng);
+    const core::AlgorithmParams params;
+
+    util::Rng r1(seed + 1), r2(seed + 1);
+    const double appro =
+        core::run_appro(topo, requests, realized, params, r1).total_reward();
+    const double heu =
+        core::run_heu(topo, requests, realized, params, r2).total_reward();
+    const double greedy =
+        baselines::run_greedy(topo, requests, realized, params).total_reward();
+    const double ocorp =
+        baselines::run_ocorp(topo, requests, realized, params).total_reward();
+    const double kkt =
+        baselines::run_heu_kkt(topo, requests, realized, params)
+            .total_reward();
+    table.add_numeric_row(util::format_double(s, 2),
+                          {appro, heu, greedy, ocorp, kkt, heu / greedy}, 1);
+  }
+
+  table.print(std::cout, "stadium hotspot: reward vs attachment skew");
+  std::cout << "\nThe local strategies' reward should fall as the crowd "
+               "concentrates; the global algorithms reroute across the "
+               "backhaul and hold theirs.\n";
+  return 0;
+}

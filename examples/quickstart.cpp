@@ -1,0 +1,92 @@
+// Quickstart: build an MEC network, generate AR requests with uncertain
+// demands, and compare every offline algorithm on one instance.
+//
+//   ./examples/quickstart [--seed=N] [--requests=N] [--stations=N]
+#include <iostream>
+
+#include "baselines/greedy.h"
+#include "baselines/heu_kkt.h"
+#include "baselines/ocorp.h"
+#include "core/appro.h"
+#include "core/heu.h"
+#include "core/types.h"
+#include "mec/topology.h"
+#include "mec/workload.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace mecar;
+  const util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 42));
+  util::Rng rng(seed);
+
+  // 1. The MEC network: a GT-ITM-style topology (paper section VI-A).
+  mec::TopologyParams tparams;
+  tparams.num_stations = static_cast<int>(cli.get_int_or("stations", 20));
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  std::cout << "MEC network: " << topo.num_stations() << " base stations, "
+            << topo.links().size() << " backhaul links, "
+            << topo.total_capacity_mhz() << " MHz total capacity\n";
+
+  // 2. AR requests with uncertain demands.
+  mec::WorkloadParams wparams;
+  wparams.num_requests = static_cast<int>(cli.get_int_or("requests", 150));
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  std::cout << "Workload: " << requests.size()
+            << " AR requests, rates in [" << wparams.rate_min << ", "
+            << wparams.rate_max << "] MB/s over "
+            << wparams.num_rate_levels << " levels\n\n";
+
+  // 3. Realize demands once (common random numbers for all algorithms).
+  const auto realized = core::realize_demand_levels(requests, rng);
+
+  // 4. Run everything.
+  core::AlgorithmParams params;
+  util::Table table(
+      {"algorithm", "total reward ($)", "rewarded", "admitted",
+       "avg latency (ms)", "runtime (ms)"});
+  auto report = [&](const std::string& name,
+                    const core::OffloadResult& res, double ms) {
+    table.add_row({name, util::format_double(res.total_reward(), 1),
+                   std::to_string(res.num_rewarded()),
+                   std::to_string(res.num_admitted()),
+                   util::format_double(res.average_latency_ms(), 1),
+                   util::format_double(ms, 1)});
+  };
+
+  {
+    util::Rng run_rng(seed + 1);
+    util::Timer t;
+    const auto res = core::run_appro(topo, requests, realized, params, run_rng);
+    report("Appro", res, t.elapsed_ms());
+    std::cout << "LP upper bound on expected reward: " << res.lp_bound
+              << " $\n";
+  }
+  {
+    util::Rng run_rng(seed + 1);
+    util::Timer t;
+    const auto res = core::run_heu(topo, requests, realized, params, run_rng);
+    report("Heu", res, t.elapsed_ms());
+  }
+  {
+    util::Timer t;
+    const auto res = baselines::run_greedy(topo, requests, realized, params);
+    report("Greedy", res, t.elapsed_ms());
+  }
+  {
+    util::Timer t;
+    const auto res = baselines::run_ocorp(topo, requests, realized, params);
+    report("OCORP", res, t.elapsed_ms());
+  }
+  {
+    util::Timer t;
+    const auto res = baselines::run_heu_kkt(topo, requests, realized, params);
+    report("HeuKKT", res, t.elapsed_ms());
+  }
+
+  table.print(std::cout, "offline reward maximization (seed " +
+                             std::to_string(seed) + ")");
+  return 0;
+}

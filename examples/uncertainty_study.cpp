@@ -1,0 +1,74 @@
+// Scenario: why uncertainty handling matters (the paper's challenges 1-2).
+//
+// Compares the two reward models (demand-independent vs proportional) and
+// shows what each admission strategy loses by using a point estimate of an
+// uncertain stream rate:
+//   * peak reservation (Greedy/OCORP)  -> over-provisioning, idle capacity
+//   * mean commitment (HeuKKT)         -> realization overflow, lost rewards
+//   * slot-indexed distribution (Appro) -> Eq. (8) expected-reward packing
+//
+//   ./examples/uncertainty_study [--seed=N] [--requests=200]
+#include <iostream>
+
+#include "baselines/greedy.h"
+#include "baselines/heu_kkt.h"
+#include "core/appro.h"
+#include "mec/topology.h"
+#include "mec/workload.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mecar;
+  const util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 42));
+  const int num_requests = static_cast<int>(cli.get_int_or("requests", 200));
+
+  for (const auto model : {mec::RewardModel::kIndependent,
+                           mec::RewardModel::kProportional}) {
+    const bool independent = model == mec::RewardModel::kIndependent;
+    util::Rng rng(seed);
+    const mec::Topology topo = mec::generate_topology({}, rng);
+    mec::WorkloadParams wparams;
+    wparams.num_requests = num_requests;
+    wparams.reward_model = model;
+    const auto requests = mec::generate_requests(wparams, topo, rng);
+    const auto realized = core::realize_demand_levels(requests, rng);
+    const core::AlgorithmParams params;
+
+    util::Rng r1(seed + 1);
+    const auto appro =
+        core::run_appro(topo, requests, realized, params, r1);
+    const auto greedy =
+        baselines::run_greedy(topo, requests, realized, params);
+    const auto kkt =
+        baselines::run_heu_kkt(topo, requests, realized, params);
+
+    util::Table table({"algorithm", "rate estimate", "reward ($)",
+                       "rewarded", "admitted"});
+    table.add_row({"Appro", "full distribution (Eq. 8)",
+                   util::format_double(appro.total_reward(), 1),
+                   std::to_string(appro.num_rewarded()),
+                   std::to_string(appro.num_admitted())});
+    table.add_row({"Greedy", "peak (over-provision)",
+                   util::format_double(greedy.total_reward(), 1),
+                   std::to_string(greedy.num_rewarded()),
+                   std::to_string(greedy.num_admitted())});
+    table.add_row({"HeuKKT", "mean (overflow risk)",
+                   util::format_double(kkt.total_reward(), 1),
+                   std::to_string(kkt.num_rewarded()),
+                   std::to_string(kkt.num_admitted())});
+    table.print(std::cout,
+                independent
+                    ? "demand-INDEPENDENT rewards (paper model, challenge 2)"
+                    : "proportional rewards (ablation)");
+    std::cout << '\n';
+  }
+
+  std::cout << "Under independent rewards, selecting WHICH requests to "
+               "serve matters, so the distribution-aware LP wins big; under "
+               "the proportional ablation every capacity-filling strategy "
+               "collects nearly the same total — exactly the contrast the "
+               "paper's challenge 2 describes.\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Multi-armed bandit interfaces (section V).
+//
+// A policy selects one arm per round and receives a stochastic reward for
+// it. DynamicRR instantiates SuccessiveElimination over a Lipschitz
+// discretization of the threshold range; UCB1 and epsilon-greedy are
+// provided for comparison/ablation.
+#pragma once
+
+#include <cstddef>
+
+namespace mecar::bandit {
+
+/// Abstract bandit policy over a fixed finite arm set.
+class Bandit {
+ public:
+  virtual ~Bandit() = default;
+
+  /// Picks the arm to play this round.
+  virtual int select_arm() = 0;
+
+  /// Records the observed reward for `arm`. Rewards should be (roughly)
+  /// within the range the policy was configured with.
+  virtual void update(int arm, double reward) = 0;
+
+  virtual int num_arms() const = 0;
+
+  /// Rounds played so far.
+  virtual int rounds() const = 0;
+
+  /// Empirical mean reward of an arm (0 when unplayed).
+  virtual double mean(int arm) const = 0;
+};
+
+}  // namespace mecar::bandit

@@ -1,0 +1,53 @@
+#include "bandit/epsilon_greedy.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mecar::bandit {
+
+EpsilonGreedy::EpsilonGreedy(int num_arms, util::Rng rng, double c)
+    : rng_(rng), c_(c) {
+  if (num_arms <= 0) {
+    throw std::invalid_argument("EpsilonGreedy: num_arms <= 0");
+  }
+  if (c <= 0.0) throw std::invalid_argument("EpsilonGreedy: c <= 0");
+  arms_.resize(static_cast<std::size_t>(num_arms));
+}
+
+int EpsilonGreedy::select_arm() {
+  // Play each arm once first.
+  for (std::size_t a = 0; a < arms_.size(); ++a) {
+    if (arms_[a].pulls == 0) return static_cast<int>(a);
+  }
+  const double eps = std::min(1.0, c_ / std::max(1, rounds_));
+  if (rng_.bernoulli(eps)) {
+    return static_cast<int>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(arms_.size()) - 1));
+  }
+  int best = 0;
+  double best_mean = -std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < arms_.size(); ++a) {
+    if (arms_[a].mean > best_mean) {
+      best_mean = arms_[a].mean;
+      best = static_cast<int>(a);
+    }
+  }
+  return best;
+}
+
+void EpsilonGreedy::update(int arm, double reward) {
+  if (arm < 0 || arm >= num_arms()) {
+    throw std::out_of_range("EpsilonGreedy::update: bad arm");
+  }
+  Arm& a = arms_[static_cast<std::size_t>(arm)];
+  ++a.pulls;
+  a.mean += (reward - a.mean) / a.pulls;
+  ++rounds_;
+}
+
+double EpsilonGreedy::mean(int arm) const {
+  return arms_.at(static_cast<std::size_t>(arm)).mean;
+}
+
+}  // namespace mecar::bandit

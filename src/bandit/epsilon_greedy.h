@@ -1,0 +1,34 @@
+// Epsilon-greedy with a decaying exploration rate eps_t = min(1, c/t).
+// Included as an ablation alternative for DynamicRR's arm selection.
+#pragma once
+
+#include <vector>
+
+#include "bandit/bandit.h"
+#include "util/rng.h"
+
+namespace mecar::bandit {
+
+class EpsilonGreedy final : public Bandit {
+ public:
+  /// `c` controls the exploration decay; eps_t = min(1, c / t).
+  EpsilonGreedy(int num_arms, util::Rng rng, double c = 8.0);
+
+  int select_arm() override;
+  void update(int arm, double reward) override;
+  int num_arms() const override { return static_cast<int>(arms_.size()); }
+  int rounds() const override { return rounds_; }
+  double mean(int arm) const override;
+
+ private:
+  struct Arm {
+    int pulls = 0;
+    double mean = 0.0;
+  };
+  std::vector<Arm> arms_;
+  util::Rng rng_;
+  double c_;
+  int rounds_ = 0;
+};
+
+}  // namespace mecar::bandit

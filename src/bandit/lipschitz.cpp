@@ -1,0 +1,37 @@
+#include "bandit/lipschitz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mecar::bandit {
+
+LipschitzGrid::LipschitzGrid(double lo, double hi, int kappa) {
+  if (kappa < 1) throw std::invalid_argument("LipschitzGrid: kappa < 1");
+  if (hi < lo) throw std::invalid_argument("LipschitzGrid: hi < lo");
+  if (kappa == 1) {
+    values_.push_back((lo + hi) / 2.0);
+    spacing_ = hi - lo;
+    return;
+  }
+  spacing_ = (hi - lo) / (kappa - 1);
+  values_.reserve(static_cast<std::size_t>(kappa));
+  for (int k = 0; k < kappa; ++k) {
+    values_.push_back(lo + spacing_ * k);
+  }
+}
+
+int LipschitzGrid::nearest_arm(double x) const {
+  int best = 0;
+  double best_dist = std::abs(x - values_[0]);
+  for (std::size_t a = 1; a < values_.size(); ++a) {
+    const double d = std::abs(x - values_[a]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(a);
+    }
+  }
+  return best;
+}
+
+}  // namespace mecar::bandit

@@ -1,0 +1,42 @@
+// Uniform discretization of a continuous arm space (section V-A).
+//
+// The threshold C^th lives in Z = [C^th_min, C^th_max]; assuming the
+// expected reward is eta-Lipschitz in the threshold (Eq. (21)), dividing Z
+// into kappa arms of spacing epsilon = (max - min) / (kappa - 1) costs at
+// most eta * epsilon reward per round (discretization error, Eq. (25)),
+// giving Theorem 3's regret O(sqrt(kappa T log T) + T eta epsilon).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bandit/bandit.h"
+
+namespace mecar::bandit {
+
+/// A finite arm grid over a continuous interval plus the bandit policy that
+/// learns over it.
+class LipschitzGrid {
+ public:
+  /// Discretizes [lo, hi] into `kappa` evenly spaced arms (kappa >= 1).
+  LipschitzGrid(double lo, double hi, int kappa);
+
+  int num_arms() const noexcept { return static_cast<int>(values_.size()); }
+  double value(int arm) const { return values_.at(static_cast<std::size_t>(arm)); }
+  const std::vector<double>& values() const noexcept { return values_; }
+  double spacing() const noexcept { return spacing_; }
+
+  /// The grid arm closest to a continuous point (clamped to [lo, hi]).
+  int nearest_arm(double x) const;
+
+  /// Worst-case discretization error eta * epsilon of Eq. (25).
+  double discretization_error(double eta) const noexcept {
+    return eta * spacing_;
+  }
+
+ private:
+  std::vector<double> values_;
+  double spacing_ = 0.0;
+};
+
+}  // namespace mecar::bandit

@@ -1,0 +1,11 @@
+#include "bandit/regret.h"
+
+namespace mecar::bandit {
+
+void RegretTracker::record(double policy_reward, double best_fixed_reward) {
+  policy_total_ += policy_reward;
+  best_total_ += best_fixed_reward;
+  per_round_.push_back(best_total_ - policy_total_);
+}
+
+}  // namespace mecar::bandit

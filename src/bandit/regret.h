@@ -1,0 +1,31 @@
+// Cumulative-regret bookkeeping for the Theorem 3 experiments.
+#pragma once
+
+#include <vector>
+
+namespace mecar::bandit {
+
+/// Accumulates per-round rewards of a policy and of the best fixed arm,
+/// exposing the cumulative regret trajectory.
+class RegretTracker {
+ public:
+  void record(double policy_reward, double best_fixed_reward);
+
+  int rounds() const noexcept { return static_cast<int>(per_round_.size()); }
+  double policy_total() const noexcept { return policy_total_; }
+  double best_fixed_total() const noexcept { return best_total_; }
+  /// Cumulative regret after all recorded rounds (can be negative when the
+  /// policy beat the fixed comparator on this sample path).
+  double cumulative_regret() const noexcept {
+    return best_total_ - policy_total_;
+  }
+  /// Regret trajectory: entry t is the cumulative regret after round t+1.
+  const std::vector<double>& trajectory() const noexcept { return per_round_; }
+
+ private:
+  std::vector<double> per_round_;
+  double policy_total_ = 0.0;
+  double best_total_ = 0.0;
+};
+
+}  // namespace mecar::bandit

@@ -1,0 +1,113 @@
+#include "bandit/successive_elimination.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mecar::bandit {
+
+SuccessiveElimination::SuccessiveElimination(int num_arms, double reward_range)
+    : range_(reward_range) {
+  if (num_arms <= 0) {
+    throw std::invalid_argument("SuccessiveElimination: num_arms <= 0");
+  }
+  if (reward_range <= 0.0) {
+    throw std::invalid_argument("SuccessiveElimination: range <= 0");
+  }
+  arms_.resize(static_cast<std::size_t>(num_arms));
+}
+
+int SuccessiveElimination::select_arm() {
+  // Unplayed active arms first. Then alternate an exploration round — the
+  // least-sampled active arm, which drives elimination ("try all active
+  // arms in possibly multiple rounds", Alg. 3 step 5) — with an
+  // exploitation round on the empirically best active arm ("choose an
+  // active arm that has the maximum reward", step 9). Once a single arm
+  // survives both modes coincide.
+  for (std::size_t a = 0; a < arms_.size(); ++a) {
+    if (arms_[a].active && arms_[a].pulls == 0) return static_cast<int>(a);
+  }
+  if (rounds_ % 2 == 1) return best_active_arm();
+  int fewest = -1;
+  for (std::size_t a = 0; a < arms_.size(); ++a) {
+    if (!arms_[a].active) continue;
+    if (fewest < 0 ||
+        arms_[a].pulls < arms_[static_cast<std::size_t>(fewest)].pulls) {
+      fewest = static_cast<int>(a);
+    }
+  }
+  return fewest;  // never -1: at least one arm stays active
+}
+
+void SuccessiveElimination::update(int arm, double reward) {
+  if (arm < 0 || arm >= num_arms()) {
+    throw std::out_of_range("SuccessiveElimination::update: bad arm");
+  }
+  Arm& a = arms_[static_cast<std::size_t>(arm)];
+  ++a.pulls;
+  a.mean += (reward - a.mean) / a.pulls;
+  ++rounds_;
+  eliminate();
+}
+
+double SuccessiveElimination::mean(int arm) const {
+  return arms_.at(static_cast<std::size_t>(arm)).mean;
+}
+
+bool SuccessiveElimination::is_active(int arm) const {
+  return arms_.at(static_cast<std::size_t>(arm)).active;
+}
+
+int SuccessiveElimination::num_active() const {
+  int n = 0;
+  for (const Arm& a : arms_) n += a.active;
+  return n;
+}
+
+double SuccessiveElimination::radius(const Arm& arm) const {
+  if (arm.pulls == 0) return std::numeric_limits<double>::infinity();
+  const double t = std::max(2, rounds_);
+  return range_ * std::sqrt(2.0 * std::log(t) / arm.pulls);
+}
+
+double SuccessiveElimination::ucb(int arm) const {
+  const Arm& a = arms_.at(static_cast<std::size_t>(arm));
+  return a.mean + radius(a);
+}
+
+double SuccessiveElimination::lcb(int arm) const {
+  const Arm& a = arms_.at(static_cast<std::size_t>(arm));
+  return a.mean - radius(a);
+}
+
+int SuccessiveElimination::best_active_arm() const {
+  int best = -1;
+  double best_mean = -std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < arms_.size(); ++a) {
+    if (!arms_[a].active) continue;
+    if (arms_[a].mean > best_mean) {
+      best_mean = arms_[a].mean;
+      best = static_cast<int>(a);
+    }
+  }
+  return best;
+}
+
+void SuccessiveElimination::eliminate() {
+  double best_lcb = -std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < arms_.size(); ++a) {
+    if (arms_[a].active) {
+      best_lcb = std::max(best_lcb, lcb(static_cast<int>(a)));
+    }
+  }
+  int active = num_active();
+  for (std::size_t a = 0; a < arms_.size(); ++a) {
+    if (!arms_[a].active || active <= 1) continue;
+    if (ucb(static_cast<int>(a)) < best_lcb) {
+      arms_[a].active = false;
+      --active;
+    }
+  }
+}
+
+}  // namespace mecar::bandit

@@ -1,0 +1,52 @@
+// Successive elimination (Slivkins [25], section V of the paper).
+//
+// All arms start active. Each round the policy plays the least-sampled
+// active arm; after each update, every active arm a with
+//   UCB_t(a) < max_{a'} LCB_t(a')
+// is deactivated (paper Alg. 3 steps 6-8). The confidence radius is
+//   r_t(a) = range * sqrt(2 log(max(t, 2)) / n(a)).
+// With high probability the best arm is never eliminated and the regret is
+// O(sqrt(K T log T)) (Theorem 3's first term).
+#pragma once
+
+#include <vector>
+
+#include "bandit/bandit.h"
+
+namespace mecar::bandit {
+
+class SuccessiveElimination final : public Bandit {
+ public:
+  /// `reward_range` scales the confidence radius; pass (an estimate of) the
+  /// width of the reward distribution support.
+  explicit SuccessiveElimination(int num_arms, double reward_range = 1.0);
+
+  int select_arm() override;
+  void update(int arm, double reward) override;
+  int num_arms() const override { return static_cast<int>(arms_.size()); }
+  int rounds() const override { return rounds_; }
+  double mean(int arm) const override;
+
+  bool is_active(int arm) const;
+  int num_active() const;
+  double ucb(int arm) const;
+  double lcb(int arm) const;
+  /// Active arm with the highest empirical mean (paper Alg. 3 step 9);
+  /// ties broken toward the lower index.
+  int best_active_arm() const;
+
+ private:
+  struct Arm {
+    int pulls = 0;
+    double mean = 0.0;
+    bool active = true;
+  };
+  double radius(const Arm& arm) const;
+  void eliminate();
+
+  std::vector<Arm> arms_;
+  double range_;
+  int rounds_ = 0;
+};
+
+}  // namespace mecar::bandit

@@ -1,0 +1,75 @@
+#include "bandit/thompson.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mecar::bandit {
+
+ThompsonSampling::ThompsonSampling(int num_arms, util::Rng rng,
+                                   double observation_noise,
+                                   double prior_mean, double prior_std)
+    : rng_(rng), noise_var_(observation_noise * observation_noise) {
+  if (num_arms <= 0) {
+    throw std::invalid_argument("ThompsonSampling: num_arms <= 0");
+  }
+  if (observation_noise <= 0.0 || prior_std <= 0.0) {
+    throw std::invalid_argument("ThompsonSampling: non-positive std");
+  }
+  arms_.assign(static_cast<std::size_t>(num_arms),
+               Arm{prior_mean, prior_std * prior_std, 0, 0.0});
+}
+
+double ThompsonSampling::gaussian(double mean, double std) {
+  // Box-Muller.
+  double u1 = rng_.uniform();
+  if (u1 <= 0.0) u1 = 1e-12;
+  const double u2 = rng_.uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + std * z;
+}
+
+int ThompsonSampling::select_arm() {
+  int best = 0;
+  double best_sample = -std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < arms_.size(); ++a) {
+    const double sample =
+        gaussian(arms_[a].posterior_mean, std::sqrt(arms_[a].posterior_var));
+    if (sample > best_sample) {
+      best_sample = sample;
+      best = static_cast<int>(a);
+    }
+  }
+  return best;
+}
+
+void ThompsonSampling::update(int arm, double reward) {
+  if (arm < 0 || arm >= num_arms()) {
+    throw std::out_of_range("ThompsonSampling::update: bad arm");
+  }
+  Arm& a = arms_[static_cast<std::size_t>(arm)];
+  // Conjugate Gaussian update.
+  const double precision = 1.0 / a.posterior_var + 1.0 / noise_var_;
+  a.posterior_mean = (a.posterior_mean / a.posterior_var +
+                      reward / noise_var_) /
+                     precision;
+  a.posterior_var = 1.0 / precision;
+  ++a.pulls;
+  a.empirical_mean += (reward - a.empirical_mean) / a.pulls;
+  ++rounds_;
+}
+
+double ThompsonSampling::mean(int arm) const {
+  return arms_.at(static_cast<std::size_t>(arm)).empirical_mean;
+}
+
+double ThompsonSampling::posterior_mean(int arm) const {
+  return arms_.at(static_cast<std::size_t>(arm)).posterior_mean;
+}
+
+double ThompsonSampling::posterior_std(int arm) const {
+  return std::sqrt(arms_.at(static_cast<std::size_t>(arm)).posterior_var);
+}
+
+}  // namespace mecar::bandit

@@ -1,0 +1,48 @@
+// Thompson sampling with Gaussian posteriors over arm means.
+//
+// A Bayesian alternative to successive elimination for DynamicRR's arm
+// selection (ablation). Rewards are modelled as N(mu, sigma^2) with a
+// N(prior_mean, prior_var) prior per arm; each round samples every
+// posterior and plays the argmax.
+#pragma once
+
+#include <vector>
+
+#include "bandit/bandit.h"
+#include "util/rng.h"
+
+namespace mecar::bandit {
+
+class ThompsonSampling final : public Bandit {
+ public:
+  /// `observation_noise` is the assumed reward std-dev; the prior is
+  /// N(prior_mean, prior_std^2) for every arm.
+  ThompsonSampling(int num_arms, util::Rng rng, double observation_noise = 0.25,
+                   double prior_mean = 0.5, double prior_std = 1.0);
+
+  int select_arm() override;
+  void update(int arm, double reward) override;
+  int num_arms() const override { return static_cast<int>(arms_.size()); }
+  int rounds() const override { return rounds_; }
+  double mean(int arm) const override;
+
+  /// Posterior mean/std for inspection.
+  double posterior_mean(int arm) const;
+  double posterior_std(int arm) const;
+
+ private:
+  struct Arm {
+    double posterior_mean;
+    double posterior_var;
+    int pulls = 0;
+    double empirical_mean = 0.0;
+  };
+  double gaussian(double mean, double std);
+
+  std::vector<Arm> arms_;
+  util::Rng rng_;
+  double noise_var_;
+  int rounds_ = 0;
+};
+
+}  // namespace mecar::bandit

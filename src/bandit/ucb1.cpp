@@ -1,0 +1,46 @@
+#include "bandit/ucb1.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mecar::bandit {
+
+Ucb1::Ucb1(int num_arms, double reward_range) : range_(reward_range) {
+  if (num_arms <= 0) throw std::invalid_argument("Ucb1: num_arms <= 0");
+  if (reward_range <= 0.0) throw std::invalid_argument("Ucb1: range <= 0");
+  arms_.resize(static_cast<std::size_t>(num_arms));
+}
+
+int Ucb1::select_arm() {
+  int best = 0;
+  double best_index = -std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < arms_.size(); ++a) {
+    if (arms_[a].pulls == 0) return static_cast<int>(a);
+    const double bonus =
+        range_ * std::sqrt(2.0 * std::log(std::max(2, rounds_)) /
+                           arms_[a].pulls);
+    const double index = arms_[a].mean + bonus;
+    if (index > best_index) {
+      best_index = index;
+      best = static_cast<int>(a);
+    }
+  }
+  return best;
+}
+
+void Ucb1::update(int arm, double reward) {
+  if (arm < 0 || arm >= num_arms()) {
+    throw std::out_of_range("Ucb1::update: bad arm");
+  }
+  Arm& a = arms_[static_cast<std::size_t>(arm)];
+  ++a.pulls;
+  a.mean += (reward - a.mean) / a.pulls;
+  ++rounds_;
+}
+
+double Ucb1::mean(int arm) const {
+  return arms_.at(static_cast<std::size_t>(arm)).mean;
+}
+
+}  // namespace mecar::bandit

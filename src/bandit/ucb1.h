@@ -1,0 +1,32 @@
+// UCB1 (Auer et al.): optimism in the face of uncertainty. Included as a
+// drop-in alternative to successive elimination for ablation studies of
+// DynamicRR's arm-selection rule.
+#pragma once
+
+#include <vector>
+
+#include "bandit/bandit.h"
+
+namespace mecar::bandit {
+
+class Ucb1 final : public Bandit {
+ public:
+  explicit Ucb1(int num_arms, double reward_range = 1.0);
+
+  int select_arm() override;
+  void update(int arm, double reward) override;
+  int num_arms() const override { return static_cast<int>(arms_.size()); }
+  int rounds() const override { return rounds_; }
+  double mean(int arm) const override;
+
+ private:
+  struct Arm {
+    int pulls = 0;
+    double mean = 0.0;
+  };
+  std::vector<Arm> arms_;
+  double range_;
+  int rounds_ = 0;
+};
+
+}  // namespace mecar::bandit

@@ -1,0 +1,108 @@
+#include "bandit/zooming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mecar::bandit {
+
+ZoomingBandit::ZoomingBandit(double lo, double hi, util::Rng rng,
+                             double reward_range)
+    : lo_(lo), hi_(hi), rng_(rng), range_(reward_range) {
+  if (hi < lo) throw std::invalid_argument("ZoomingBandit: hi < lo");
+  if (reward_range <= 0.0) {
+    throw std::invalid_argument("ZoomingBandit: range <= 0");
+  }
+  points_.push_back(Point{(lo + hi) / 2.0});
+}
+
+double ZoomingBandit::radius(const Point& p) const {
+  if (p.pulls == 0) return std::numeric_limits<double>::infinity();
+  const double t = std::max(2, rounds_);
+  return range_ * std::sqrt(2.0 * std::log(t) / p.pulls);
+}
+
+double ZoomingBandit::find_uncovered() const {
+  // Sample candidate locations; return one not covered by any confidence
+  // ball. (The interval is 1-D; random probing suffices and keeps the
+  // implementation simple and allocation-free.)
+  auto covered = [&](double x) {
+    for (const Point& p : points_) {
+      if (std::abs(x - p.value) <= radius(p)) return true;
+    }
+    return false;
+  };
+  // A fresh (unpulled) point has infinite radius and covers everything.
+  for (const Point& p : points_) {
+    if (p.pulls == 0) return std::numeric_limits<double>::quiet_NaN();
+  }
+  for (int trial = 0; trial < 16; ++trial) {
+    const double x =
+        lo_ + (hi_ - lo_) * (trial + 0.5) / 16.0;  // deterministic sweep
+    if (!covered(x)) return x;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double ZoomingBandit::select_point() {
+  const double uncovered = find_uncovered();
+  if (!std::isnan(uncovered)) {
+    points_.push_back(Point{uncovered});
+    last_played_ = static_cast<int>(points_.size()) - 1;
+    return uncovered;
+  }
+  // Play the active point with the highest index mean + 2*radius
+  // (the zooming rule).
+  int best = 0;
+  double best_index = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const double idx = points_[i].pulls == 0
+                           ? std::numeric_limits<double>::infinity()
+                           : points_[i].mean + 2.0 * radius(points_[i]);
+    if (idx > best_index) {
+      best_index = idx;
+      best = static_cast<int>(i);
+    }
+  }
+  last_played_ = best;
+  return points_[static_cast<std::size_t>(best)].value;
+}
+
+void ZoomingBandit::update(double reward) {
+  if (last_played_ < 0) {
+    throw std::logic_error("ZoomingBandit::update before select_point");
+  }
+  Point& p = points_[static_cast<std::size_t>(last_played_)];
+  ++p.pulls;
+  p.mean += (reward - p.mean) / p.pulls;
+  ++rounds_;
+  last_played_ = -1;
+}
+
+double ZoomingBandit::best_point() const {
+  int best = 0;
+  double best_mean = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].pulls == 0) continue;
+    any = true;
+    if (points_[i].mean > best_mean) {
+      best_mean = points_[i].mean;
+      best = static_cast<int>(i);
+    }
+  }
+  if (!any) return points_.front().value;
+  return points_[static_cast<std::size_t>(best)].value;
+}
+
+std::vector<ZoomingBandit::PointInfo> ZoomingBandit::points() const {
+  std::vector<PointInfo> out;
+  out.reserve(points_.size());
+  for (const Point& p : points_) {
+    out.push_back(PointInfo{p.value, p.pulls, p.mean});
+  }
+  return out;
+}
+
+}  // namespace mecar::bandit

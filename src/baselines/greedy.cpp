@@ -1,0 +1,82 @@
+#include "baselines/greedy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/slot_lp.h"
+
+namespace mecar::baselines {
+
+core::OffloadResult run_greedy(const mec::Topology& topo,
+                               const std::vector<mec::ARRequest>& requests,
+                               const std::vector<std::size_t>& realized,
+                               const core::AlgorithmParams& params) {
+  if (realized.size() != requests.size()) {
+    throw std::invalid_argument("run_greedy: realized size mismatch");
+  }
+  core::OffloadResult result;
+  result.outcomes.resize(requests.size());
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    result.outcomes[j].request_id = requests[j].id;
+  }
+
+  // Decreasing total execution time (weight * fastest station speed proxy).
+  std::vector<int> order(requests.size());
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    order[j] = static_cast<int>(j);
+  }
+  // Execution time of a streaed pipeline scales with both the pipeline
+  // weight and the data volume it must chew through.
+  auto execution_time = [&](int j) {
+    const auto& req = requests[static_cast<std::size_t>(j)];
+    return req.total_proc_weight() * req.demand.expected_rate();
+  };
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ta = execution_time(a);
+    const double tb = execution_time(b);
+    if (ta != tb) return ta > tb;
+    return a < b;
+  });
+
+  // Greedy knows neither the rate distribution nor the realized rate at
+  // admission time; to honour the AR latency SLA it reserves the peak rate
+  // of the request's service class (coarse-grained over-provisioning).
+  core::StationLoad reserved(topo);
+  for (int j : order) {
+    const mec::ARRequest& req = requests[static_cast<std::size_t>(j)];
+    const double reserve_mhz = req.demand.max_rate() * params.c_unit;
+    // Latency-optimal station that can hold the reservation. Greedy is a
+    // local strategy (section VI-B): it only considers the stations
+    // nearest to the user.
+    core::AlgorithmParams near = params;
+    near.max_candidate_stations = 3;
+    int best_bs = -1;
+    double best_latency = 0.0;
+    for (int bs : core::candidate_stations(topo, req, near)) {
+      if (reserved.remaining_mhz(bs) < reserve_mhz) continue;
+      const double lat = mec::placement_latency_ms(topo, req, bs);
+      if (best_bs < 0 || lat < best_latency) {
+        best_bs = bs;
+        best_latency = lat;
+      }
+    }
+    if (best_bs < 0) continue;
+
+    reserved.occupy(best_bs, reserve_mhz);
+    const std::size_t level = realized[static_cast<std::size_t>(j)];
+    core::RequestOutcome& outcome =
+        result.outcomes[static_cast<std::size_t>(j)];
+    outcome.admitted = true;
+    outcome.station = best_bs;
+    outcome.realized_level = level;
+    outcome.realized_rate = req.demand.level(level).rate;
+    outcome.latency_ms = best_latency;
+    outcome.task_stations.assign(req.tasks.size(), best_bs);
+    // The peak reservation always covers the realized rate.
+    outcome.rewarded = true;
+    outcome.reward = req.demand.level(level).reward;
+  }
+  return result;
+}
+
+}  // namespace mecar::baselines

@@ -1,0 +1,23 @@
+// Baseline Greedy (Yang et al. [32], as described in section VI-A):
+// "sorts tasks in a decreasing order according to their execution times,
+// and assigns the task to the optimal edge server one-by-one."
+//
+// Interpretation for the request model of this paper: requests are ordered
+// by decreasing total execution time (pipeline weight x best processing
+// speed) and each is assigned to the station with the minimum placement
+// latency that can still hold its expected demand. Greedy is latency-greedy
+// and reward-blind, and admits against expected demand with no uncertainty
+// headroom — exactly the "coarse-grained" behaviour the paper contrasts
+// against.
+#pragma once
+
+#include "core/types.h"
+
+namespace mecar::baselines {
+
+core::OffloadResult run_greedy(const mec::Topology& topo,
+                               const std::vector<mec::ARRequest>& requests,
+                               const std::vector<std::size_t>& realized,
+                               const core::AlgorithmParams& params);
+
+}  // namespace mecar::baselines

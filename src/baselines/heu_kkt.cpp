@@ -1,0 +1,108 @@
+#include "baselines/heu_kkt.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/slot_lp.h"
+
+namespace mecar::baselines {
+
+core::OffloadResult run_heu_kkt(const mec::Topology& topo,
+                                const std::vector<mec::ARRequest>& requests,
+                                const std::vector<std::size_t>& realized,
+                                const core::AlgorithmParams& params) {
+  if (realized.size() != requests.size()) {
+    throw std::invalid_argument("run_heu_kkt: realized size mismatch");
+  }
+  core::OffloadResult result;
+  result.outcomes.resize(requests.size());
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    result.outcomes[j].request_id = requests[j].id;
+  }
+
+  // Stage 1 (uncapacitated): group requests at their home stations.
+  std::vector<std::vector<int>> home(
+      static_cast<std::size_t>(topo.num_stations()));
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    home[static_cast<std::size_t>(requests[j].home_station)].push_back(
+        static_cast<int>(j));
+  }
+
+  core::StationLoad load(topo);
+  std::vector<int> overflow;
+
+  auto admit = [&](int j, int bs) {
+    const mec::ARRequest& req = requests[static_cast<std::size_t>(j)];
+    const std::size_t level = realized[static_cast<std::size_t>(j)];
+    const double rate = req.demand.level(level).rate;
+    const double demand_mhz = rate * params.c_unit;
+    core::RequestOutcome& outcome =
+        result.outcomes[static_cast<std::size_t>(j)];
+    outcome.admitted = true;
+    outcome.station = bs;
+    outcome.realized_level = level;
+    outcome.realized_rate = rate;
+    outcome.latency_ms = mec::placement_latency_ms(topo, req, bs);
+    outcome.task_stations.assign(req.tasks.size(), bs);
+    const double remaining = load.remaining_mhz(bs);
+    load.occupy(bs, demand_mhz);
+    if (demand_mhz <= remaining + 1e-9) {
+      outcome.rewarded = true;
+      outcome.reward = req.demand.level(level).reward;
+    }
+  };
+
+  // Stage 2: per-station KKT water-filling — smallest expected demand
+  // first (the allocation that satisfies the KKT conditions of the
+  // latency-minimization program under a capacity constraint).
+  for (int bs = 0; bs < topo.num_stations(); ++bs) {
+    auto& local = home[static_cast<std::size_t>(bs)];
+    std::sort(local.begin(), local.end(), [&](int a, int b) {
+      const double da =
+          requests[static_cast<std::size_t>(a)].demand.expected_rate();
+      const double db =
+          requests[static_cast<std::size_t>(b)].demand.expected_rate();
+      if (da != db) return da < db;
+      return a < b;
+    });
+    double committed = 0.0;
+    for (int j : local) {
+      const mec::ARRequest& req = requests[static_cast<std::size_t>(j)];
+      const double expected_mhz = req.demand.expected_rate() * params.c_unit;
+      if (committed + expected_mhz <= topo.station(bs).capacity_mhz &&
+          mec::placement_latency_ms(topo, req, bs) <= req.latency_budget_ms) {
+        committed += expected_mhz;
+        admit(j, bs);
+      } else {
+        overflow.push_back(j);
+      }
+    }
+  }
+
+  // Stage 3: offload overflow cooperatively — the most spare
+  // latency-feasible station among the home NEIGHBOURHOOD (Ma et al. share
+  // load between cooperating neighbour edges), else the remote cloud (no
+  // edge reward).
+  core::AlgorithmParams neighbourhood = params;
+  neighbourhood.max_candidate_stations = 6;
+  for (int j : overflow) {
+    const mec::ARRequest& req = requests[static_cast<std::size_t>(j)];
+    const double expected_mhz = req.demand.expected_rate() * params.c_unit;
+    int best_bs = -1;
+    double best_spare = 0.0;
+    for (int bs : core::candidate_stations(topo, req, neighbourhood)) {
+      const double spare = load.remaining_mhz(bs);
+      if (spare < expected_mhz) continue;
+      if (best_bs < 0 || spare > best_spare) {
+        best_bs = bs;
+        best_spare = spare;
+      }
+    }
+    if (best_bs >= 0) admit(j, best_bs);
+    // else: remote cloud — outside the MEC network, no reward collected.
+  }
+
+  return result;
+}
+
+}  // namespace mecar::baselines

@@ -1,0 +1,25 @@
+// Baseline HeuKKT (Ma et al. [21], as described in section VI-A):
+// "first removes the constraints of resource capacities to find the
+// workload offloaded to the remote cloud. It then finds the optimal
+// scheduling solutions in edge servers fitting Karush-Kuhn-Tucker (KKT)
+// conditions with resource constraints."
+//
+// Implementation: every request is first pinned to its home station
+// (uncapacitated optimum — the home station minimizes latency). Per station
+// a KKT water-filling pass admits home requests smallest-expected-demand
+// first up to capacity; the overflow workload is offloaded — first to the
+// latency-feasible station with the most spare capacity, and, failing
+// that, to the remote cloud, where the MEC provider collects no edge
+// reward (the request leaves the MEC network).
+#pragma once
+
+#include "core/types.h"
+
+namespace mecar::baselines {
+
+core::OffloadResult run_heu_kkt(const mec::Topology& topo,
+                                const std::vector<mec::ARRequest>& requests,
+                                const std::vector<std::size_t>& realized,
+                                const core::AlgorithmParams& params);
+
+}  // namespace mecar::baselines

@@ -1,0 +1,93 @@
+#include "baselines/ocorp.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/slot_lp.h"
+
+namespace mecar::baselines {
+
+/// OCORP is a cluster scheduler ported to the MEC setting: it packs the
+/// few servers closest to the user and never relocates across the backhaul
+/// ("they utilize a local strategy instead of considering the global
+/// optimal solution", section VI-B).
+constexpr int kLocalCandidates = 3;
+
+core::OffloadResult run_ocorp(const mec::Topology& topo,
+                              const std::vector<mec::ARRequest>& requests,
+                              const std::vector<std::size_t>& realized,
+                              const core::AlgorithmParams& params) {
+  if (realized.size() != requests.size()) {
+    throw std::invalid_argument("run_ocorp: realized size mismatch");
+  }
+  core::OffloadResult result;
+  result.outcomes.resize(requests.size());
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    result.outcomes[j].request_id = requests[j].id;
+  }
+
+  // Sort by arrival time, then remaining to-be-processed data (expected
+  // rate x stream duration as the job-size proxy).
+  std::vector<int> order(requests.size());
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    order[j] = static_cast<int>(j);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& ra = requests[static_cast<std::size_t>(a)];
+    const auto& rb = requests[static_cast<std::size_t>(b)];
+    if (ra.arrival_slot != rb.arrival_slot) {
+      return ra.arrival_slot < rb.arrival_slot;
+    }
+    const double da = ra.demand.expected_rate() * ra.duration_slots;
+    const double db = rb.demand.expected_rate() * rb.duration_slots;
+    if (da != db) return da < db;
+    return a < b;
+  });
+
+  // Like Greedy, OCORP only has a point estimate of the unknown stream
+  // rate; it reserves the peak rate to keep its latency SLA (coarse-grained
+  // over-provisioning, section VI-B).
+  core::StationLoad reserved(topo);
+  for (int j : order) {
+    const mec::ARRequest& req = requests[static_cast<std::size_t>(j)];
+    const double reserve_mhz = req.demand.max_rate() * params.c_unit;
+    // Best fit among the nearest feasible stations: OCORP packs servers
+    // (smallest residual that fits) but, being a cluster scheduler, stays
+    // latency-greedy — it only looks at the closest few candidates
+    // ("they greedily select locations that achieve the lowest latencies").
+    int best_bs = -1;
+    double best_resid = 0.0;
+    double best_latency = 0.0;
+    core::AlgorithmParams near = params;
+    near.max_candidate_stations = kLocalCandidates;
+    for (int bs : core::candidate_stations(topo, req, near)) {
+      const double resid = reserved.remaining_mhz(bs);
+      if (resid < reserve_mhz) continue;
+      const double lat = mec::placement_latency_ms(topo, req, bs);
+      if (best_bs < 0 || resid < best_resid ||
+          (resid == best_resid && lat < best_latency)) {
+        best_bs = bs;
+        best_resid = resid;
+        best_latency = lat;
+      }
+    }
+    if (best_bs < 0) continue;
+
+    reserved.occupy(best_bs, reserve_mhz);
+    const std::size_t level = realized[static_cast<std::size_t>(j)];
+    core::RequestOutcome& outcome =
+        result.outcomes[static_cast<std::size_t>(j)];
+    outcome.admitted = true;
+    outcome.station = best_bs;
+    outcome.realized_level = level;
+    outcome.realized_rate = req.demand.level(level).rate;
+    outcome.latency_ms = best_latency;
+    outcome.task_stations.assign(req.tasks.size(), best_bs);
+    // The peak reservation always covers the realized rate.
+    outcome.rewarded = true;
+    outcome.reward = req.demand.level(level).reward;
+  }
+  return result;
+}
+
+}  // namespace mecar::baselines

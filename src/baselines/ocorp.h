@@ -1,0 +1,21 @@
+// Baseline OCORP (Liu et al. [20], as described in section VI-A):
+// "in each time slot, OCORP sorts the unfinished jobs according to arriving
+// time and remaining to-be-processed data, then assigns tasks to edge
+// servers based on a best-fit algorithm."
+//
+// Offline form: a single pass over requests in (arrival, expected-demand)
+// order; each request goes to the BEST-FIT station — the latency-feasible
+// station with the smallest residual capacity that still holds its expected
+// demand (classic best-fit packing). Reward-blind and uncertainty-blind.
+#pragma once
+
+#include "core/types.h"
+
+namespace mecar::baselines {
+
+core::OffloadResult run_ocorp(const mec::Topology& topo,
+                              const std::vector<mec::ARRequest>& requests,
+                              const std::vector<std::size_t>& realized,
+                              const core::AlgorithmParams& params);
+
+}  // namespace mecar::baselines

@@ -1,0 +1,15 @@
+#include "core/appro.h"
+
+#include "core/rounding.h"
+
+namespace mecar::core {
+
+OffloadResult run_appro(const mec::Topology& topo,
+                        const std::vector<mec::ARRequest>& requests,
+                        const std::vector<std::size_t>& realized,
+                        const AlgorithmParams& params, util::Rng& rng) {
+  return run_slot_rounding(topo, requests, realized, params, rng,
+                           /*enable_migration=*/false);
+}
+
+}  // namespace mecar::core

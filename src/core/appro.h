@@ -1,0 +1,20 @@
+// Algorithm Appro (paper Alg. 1): approximation algorithm for the reward
+// maximization problem with the tasks of each request consolidated into a
+// single base station. Expected reward is at least Opt/8 (Theorem 1) for the
+// bare scheme (params.backfill = false); backfill only adds reward, so the
+// guarantee carries over to the default configuration.
+#pragma once
+
+#include "core/types.h"
+
+namespace mecar::core {
+
+/// Runs Appro. `realized` holds the demand level each request instantiates
+/// when scheduled (see realize_demand_levels); `rng` drives the randomized
+/// rounding only.
+OffloadResult run_appro(const mec::Topology& topo,
+                        const std::vector<mec::ARRequest>& requests,
+                        const std::vector<std::size_t>& realized,
+                        const AlgorithmParams& params, util::Rng& rng);
+
+}  // namespace mecar::core

@@ -1,0 +1,81 @@
+#include "core/backhaul.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mecar::core {
+
+BackhaulLoad::BackhaulLoad(const mec::Topology& topo) : topo_(&topo) {
+  used_.assign(topo.links().size(), 0.0);
+  capacity_.reserve(topo.links().size());
+  for (const mec::Link& link : topo.links()) {
+    capacity_.push_back(link.bandwidth_mbps);
+  }
+}
+
+double BackhaulLoad::available_mbps(const std::vector<int>& path) const {
+  double avail = std::numeric_limits<double>::infinity();
+  for (int link : path) {
+    avail = std::min(avail, capacity_.at(link) - used_.at(link));
+  }
+  return avail;
+}
+
+bool BackhaulLoad::fits(const std::vector<int>& path,
+                        double rate_mbps) const {
+  return available_mbps(path) >= rate_mbps - 1e-9;
+}
+
+bool BackhaulLoad::consume(const std::vector<int>& path, double rate_mbps) {
+  if (rate_mbps < 0.0) {
+    throw std::invalid_argument("BackhaulLoad::consume: negative rate");
+  }
+  if (!fits(path, rate_mbps)) return false;
+  for (int link : path) used_.at(link) += rate_mbps;
+  return true;
+}
+
+void BackhaulLoad::release(const std::vector<int>& path, double rate_mbps) {
+  for (int link : path) {
+    if (used_.at(link) < rate_mbps - 1e-9) {
+      throw std::invalid_argument("BackhaulLoad::release: underflow");
+    }
+    used_.at(link) = std::max(0.0, used_.at(link) - rate_mbps);
+  }
+}
+
+BackhaulAudit apply_backhaul_audit(const mec::Topology& topo,
+                                   const std::vector<mec::ARRequest>& requests,
+                                   OffloadResult& result) {
+  if (result.outcomes.size() != requests.size()) {
+    throw std::invalid_argument("apply_backhaul_audit: size mismatch");
+  }
+  BackhaulLoad load(topo);
+  BackhaulAudit audit;
+  for (std::size_t j = 0; j < result.outcomes.size(); ++j) {
+    RequestOutcome& outcome = result.outcomes[j];
+    if (!outcome.rewarded) continue;
+    const int home = requests[j].home_station;
+    if (outcome.station == home) continue;  // local: no backhaul use
+    const auto path = topo.shortest_path_links(home, outcome.station);
+    if (!load.consume(path, outcome.realized_rate)) {
+      outcome.rewarded = false;
+      audit.reward_lost += outcome.reward;
+      outcome.reward = 0.0;
+      ++audit.voided;
+    }
+  }
+  for (std::size_t li = 0; li < topo.links().size(); ++li) {
+    const double cap = load.capacity_mbps(static_cast<int>(li));
+    if (std::isfinite(cap) && cap > 0.0) {
+      audit.peak_link_utilization =
+          std::max(audit.peak_link_utilization,
+                   load.used_mbps(static_cast<int>(li)) / cap);
+    }
+  }
+  return audit;
+}
+
+}  // namespace mecar::core

@@ -1,0 +1,69 @@
+// Backhaul bandwidth accounting (extension beyond the paper's base model).
+//
+// The paper's related-work section criticizes Chang et al. for "ignoring
+// the backhaul wired bandwidth consumption"; this module supplies the
+// missing constraint. A request served away from its home station streams
+// its realized data rate across every link of the delay-shortest path;
+// `BackhaulLoad` tracks the per-link load, and `apply_backhaul_audit`
+// post-processes any OffloadResult, voiding the reward of requests whose
+// stream the backhaul cannot actually carry (bandwidth-blind algorithms
+// pay here). Appro/Heu enforce the constraint at admission when
+// AlgorithmParams::enforce_backhaul is set.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "mec/topology.h"
+
+namespace mecar::core {
+
+/// Per-link bandwidth tracker (MB/s).
+class BackhaulLoad {
+ public:
+  explicit BackhaulLoad(const mec::Topology& topo);
+
+  /// Free capacity along the whole path (min over links; +inf for an
+  /// empty path, i.e. local execution).
+  double available_mbps(const std::vector<int>& path) const;
+
+  /// True when every link of the path still carries `rate_mbps` more.
+  bool fits(const std::vector<int>& path, double rate_mbps) const;
+
+  /// Consumes `rate_mbps` on every path link. Returns false (and consumes
+  /// nothing) when the path cannot carry it.
+  bool consume(const std::vector<int>& path, double rate_mbps);
+
+  /// Releases previously consumed bandwidth.
+  void release(const std::vector<int>& path, double rate_mbps);
+
+  double used_mbps(int link) const { return used_.at(link); }
+  double capacity_mbps(int link) const { return capacity_.at(link); }
+
+ private:
+  const mec::Topology* topo_;
+  std::vector<double> used_;
+  std::vector<double> capacity_;
+};
+
+/// Result of auditing one offloading solution against the backhaul.
+struct BackhaulAudit {
+  /// Requests whose reward was voided (stream did not fit the backhaul).
+  int voided = 0;
+  /// Reward lost to the backhaul bottleneck.
+  double reward_lost = 0.0;
+  /// Peak link utilization in [0, 1] after the audit (0 when all links
+  /// are infinite).
+  double peak_link_utilization = 0.0;
+};
+
+/// Replays `result` against finite link capacities: rewarded requests are
+/// processed in increasing request id; a request whose home->station path
+/// cannot carry its realized rate loses its reward (admitted stays true —
+/// the stream runs degraded). Local executions (station == home) consume
+/// nothing. Mutates `result` and returns the audit summary.
+BackhaulAudit apply_backhaul_audit(const mec::Topology& topo,
+                                   const std::vector<mec::ARRequest>& requests,
+                                   OffloadResult& result);
+
+}  // namespace mecar::core

@@ -1,0 +1,93 @@
+#include "core/exact.h"
+
+#include <algorithm>
+
+#include "core/slot_lp.h"
+
+namespace mecar::core {
+
+ExactResult run_exact(const mec::Topology& topo,
+                      const std::vector<mec::ARRequest>& requests,
+                      const std::vector<std::size_t>& realized,
+                      const ExactOptions& options) {
+  if (realized.size() != requests.size()) {
+    throw std::invalid_argument(
+        "run_exact: one realized level per request required");
+  }
+  ExactResult result;
+  result.offload.outcomes.resize(requests.size());
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    result.offload.outcomes[j].request_id = requests[j].id;
+  }
+  if (requests.empty()) {
+    result.status = lp::SolveStatus::kOptimal;
+    return result;
+  }
+
+  const SlotLpInstance inst = build_ilp_rm(topo, requests, options.params);
+  if (inst.model.num_variables() == 0) {
+    result.status = lp::SolveStatus::kOptimal;
+    return result;
+  }
+  const lp::MipResult mip = lp::BranchAndBound(options.bnb).solve(inst.model);
+  result.status = mip.status;
+  result.nodes_explored = mip.nodes_explored;
+  if (mip.status != lp::SolveStatus::kOptimal &&
+      mip.status != lp::SolveStatus::kIterationLimit) {
+    return result;
+  }
+  if (mip.x.empty()) return result;
+  result.offload.lp_bound = mip.objective;
+
+  // Group the chosen assignments per station, schedule smallest expected
+  // rate first, realize, apply Eq. (8) reward semantics.
+  std::vector<std::vector<int>> per_station(
+      static_cast<std::size_t>(topo.num_stations()));
+  for (std::size_t col = 0; col < inst.vars.size(); ++col) {
+    if (mip.x[col] > 0.5) {
+      per_station[static_cast<std::size_t>(inst.vars[col].station)].push_back(
+          static_cast<int>(col));
+    }
+  }
+
+  StationLoad load(topo);
+  for (int bs = 0; bs < topo.num_stations(); ++bs) {
+    auto& cols = per_station[static_cast<std::size_t>(bs)];
+    std::sort(cols.begin(), cols.end(), [&](int a, int b) {
+      const auto& ra = requests[static_cast<std::size_t>(
+          inst.vars[static_cast<std::size_t>(a)].request_index)];
+      const auto& rb = requests[static_cast<std::size_t>(
+          inst.vars[static_cast<std::size_t>(b)].request_index)];
+      if (ra.demand.expected_rate() != rb.demand.expected_rate()) {
+        return ra.demand.expected_rate() < rb.demand.expected_rate();
+      }
+      return a < b;
+    });
+    for (int col : cols) {
+      const SlotVar& var = inst.vars[static_cast<std::size_t>(col)];
+      const int j = var.request_index;
+      const mec::ARRequest& req = requests[static_cast<std::size_t>(j)];
+      const std::size_t level = realized[static_cast<std::size_t>(j)];
+      const double rate = req.demand.level(level).rate;
+      const double demand_mhz = rate * options.params.c_unit;
+
+      RequestOutcome& outcome =
+          result.offload.outcomes[static_cast<std::size_t>(j)];
+      outcome.admitted = true;
+      outcome.station = bs;
+      outcome.realized_level = level;
+      outcome.realized_rate = rate;
+      outcome.latency_ms = var.latency_ms;
+      outcome.task_stations.assign(req.tasks.size(), bs);
+      const double remaining = load.remaining_mhz(bs);
+      load.occupy(bs, demand_mhz);
+      if (demand_mhz <= remaining + 1e-9) {
+        outcome.rewarded = true;
+        outcome.reward = req.demand.level(level).reward;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mecar::core

@@ -1,0 +1,34 @@
+// Exact solution of the reward maximization problem (section IV-A): the
+// ILP-RM solved with branch-and-bound. Practical for small instances only
+// (the paper: "we devise an exact solution for the problem if the problem
+// size is small").
+#pragma once
+
+#include "core/types.h"
+#include "lp/branch_and_bound.h"
+
+namespace mecar::core {
+
+struct ExactOptions {
+  AlgorithmParams params;
+  lp::BranchAndBoundOptions bnb;
+};
+
+/// Result of the exact algorithm: the realized outcomes plus the ILP's
+/// expected-reward optimum (stored in OffloadResult::lp_bound) and the
+/// solver status.
+struct ExactResult {
+  OffloadResult offload;
+  lp::SolveStatus status = lp::SolveStatus::kIterationLimit;
+  std::int64_t nodes_explored = 0;
+};
+
+/// Solves ILP-RM exactly and realizes the assignment. Requests are
+/// scheduled per station in increasing expected-rate order; Eq. (8) reward
+/// semantics apply as in the other algorithms.
+ExactResult run_exact(const mec::Topology& topo,
+                      const std::vector<mec::ARRequest>& requests,
+                      const std::vector<std::size_t>& realized,
+                      const ExactOptions& options = {});
+
+}  // namespace mecar::core

@@ -1,0 +1,15 @@
+#include "core/heu.h"
+
+#include "core/rounding.h"
+
+namespace mecar::core {
+
+OffloadResult run_heu(const mec::Topology& topo,
+                      const std::vector<mec::ARRequest>& requests,
+                      const std::vector<std::size_t>& realized,
+                      const AlgorithmParams& params, util::Rng& rng) {
+  return run_slot_rounding(topo, requests, realized, params, rng,
+                           /*enable_migration=*/true);
+}
+
+}  // namespace mecar::core

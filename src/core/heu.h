@@ -1,0 +1,18 @@
+// Algorithm Heu (paper Alg. 2): efficient heuristic for the reward
+// maximization problem without the single-station consolidation assumption.
+// Identical to Appro up to the admission stage; on an admission failure it
+// migrates tasks of already-admitted requests to nearby stations (keeping
+// their latency budgets) to make room for the new request.
+#pragma once
+
+#include "core/types.h"
+
+namespace mecar::core {
+
+/// Runs Heu; arguments as in run_appro.
+OffloadResult run_heu(const mec::Topology& topo,
+                      const std::vector<mec::ARRequest>& requests,
+                      const std::vector<std::size_t>& realized,
+                      const AlgorithmParams& params, util::Rng& rng);
+
+}  // namespace mecar::core

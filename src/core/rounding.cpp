@@ -1,0 +1,336 @@
+#include "core/rounding.h"
+
+#include "core/backhaul.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "lp/revised_simplex.h"
+#include "util/log.h"
+
+namespace mecar::core {
+
+std::vector<int> randomized_round(const SlotLpInstance& inst,
+                                  const std::vector<double>& y,
+                                  double divisor, std::size_t num_requests,
+                                  util::Rng& rng) {
+  if (divisor < 1.0) {
+    throw std::invalid_argument("randomized_round: divisor must be >= 1");
+  }
+  std::vector<int> picks(num_requests, -1);
+  for (std::size_t j = 0; j < num_requests; ++j) {
+    const auto& cols = inst.request_columns[j];
+    if (cols.empty()) continue;
+    std::vector<double> weights;
+    weights.reserve(cols.size());
+    for (int col : cols) {
+      weights.push_back(
+          std::max(0.0, y[static_cast<std::size_t>(col)]) / divisor);
+    }
+    const std::size_t pick = rng.categorical_or_none(weights, 1.0);
+    if (pick < cols.size()) picks[j] = cols[pick];
+  }
+  return picks;
+}
+
+namespace {
+
+/// Bookkeeping for one admitted request during the admission stage.
+struct Admitted {
+  int request_index;
+  int station;  // consolidated/home execution station
+  double realized_mhz;
+  /// Remaining demand share per task still at `station` (MHz); migrated
+  /// tasks are removed. Used by the Heu migration step.
+  std::vector<double> task_share_mhz;
+  std::vector<int> task_stations;
+};
+
+/// Attempts Alg. 2's migration: move one task of the admitted request with
+/// the largest realized usage at `bs` to a nearby station so that
+/// used(bs) drops. Returns true when a migration happened.
+bool migrate_one_task(const mec::Topology& topo,
+                      const std::vector<mec::ARRequest>& requests,
+                      std::vector<Admitted>& admitted, StationLoad& load,
+                      std::vector<RequestOutcome>& outcomes, int bs) {
+  // Donor: admitted request at bs with the maximum realized usage still
+  // resident (Alg. 2 step 11).
+  int donor = -1;
+  double donor_usage = 0.0;
+  for (std::size_t a = 0; a < admitted.size(); ++a) {
+    if (admitted[a].station != bs) continue;
+    double resident = 0.0;
+    for (std::size_t k = 0; k < admitted[a].task_stations.size(); ++k) {
+      if (admitted[a].task_stations[k] == bs) {
+        resident += admitted[a].task_share_mhz[k];
+      }
+    }
+    if (resident > donor_usage) {
+      donor_usage = resident;
+      donor = static_cast<int>(a);
+    }
+  }
+  if (donor < 0) return false;
+
+  Admitted& d = admitted[static_cast<std::size_t>(donor)];
+  const mec::ARRequest& req =
+      requests[static_cast<std::size_t>(d.request_index)];
+
+  // Candidate task: the largest share still at bs (frees the most room).
+  int task = -1;
+  double best_share = 0.0;
+  for (std::size_t k = 0; k < d.task_stations.size(); ++k) {
+    if (d.task_stations[k] == bs && d.task_share_mhz[k] > best_share) {
+      best_share = d.task_share_mhz[k];
+      task = static_cast<int>(k);
+    }
+  }
+  if (task < 0) return false;
+
+  // Nearest station with room that keeps the donor within its latency
+  // budget (Alg. 2 step 13: "the closest base station of bs_i").
+  for (int target : topo.stations_by_distance(bs)) {
+    if (target == bs) continue;
+    if (load.remaining_mhz(target) < best_share) continue;
+    auto trial_stations = d.task_stations;
+    trial_stations[static_cast<std::size_t>(task)] = target;
+    const double latency =
+        mec::split_placement_latency_ms(topo, req, trial_stations);
+    if (latency > req.latency_budget_ms) continue;
+
+    load.release(bs, best_share);
+    load.occupy(target, best_share);
+    d.task_stations = std::move(trial_stations);
+    d.task_share_mhz[static_cast<std::size_t>(task)] = best_share;
+    RequestOutcome& outcome =
+        outcomes[static_cast<std::size_t>(d.request_index)];
+    outcome.task_stations = d.task_stations;
+    outcome.latency_ms = latency;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+OffloadResult run_slot_rounding(const mec::Topology& topo,
+                                const std::vector<mec::ARRequest>& requests,
+                                const std::vector<std::size_t>& realized,
+                                const AlgorithmParams& params,
+                                util::Rng& rng, bool enable_migration) {
+  if (realized.size() != requests.size()) {
+    throw std::invalid_argument(
+        "run_slot_rounding: one realized level per request required");
+  }
+
+  OffloadResult result;
+  result.outcomes.resize(requests.size());
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    result.outcomes[j].request_id = requests[j].id;
+  }
+  if (requests.empty()) return result;
+
+  // Stage 1: solve the LP relaxation.
+  const SlotLpInstance inst = build_slot_lp(topo, requests, params);
+  if (inst.model.num_variables() == 0) return result;
+  const lp::SolveResult lp_res = lp::solve_lp(inst.model);
+  if (!lp_res.optimal()) {
+    util::log_warn() << "slot LP did not solve to optimality: "
+                     << lp::to_string(lp_res.status);
+    return result;
+  }
+  result.lp_bound = lp_res.objective;
+
+  // Stage 2: y/4 randomized pre-assignment.
+  const std::vector<int> picks = randomized_round(
+      inst, lp_res.x, params.rounding_divisor, requests.size(), rng);
+
+  // Group tentative requests by (station, slot).
+  int max_slots = 0;
+  for (int L : inst.slots_per_station) max_slots = std::max(max_slots, L);
+  // candidates[bs][l] -> request indices.
+  std::vector<std::vector<std::vector<int>>> candidates(
+      static_cast<std::size_t>(topo.num_stations()),
+      std::vector<std::vector<int>>(static_cast<std::size_t>(max_slots)));
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    if (picks[j] < 0) continue;
+    const SlotVar& var = inst.vars[static_cast<std::size_t>(picks[j])];
+    candidates[static_cast<std::size_t>(var.station)]
+              [static_cast<std::size_t>(var.slot)]
+                  .push_back(static_cast<int>(j));
+  }
+
+  StationLoad load(topo);
+  BackhaulLoad backhaul(topo);
+  std::vector<Admitted> admitted;
+
+  // With backhaul enforcement, a remote placement must be able to carry
+  // the request's expected stream; checked before admission.
+  auto backhaul_ok = [&](int j, int bs) {
+    if (!params.enforce_backhaul) return true;
+    const mec::ARRequest& req = requests[static_cast<std::size_t>(j)];
+    if (req.home_station == bs) return true;
+    const auto path = topo.shortest_path_links(req.home_station, bs);
+    return backhaul.fits(path, req.demand.expected_rate());
+  };
+
+  auto admit = [&](int j, int bs, int slot, double latency) {
+    const mec::ARRequest& req = requests[static_cast<std::size_t>(j)];
+    const std::size_t level = realized[static_cast<std::size_t>(j)];
+    const double rate = req.demand.level(level).rate;
+    const double demand_mhz = rate * params.c_unit;
+    const double reserve_mhz =
+        topo.station(bs).capacity_mhz - slot * params.slot_capacity_mhz;
+
+    RequestOutcome& outcome = result.outcomes[static_cast<std::size_t>(j)];
+    outcome.admitted = true;
+    outcome.station = bs;
+    outcome.start_slot = slot;
+    outcome.realized_level = level;
+    outcome.realized_rate = rate;
+    outcome.latency_ms = latency;
+    outcome.task_stations.assign(req.tasks.size(), bs);
+
+    // Eq. (8): reward iff the realized demand fits the resources from the
+    // starting slot onward; the request occupies what is available either
+    // way (it streams, the surplus is simply not served). Under backhaul
+    // enforcement, the realized stream must also fit the path.
+    const double granted = load.occupy(bs, demand_mhz);
+    bool stream_fits = true;
+    if (params.enforce_backhaul && req.home_station != bs) {
+      stream_fits = backhaul.consume(
+          topo.shortest_path_links(req.home_station, bs), rate);
+    }
+    if (demand_mhz <= reserve_mhz + 1e-9 && granted >= demand_mhz - 1e-9 &&
+        stream_fits) {
+      outcome.rewarded = true;
+      outcome.reward = req.demand.level(level).reward;
+    }
+
+    Admitted adm;
+    adm.request_index = j;
+    adm.station = bs;
+    adm.realized_mhz = granted;
+    const double total_w = req.total_proc_weight();
+    adm.task_share_mhz.reserve(req.tasks.size());
+    adm.task_stations.assign(req.tasks.size(), bs);
+    for (const mec::TaskSpec& task : req.tasks) {
+      adm.task_share_mhz.push_back(granted * task.proc_weight / total_w);
+    }
+    admitted.push_back(std::move(adm));
+  };
+
+  // Stage 3: slot-by-slot admission (Alg. 1 steps 3-7 / Alg. 2 steps 4-15).
+  for (int l = 0; l < max_slots; ++l) {
+    for (int bs = 0; bs < topo.num_stations(); ++bs) {
+      if (l >= inst.slots_per_station[static_cast<std::size_t>(bs)]) continue;
+      auto& slot_candidates =
+          candidates[static_cast<std::size_t>(bs)][static_cast<std::size_t>(l)];
+      // "Consider the request with the (next) smallest data rate": expected
+      // rate — actual rates are unknown until scheduling.
+      std::sort(slot_candidates.begin(), slot_candidates.end(),
+                [&](int a, int b) {
+                  const double ra =
+                      requests[static_cast<std::size_t>(a)].demand.expected_rate();
+                  const double rb =
+                      requests[static_cast<std::size_t>(b)].demand.expected_rate();
+                  if (ra != rb) return ra < rb;
+                  return a < b;
+                });
+      const double threshold = l * params.slot_capacity_mhz;
+      for (int j : slot_candidates) {
+        bool fits = load.used_mhz(bs) <= threshold + 1e-9;
+        if (!fits && enable_migration) {
+          // Alg. 2: migrate tasks of resident requests until the candidate
+          // fits or no migration applies.
+          while (load.used_mhz(bs) > threshold + 1e-9) {
+            if (!migrate_one_task(topo, requests, admitted, load,
+                                  result.outcomes, bs)) {
+              break;
+            }
+          }
+          fits = load.used_mhz(bs) <= threshold + 1e-9;
+        }
+        if (!fits) continue;
+        if (!backhaul_ok(j, bs)) continue;
+        const SlotVar& var =
+            inst.vars[static_cast<std::size_t>(picks[static_cast<std::size_t>(j)])];
+        admit(j, bs, l, var.latency_ms);
+      }
+    }
+  }
+
+  // Stage 4 (optional): greedy backfill of leftovers into residual
+  // capacity, highest expected reward first, uncertainty-aware (admit only
+  // where the expected demand fits the remaining capacity).
+  if (params.backfill) {
+    std::vector<int> leftovers;
+    for (std::size_t j = 0; j < requests.size(); ++j) {
+      if (!result.outcomes[j].admitted) {
+        leftovers.push_back(static_cast<int>(j));
+      }
+    }
+    // Highest reward density first: with demand-independent rewards the
+    // scarce resource is rate mass, so pack by expected reward per unit of
+    // expected demand.
+    auto density = [&](int j) {
+      const auto& demand = requests[static_cast<std::size_t>(j)].demand;
+      return demand.expected_reward() / std::max(1e-9, demand.expected_rate());
+    };
+    std::sort(leftovers.begin(), leftovers.end(), [&](int a, int b) {
+      const double da = density(a);
+      const double db = density(b);
+      if (da != db) return da > db;
+      return a < b;
+    });
+    for (int j : leftovers) {
+      const mec::ARRequest& req = requests[static_cast<std::size_t>(j)];
+      const double expected_mhz = req.demand.expected_rate() * params.c_unit;
+      int best_bs = -1;
+      double best_er = 0.0;
+      double best_latency = 0.0;
+      for (int bs : candidate_stations(topo, req, params)) {
+        if (load.remaining_mhz(bs) < expected_mhz) continue;
+        if (!backhaul_ok(j, bs)) continue;
+        const double er = req.demand.expected_reward_within(
+            load.remaining_mhz(bs) / params.c_unit);
+        if (er > best_er) {
+          best_er = er;
+          best_bs = bs;
+          best_latency = mec::placement_latency_ms(topo, req, bs);
+        }
+      }
+      if (best_bs < 0) continue;
+      const int slot = static_cast<int>(
+          std::floor(load.used_mhz(best_bs) / params.slot_capacity_mhz));
+      // Reward condition for backfill: fits the actual remaining capacity.
+      const std::size_t level = realized[static_cast<std::size_t>(j)];
+      const double rate = req.demand.level(level).rate;
+      const double demand_mhz = rate * params.c_unit;
+      RequestOutcome& outcome = result.outcomes[static_cast<std::size_t>(j)];
+      outcome.admitted = true;
+      outcome.station = best_bs;
+      outcome.start_slot = slot;
+      outcome.realized_level = level;
+      outcome.realized_rate = rate;
+      outcome.latency_ms = best_latency;
+      outcome.task_stations.assign(req.tasks.size(), best_bs);
+      const double remaining = load.remaining_mhz(best_bs);
+      load.occupy(best_bs, demand_mhz);
+      bool stream_fits = true;
+      if (params.enforce_backhaul && req.home_station != best_bs) {
+        stream_fits = backhaul.consume(
+            topo.shortest_path_links(req.home_station, best_bs), rate);
+      }
+      if (demand_mhz <= remaining + 1e-9 && stream_fits) {
+        outcome.rewarded = true;
+        outcome.reward = req.demand.level(level).reward;
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace mecar::core

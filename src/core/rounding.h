@@ -1,0 +1,37 @@
+// Shared machinery of algorithms Appro (Alg. 1) and Heu (Alg. 2):
+// LP solve -> y/4 randomized pre-assignment -> slot-by-slot admission with
+// rate realization; Heu additionally migrates tasks of already-admitted
+// requests to make room (Alg. 2 steps 11-14); an optional backfill pass
+// greedily admits leftovers into residual capacity (DESIGN.md section 3).
+#pragma once
+
+#include <vector>
+
+#include "core/slot_lp.h"
+#include "core/types.h"
+
+namespace mecar::core {
+
+/// One candidate produced by the randomized rounding: request j was
+/// tentatively assigned to start slot `slot` of `station`.
+struct PreAssignment {
+  int request_index = -1;
+  int column = -1;  // LP column (for ER/latency lookup)
+};
+
+/// Samples the paper's categorical rounding: request j picks column c with
+/// probability y_c / divisor, or no column at all with the residual
+/// probability. Returns the picked column per request (-1 = ignored).
+std::vector<int> randomized_round(const SlotLpInstance& inst,
+                                  const std::vector<double>& y,
+                                  double divisor, std::size_t num_requests,
+                                  util::Rng& rng);
+
+/// Full Appro/Heu pipeline; `enable_migration` switches Alg. 1 vs Alg. 2.
+OffloadResult run_slot_rounding(const mec::Topology& topo,
+                                const std::vector<mec::ARRequest>& requests,
+                                const std::vector<std::size_t>& realized,
+                                const AlgorithmParams& params,
+                                util::Rng& rng, bool enable_migration);
+
+}  // namespace mecar::core

@@ -1,0 +1,193 @@
+#include "core/slot_lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace mecar::core {
+
+std::vector<int> candidate_stations(const mec::Topology& topo,
+                                    const mec::ARRequest& req,
+                                    const AlgorithmParams& params,
+                                    double waiting_ms) {
+  struct Entry {
+    int station;
+    double latency;
+  };
+  std::vector<Entry> feasible;
+  for (int bs = 0; bs < topo.num_stations(); ++bs) {
+    const double lat = mec::placement_latency_ms(topo, req, bs);
+    if (waiting_ms + lat <= req.latency_budget_ms) {
+      feasible.push_back(Entry{bs, lat});
+    }
+  }
+  std::sort(feasible.begin(), feasible.end(), [](const Entry& a, const Entry& b) {
+    if (a.latency != b.latency) return a.latency < b.latency;
+    return a.station < b.station;
+  });
+  if (params.max_candidate_stations > 0 &&
+      static_cast<int>(feasible.size()) > params.max_candidate_stations) {
+    feasible.resize(static_cast<std::size_t>(params.max_candidate_stations));
+  }
+  std::vector<int> stations;
+  stations.reserve(feasible.size());
+  for (const Entry& e : feasible) stations.push_back(e.station);
+  return stations;
+}
+
+SlotLpInstance build_slot_lp(const mec::Topology& topo,
+                             const std::vector<mec::ARRequest>& requests,
+                             const AlgorithmParams& params,
+                             const SlotLpOptions& options) {
+  SlotLpInstance inst;
+  const int num_stations = topo.num_stations();
+  if (!options.capacity_override_mhz.empty() &&
+      options.capacity_override_mhz.size() !=
+          static_cast<std::size_t>(num_stations)) {
+    throw std::invalid_argument(
+        "build_slot_lp: capacity_override_mhz size mismatch");
+  }
+  if (!options.waiting_ms_per_request.empty() &&
+      options.waiting_ms_per_request.size() != requests.size()) {
+    throw std::invalid_argument(
+        "build_slot_lp: waiting_ms_per_request size mismatch");
+  }
+  auto station_capacity = [&](int bs) {
+    return options.capacity_override_mhz.empty()
+               ? topo.station(bs).capacity_mhz
+               : options.capacity_override_mhz[static_cast<std::size_t>(bs)];
+  };
+  auto waiting_of = [&](std::size_t j) {
+    return options.waiting_ms_per_request.empty()
+               ? options.waiting_ms
+               : options.waiting_ms_per_request[j];
+  };
+  inst.slots_per_station.resize(static_cast<std::size_t>(num_stations));
+  for (int bs = 0; bs < num_stations; ++bs) {
+    inst.slots_per_station[static_cast<std::size_t>(bs)] = std::max(
+        1, static_cast<int>(
+               std::floor(station_capacity(bs) / params.slot_capacity_mhz)));
+  }
+  inst.request_columns.resize(requests.size());
+
+  // Columns y_jil with ER_jil objective.
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    const mec::ARRequest& req = requests[j];
+    for (int bs : candidate_stations(topo, req, params, waiting_of(j))) {
+      const double latency = mec::placement_latency_ms(topo, req, bs);
+      const int L = inst.slots_per_station[static_cast<std::size_t>(bs)];
+      for (int l = 0; l < L; ++l) {
+        const double rate_cap =
+            (station_capacity(bs) - l * params.slot_capacity_mhz) /
+            params.c_unit;
+        const double er = req.demand.expected_reward_within(rate_cap);
+        if (er <= 0.0) continue;  // no level fits from this slot onward
+        const int col = inst.model.add_variable(
+            "y_" + std::to_string(req.id) + "_" + std::to_string(bs) + "_" +
+                std::to_string(l),
+            er);
+        inst.vars.push_back(SlotVar{static_cast<int>(j), bs, l, er, latency});
+        inst.request_columns[j].push_back(col);
+      }
+    }
+  }
+
+  // (9): per-request assignment rows.
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    if (inst.request_columns[j].empty()) continue;
+    std::vector<lp::Term> terms;
+    terms.reserve(inst.request_columns[j].size());
+    for (int col : inst.request_columns[j]) {
+      terms.push_back(lp::Term{col, 1.0});
+    }
+    inst.model.add_constraint("assign_" + std::to_string(requests[j].id),
+                              lp::Sense::kLe, 1.0, std::move(terms));
+  }
+
+  // (10)/(23): slot-prefix capacity rows per (station, l), l = 1..L.
+  for (int bs = 0; bs < num_stations; ++bs) {
+    const int L = inst.slots_per_station[static_cast<std::size_t>(bs)];
+    for (int l = 1; l <= L; ++l) {
+      const double rate_cap = l * params.slot_capacity_mhz / params.c_unit;
+      std::vector<lp::Term> terms;
+      for (std::size_t col = 0; col < inst.vars.size(); ++col) {
+        const SlotVar& var = inst.vars[col];
+        if (var.station != bs || var.slot >= l) continue;
+        double cap = rate_cap;
+        if (options.share_cap_mhz) {
+          cap = std::min(cap, *options.share_cap_mhz / params.c_unit);
+        }
+        const double truncated =
+            requests[static_cast<std::size_t>(var.request_index)]
+                .demand.expected_truncated_rate(cap);
+        if (truncated > 0.0) {
+          terms.push_back(lp::Term{static_cast<int>(col), truncated});
+        }
+      }
+      if (terms.empty()) continue;
+      inst.model.add_constraint(
+          "slots_" + std::to_string(bs) + "_" + std::to_string(l),
+          lp::Sense::kLe, 2.0 * rate_cap, std::move(terms));
+    }
+  }
+
+  return inst;
+}
+
+SlotLpInstance build_ilp_rm(const mec::Topology& topo,
+                            const std::vector<mec::ARRequest>& requests,
+                            const AlgorithmParams& params) {
+  SlotLpInstance inst;
+  const int num_stations = topo.num_stations();
+  inst.slots_per_station.assign(static_cast<std::size_t>(num_stations), 1);
+  inst.request_columns.resize(requests.size());
+
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    const mec::ARRequest& req = requests[j];
+    for (int bs : candidate_stations(topo, req, params)) {
+      const double latency = mec::placement_latency_ms(topo, req, bs);
+      // Expected reward restricted to rates the station can hold at all
+      // (consistent with Eq. (8) at slot 0).
+      const double rate_cap = topo.station(bs).capacity_mhz / params.c_unit;
+      const double er = req.demand.expected_reward_within(rate_cap);
+      if (er <= 0.0) continue;
+      const int col = inst.model.add_variable(
+          "x_" + std::to_string(req.id) + "_" + std::to_string(bs), er, 1.0,
+          /*integral=*/true);
+      inst.vars.push_back(SlotVar{static_cast<int>(j), bs, 0, er, latency});
+      inst.request_columns[j].push_back(col);
+    }
+  }
+
+  // (3): each request to at most one station.
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    if (inst.request_columns[j].empty()) continue;
+    std::vector<lp::Term> terms;
+    for (int col : inst.request_columns[j]) {
+      terms.push_back(lp::Term{col, 1.0});
+    }
+    inst.model.add_constraint("assign_" + std::to_string(requests[j].id),
+                              lp::Sense::kLe, 1.0, std::move(terms));
+  }
+
+  // (4): expected-demand capacity per station.
+  for (int bs = 0; bs < num_stations; ++bs) {
+    std::vector<lp::Term> terms;
+    for (std::size_t col = 0; col < inst.vars.size(); ++col) {
+      const SlotVar& var = inst.vars[col];
+      if (var.station != bs) continue;
+      const double demand =
+          requests[static_cast<std::size_t>(var.request_index)]
+              .demand.expected_rate() *
+          params.c_unit;
+      terms.push_back(lp::Term{static_cast<int>(col), demand});
+    }
+    if (terms.empty()) continue;
+    inst.model.add_constraint("cap_" + std::to_string(bs), lp::Sense::kLe,
+                              topo.station(bs).capacity_mhz, std::move(terms));
+  }
+
+  return inst;
+}
+
+}  // namespace mecar::core

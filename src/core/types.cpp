@@ -1,0 +1,73 @@
+#include "core/types.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mecar::core {
+
+double OffloadResult::total_reward() const noexcept {
+  double total = 0.0;
+  for (const RequestOutcome& o : outcomes) total += o.reward;
+  return total;
+}
+
+int OffloadResult::num_admitted() const noexcept {
+  int n = 0;
+  for (const RequestOutcome& o : outcomes) n += o.admitted;
+  return n;
+}
+
+int OffloadResult::num_rewarded() const noexcept {
+  int n = 0;
+  for (const RequestOutcome& o : outcomes) n += o.rewarded;
+  return n;
+}
+
+double OffloadResult::average_latency_ms() const noexcept {
+  double total = 0.0;
+  int n = 0;
+  for (const RequestOutcome& o : outcomes) {
+    if (o.rewarded) {
+      total += o.latency_ms;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : total / n;
+}
+
+std::vector<std::size_t> realize_demand_levels(
+    const std::vector<mec::ARRequest>& requests, util::Rng& rng) {
+  std::vector<std::size_t> levels;
+  levels.reserve(requests.size());
+  for (const mec::ARRequest& req : requests) {
+    levels.push_back(req.demand.sample(rng));
+  }
+  return levels;
+}
+
+StationLoad::StationLoad(const mec::Topology& topo) {
+  used_.assign(static_cast<std::size_t>(topo.num_stations()), 0.0);
+  capacity_.reserve(static_cast<std::size_t>(topo.num_stations()));
+  for (const mec::BaseStation& bs : topo.stations()) {
+    capacity_.push_back(bs.capacity_mhz);
+  }
+}
+
+double StationLoad::occupy(int bs, double demand_mhz) {
+  if (demand_mhz < 0.0) {
+    throw std::invalid_argument("StationLoad::occupy: negative demand");
+  }
+  const double granted =
+      std::min(demand_mhz, remaining_mhz(bs));
+  used_.at(bs) += granted;
+  return granted;
+}
+
+void StationLoad::release(int bs, double amount_mhz) {
+  if (amount_mhz < 0.0 || amount_mhz > used_.at(bs) + 1e-9) {
+    throw std::invalid_argument("StationLoad::release: bad amount");
+  }
+  used_.at(bs) = std::max(0.0, used_.at(bs) - amount_mhz);
+}
+
+}  // namespace mecar::core

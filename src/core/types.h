@@ -1,0 +1,109 @@
+// Shared result types and evaluation conventions for all offloading
+// algorithms (Appro, Heu, Exact, and the baselines).
+//
+// Evaluation semantics (DESIGN.md section 3):
+//  * A request's data rate is UNKNOWN until the moment it is scheduled; it
+//    then realizes one level of its (rate, reward) distribution.
+//  * The realized levels for a run are drawn once, up front, and shared by
+//    every algorithm under comparison (common random numbers) — algorithms
+//    must not peek before admission.
+//  * A scheduled request collects its reward iff its realized demand fits
+//    the resources the algorithm reserved for it (Eq. (8) semantics);
+//    otherwise it occupies what is available but earns nothing.
+#pragma once
+
+#include <vector>
+
+#include "mec/request.h"
+#include "mec/topology.h"
+#include "mec/workload.h"
+#include "util/rng.h"
+
+namespace mecar::core {
+
+/// Parameters shared by every algorithm in this module.
+struct AlgorithmParams {
+  /// Resource-slot size C_l, MHz (section VI-A: 1000 MHz).
+  double slot_capacity_mhz = 1000.0;
+  /// Computing resource per unit data rate C_unit, MHz per MB/s.
+  double c_unit = mec::kCUnitMhzPerMbps;
+  /// Candidate stations per request in the LP (nearest feasible first);
+  /// bounds the LP size. <= 0 means all stations.
+  int max_candidate_stations = 10;
+  /// The randomized-rounding divisor of algorithm Appro (paper: 4).
+  double rounding_divisor = 4.0;
+  /// After the randomized slot-by-slot stage, greedily admit leftover
+  /// requests into residual capacity (keeps the 1/8 guarantee — backfill
+  /// only adds reward — and matches the utilization the paper's figures
+  /// imply). Disable to study the bare rounding scheme.
+  bool backfill = true;
+  /// Respect finite backhaul link bandwidths at admission (extension; see
+  /// core/backhaul.h). Off by default — the paper's base model assumes an
+  /// unconstrained backhaul.
+  bool enforce_backhaul = false;
+};
+
+/// Per-request outcome of one algorithm run.
+struct RequestOutcome {
+  int request_id = -1;
+  /// The request was scheduled onto a station (its rate then realized).
+  bool admitted = false;
+  /// The realized demand fit the reserved resources -> reward collected.
+  bool rewarded = false;
+  /// Station executing the (consolidated) tasks; -1 when not admitted.
+  int station = -1;
+  /// Starting resource slot index (slot-indexed algorithms; else 0).
+  int start_slot = 0;
+  /// Index into the request's demand levels realized at scheduling time.
+  std::size_t realized_level = 0;
+  double realized_rate = 0.0;
+  double reward = 0.0;
+  /// Experienced latency (waiting + 2x transmission + processing), ms.
+  double latency_ms = 0.0;
+  /// Station per task (Heu may split a pipeline across stations).
+  std::vector<int> task_stations;
+};
+
+/// Aggregate result of a run.
+struct OffloadResult {
+  std::vector<RequestOutcome> outcomes;
+  /// LP upper bound on the expected reward (slot-indexed algorithms; 0
+  /// otherwise). Useful for approximation-gap reporting.
+  double lp_bound = 0.0;
+
+  double total_reward() const noexcept;
+  int num_admitted() const noexcept;
+  int num_rewarded() const noexcept;
+  /// Mean experienced latency over rewarded requests (0 when none).
+  double average_latency_ms() const noexcept;
+};
+
+/// Draws the realized demand level of every request once (common random
+/// numbers across compared algorithms).
+std::vector<std::size_t> realize_demand_levels(
+    const std::vector<mec::ARRequest>& requests, util::Rng& rng);
+
+/// Tracks per-station occupied computing resource during admission.
+class StationLoad {
+ public:
+  explicit StationLoad(const mec::Topology& topo);
+
+  double used_mhz(int bs) const { return used_.at(bs); }
+  double capacity_mhz(int bs) const { return capacity_.at(bs); }
+  double remaining_mhz(int bs) const {
+    return capacity_.at(bs) - used_.at(bs);
+  }
+
+  /// Adds `demand_mhz`, truncated to the station's remaining capacity;
+  /// returns the amount actually occupied.
+  double occupy(int bs, double demand_mhz);
+
+  /// Releases previously occupied resource (migration bookkeeping).
+  void release(int bs, double amount_mhz);
+
+ private:
+  std::vector<double> used_;
+  std::vector<double> capacity_;
+};
+
+}  // namespace mecar::core

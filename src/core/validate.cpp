@@ -1,0 +1,141 @@
+#include "core/validate.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace mecar::core {
+
+std::string to_string(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kShape: return "shape";
+    case Violation::Kind::kStation: return "station";
+    case Violation::Kind::kLatency: return "latency";
+    case Violation::Kind::kRealization: return "realization";
+    case Violation::Kind::kReward: return "reward";
+    case Violation::Kind::kCapacity: return "capacity";
+    case Violation::Kind::kEq8: return "eq8";
+  }
+  return "?";
+}
+
+namespace {
+
+void add(std::vector<Violation>& out, Violation::Kind kind, int request_id,
+         std::string message) {
+  out.push_back(Violation{kind, request_id, std::move(message)});
+}
+
+}  // namespace
+
+std::vector<Violation> validate_offload(
+    const mec::Topology& topo, const std::vector<mec::ARRequest>& requests,
+    const std::vector<std::size_t>& realized, const OffloadResult& result,
+    const ValidateOptions& options) {
+  std::vector<Violation> out;
+  if (result.outcomes.size() != requests.size() ||
+      realized.size() != requests.size()) {
+    add(out, Violation::Kind::kShape, -1,
+        "outcomes/realized size does not match the request set");
+    return out;
+  }
+
+  std::vector<double> station_usage(
+      static_cast<std::size_t>(topo.num_stations()), 0.0);
+
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    const mec::ARRequest& req = requests[j];
+    const RequestOutcome& o = result.outcomes[j];
+    if (o.request_id != req.id) {
+      add(out, Violation::Kind::kShape, req.id,
+          "outcome request_id does not match the request order");
+    }
+    if (!o.admitted) {
+      if (o.rewarded || o.reward != 0.0) {
+        add(out, Violation::Kind::kReward, req.id,
+            "reward granted to a non-admitted request");
+      }
+      continue;
+    }
+    if (o.station < 0 || o.station >= topo.num_stations()) {
+      add(out, Violation::Kind::kStation, req.id,
+          "execution station out of range");
+      continue;
+    }
+    // Realization consistency.
+    if (o.realized_level != realized[j]) {
+      add(out, Violation::Kind::kRealization, req.id,
+          "realized level differs from the shared realization");
+    } else if (std::abs(o.realized_rate -
+                        req.demand.level(realized[j]).rate) > options.tol) {
+      add(out, Violation::Kind::kRealization, req.id,
+          "realized rate differs from the level's rate");
+    }
+    // Latency: recompute from the reported task placement.
+    if (o.task_stations.size() != req.tasks.size()) {
+      add(out, Violation::Kind::kShape, req.id,
+          "task placement size does not match the pipeline");
+    } else {
+      const double lat =
+          mec::split_placement_latency_ms(topo, req, o.task_stations);
+      // Online runs add waiting time on top of the placement latency, so
+      // the reported value may exceed the recomputed one — never the
+      // budget, though.
+      if (o.latency_ms + options.tol < lat) {
+        add(out, Violation::Kind::kLatency, req.id,
+            "reported latency below the placement latency");
+      }
+      if (o.rewarded && o.latency_ms > req.latency_budget_ms + options.tol) {
+        add(out, Violation::Kind::kLatency, req.id,
+            "rewarded request exceeds its latency budget");
+      }
+    }
+    // Reward consistency + Eq. (8).
+    if (o.rewarded) {
+      const double expected_reward = req.demand.level(realized[j]).reward;
+      if (std::abs(o.reward - expected_reward) > options.tol) {
+        std::ostringstream msg;
+        msg << "reward " << o.reward << " != level reward "
+            << expected_reward;
+        add(out, Violation::Kind::kReward, req.id, msg.str());
+      }
+      const double demand_mhz = o.realized_rate * options.params.c_unit;
+      const double reserve =
+          topo.station(o.station).capacity_mhz -
+          o.start_slot * options.params.slot_capacity_mhz;
+      if (demand_mhz > reserve + options.tol) {
+        add(out, Violation::Kind::kEq8, req.id,
+            "reward granted although the realized demand cannot fit from "
+            "the starting slot (Eq. 8)");
+      }
+      if (o.task_stations.size() == req.tasks.size()) {
+        const double total_w = req.total_proc_weight();
+        for (std::size_t k = 0; k < req.tasks.size(); ++k) {
+          const int bs = o.task_stations[k];
+          if (bs >= 0 && bs < topo.num_stations()) {
+            station_usage[static_cast<std::size_t>(bs)] +=
+                demand_mhz * req.tasks[k].proc_weight / total_w;
+          }
+        }
+      }
+    } else if (o.reward != 0.0) {
+      add(out, Violation::Kind::kReward, req.id,
+          "non-rewarded request carries a reward");
+    }
+  }
+
+  if (options.check_capacity) {
+    for (int bs = 0; bs < topo.num_stations(); ++bs) {
+      const double cap = topo.station(bs).capacity_mhz;
+      if (station_usage[static_cast<std::size_t>(bs)] > cap + options.tol) {
+        std::ostringstream msg;
+        msg << "station " << bs << " rewarded demand "
+            << station_usage[static_cast<std::size_t>(bs)]
+            << " MHz exceeds capacity " << cap;
+        add(out, Violation::Kind::kCapacity, -1, msg.str());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mecar::core

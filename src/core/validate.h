@@ -1,0 +1,50 @@
+// Full-solution validation: checks every invariant an OffloadResult must
+// satisfy against the instance it was computed for. Used by the test suite
+// and available to adopters as a safety net around custom algorithms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "mec/topology.h"
+
+namespace mecar::core {
+
+/// One detected violation.
+struct Violation {
+  enum class Kind {
+    kShape,            // result/outcome structure inconsistent with input
+    kStation,          // station id out of range
+    kLatency,          // latency budget exceeded or misreported
+    kRealization,      // realized level/rate inconsistent with the demand
+    kReward,           // reward inconsistent with the realized level
+    kCapacity,         // station capacity exceeded by rewarded demand
+    kEq8,              // reward granted although Eq. (8) cannot hold
+  };
+  Kind kind;
+  int request_id = -1;  // -1 for aggregate violations
+  std::string message;
+};
+
+std::string to_string(Violation::Kind kind);
+
+/// Validation knobs; defaults match the algorithms in this library.
+struct ValidateOptions {
+  AlgorithmParams params;
+  /// Numerical slack for capacity/latency comparisons.
+  double tol = 1e-6;
+  /// Check the per-station capacity aggregate over rewarded requests.
+  /// (Heu splits tasks across stations, so the per-station aggregate is
+  /// checked at task-share granularity.)
+  bool check_capacity = true;
+};
+
+/// Validates `result` against its instance; returns all violations found
+/// (empty = the solution satisfies every checked invariant).
+std::vector<Violation> validate_offload(
+    const mec::Topology& topo, const std::vector<mec::ARRequest>& requests,
+    const std::vector<std::size_t>& realized, const OffloadResult& result,
+    const ValidateOptions& options = {});
+
+}  // namespace mecar::core

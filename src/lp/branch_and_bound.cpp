@@ -1,0 +1,144 @@
+#include "lp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/log.h"
+
+namespace mecar::lp {
+namespace {
+
+/// Index of the integral variable whose relaxation value is most fractional;
+/// -1 when the point is integral on all flagged variables.
+int most_fractional(const Model& model, const std::vector<double>& x,
+                    double tol) {
+  int best = -1;
+  double best_dist = tol;  // distance to nearest integer, in (tol, 0.5]
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(j).integral || model.is_fixed(j)) continue;
+    const double v = x[static_cast<std::size_t>(j)];
+    const double dist = std::abs(v - std::round(v));
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+struct SearchState {
+  const BranchAndBoundOptions* options = nullptr;
+  const SimplexSolver* solver = nullptr;
+  double incumbent = -std::numeric_limits<double>::infinity();
+  std::vector<double> incumbent_x;
+  std::int64_t nodes = 0;
+  bool node_limit_hit = false;
+  bool iteration_trouble = false;
+};
+
+void search(const Model& model, SearchState& state) {
+  if (state.node_limit_hit) return;
+  if (state.options->max_nodes > 0 && state.nodes >= state.options->max_nodes) {
+    state.node_limit_hit = true;
+    return;
+  }
+  ++state.nodes;
+
+  const SolveResult relax = state.solver->solve(model);
+  if (relax.status == SolveStatus::kInfeasible) return;
+  if (relax.status == SolveStatus::kIterationLimit) {
+    state.iteration_trouble = true;
+    return;
+  }
+  if (relax.status == SolveStatus::kUnbounded) {
+    // An unbounded relaxation of a bounded MIP shouldn't happen in our
+    // models; treat conservatively as unexplorable.
+    state.iteration_trouble = true;
+    return;
+  }
+  if (relax.objective <= state.incumbent + state.options->gap_tol) return;
+
+  const int branch_var =
+      most_fractional(model, relax.x, state.options->int_tol);
+  if (branch_var < 0) {
+    // Integral solution improving the incumbent.
+    state.incumbent = relax.objective;
+    state.incumbent_x = relax.x;
+    // Snap near-integral values exactly.
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (model.variable(j).integral) {
+        auto& v = state.incumbent_x[static_cast<std::size_t>(j)];
+        v = std::round(v);
+      }
+    }
+    return;
+  }
+
+  const double v = relax.x[static_cast<std::size_t>(branch_var)];
+  const double floor_v = std::floor(v);
+  const double ceil_v = std::ceil(v);
+  const Variable& var = model.variable(branch_var);
+
+  const bool binary_like = var.upper <= 1.0 + 1e-9;
+  // Explore the branch nearer the relaxation value first (better incumbents
+  // earlier -> more pruning).
+  const bool ceil_first = (v - floor_v) > 0.5;
+
+  auto explore_le = [&] {  // x <= floor(v)
+    if (binary_like && floor_v <= 0.0) {
+      search(model.with_fixed(branch_var, 0.0), state);
+    } else {
+      Model child = model;
+      child.add_constraint("bb_le", Sense::kLe, floor_v,
+                           {Term{branch_var, 1.0}});
+      search(child, state);
+    }
+  };
+  auto explore_ge = [&] {  // x >= ceil(v)
+    if (binary_like && ceil_v >= var.upper - 1e-9) {
+      search(model.with_fixed(branch_var, var.upper), state);
+    } else {
+      Model child = model;
+      child.add_constraint("bb_ge", Sense::kGe, ceil_v,
+                           {Term{branch_var, 1.0}});
+      search(child, state);
+    }
+  };
+
+  if (ceil_first) {
+    explore_ge();
+    explore_le();
+  } else {
+    explore_le();
+    explore_ge();
+  }
+}
+
+}  // namespace
+
+MipResult BranchAndBound::solve(const Model& model) const {
+  SimplexSolver solver(options_.simplex);
+  SearchState state;
+  state.options = &options_;
+  state.solver = &solver;
+
+  search(model, state);
+
+  MipResult result;
+  result.nodes_explored = state.nodes;
+  if (state.incumbent_x.empty()) {
+    result.status = (state.node_limit_hit || state.iteration_trouble)
+                        ? SolveStatus::kIterationLimit
+                        : SolveStatus::kInfeasible;
+    return result;
+  }
+  result.status = (state.node_limit_hit || state.iteration_trouble)
+                      ? SolveStatus::kIterationLimit
+                      : SolveStatus::kOptimal;
+  result.objective = state.incumbent;
+  result.x = std::move(state.incumbent_x);
+  return result;
+}
+
+}  // namespace mecar::lp

@@ -1,0 +1,48 @@
+// Branch-and-bound MIP solver used for the paper's exact solution (ILP-RM).
+//
+// The paper proposes an exact solution "if the problem size is small"; this
+// solver provides it: LP-relaxation bounding with the in-repo simplex,
+// most-fractional branching, depth-first search with best-bound pruning.
+// Binary variables are branched by fixing (Model::with_fixed); general
+// integral variables by adding floor/ceil bound rows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace mecar::lp {
+
+struct BranchAndBoundOptions {
+  SimplexOptions simplex;
+  /// Tolerance for considering a relaxation value integral.
+  double int_tol = 1e-6;
+  /// Prune when bound <= incumbent + gap_tol.
+  double gap_tol = 1e-9;
+  /// Safety cap on explored nodes (0 = unlimited).
+  std::int64_t max_nodes = 2'000'000;
+};
+
+struct MipResult {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::int64_t nodes_explored = 0;
+  bool optimal() const noexcept { return status == SolveStatus::kOptimal; }
+};
+
+/// Exact solver for (mixed) integer programs built with lp::Model.
+class BranchAndBound {
+ public:
+  explicit BranchAndBound(BranchAndBoundOptions options = {})
+      : options_(options) {}
+
+  MipResult solve(const Model& model) const;
+
+ private:
+  BranchAndBoundOptions options_;
+};
+
+}  // namespace mecar::lp

@@ -1,0 +1,243 @@
+#include "lp/mps.h"
+
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mecar::lp {
+namespace {
+
+std::string sanitize(std::string name, const std::string& fallback) {
+  if (name.empty()) return fallback;
+  for (char& ch : name) {
+    if (ch == ' ' || ch == '\t') ch = '_';
+  }
+  return name;
+}
+
+std::vector<std::string> tokens(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+void write_mps(const Model& model, std::ostream& os,
+               const std::string& name) {
+  os << "* OBJSENSE MAX\n";
+  os << "NAME          " << sanitize(name, "MECAR") << '\n';
+  os << "ROWS\n";
+  os << " N  OBJ\n";
+  for (int r = 0; r < model.num_constraints(); ++r) {
+    const Row& row = model.row(r);
+    const char sense = row.sense == Sense::kLe   ? 'L'
+                       : row.sense == Sense::kGe ? 'G'
+                                                 : 'E';
+    os << ' ' << sense << "  "
+       << sanitize(row.name, "R" + std::to_string(r)) << '\n';
+  }
+
+  // Column-major view of the rows.
+  std::vector<std::vector<std::pair<int, double>>> columns(
+      static_cast<std::size_t>(model.num_variables()));
+  for (int r = 0; r < model.num_constraints(); ++r) {
+    for (const Term& t : model.row(r).terms) {
+      columns[static_cast<std::size_t>(t.col)].emplace_back(r, t.coeff);
+    }
+  }
+
+  os << "COLUMNS\n";
+  bool in_int_block = false;
+  int marker = 0;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const Variable& var = model.variable(j);
+    if (var.integral != in_int_block) {
+      os << "    MARKER" << marker++ << "  'MARKER'  "
+         << (var.integral ? "'INTORG'" : "'INTEND'") << '\n';
+      in_int_block = var.integral;
+    }
+    const std::string cname = sanitize(var.name, "C" + std::to_string(j));
+    if (var.objective != 0.0) {
+      os << "    " << cname << "  OBJ  " << var.objective << '\n';
+    }
+    for (const auto& [r, coeff] : columns[static_cast<std::size_t>(j)]) {
+      os << "    " << cname << "  "
+         << sanitize(model.row(r).name, "R" + std::to_string(r)) << "  "
+         << coeff << '\n';
+    }
+    if (var.objective == 0.0 &&
+        columns[static_cast<std::size_t>(j)].empty()) {
+      // Keep empty columns visible so the reader reconstructs them.
+      os << "    " << cname << "  OBJ  0\n";
+    }
+  }
+  if (in_int_block) {
+    os << "    MARKER" << marker++ << "  'MARKER'  'INTEND'\n";
+  }
+
+  os << "RHS\n";
+  for (int r = 0; r < model.num_constraints(); ++r) {
+    const Row& row = model.row(r);
+    if (row.rhs != 0.0) {
+      os << "    RHS1  " << sanitize(row.name, "R" + std::to_string(r))
+         << "  " << row.rhs << '\n';
+    }
+  }
+
+  os << "BOUNDS\n";
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const Variable& var = model.variable(j);
+    if (std::isfinite(var.upper)) {
+      os << " UP BND1  " << sanitize(var.name, "C" + std::to_string(j))
+         << "  " << var.upper << '\n';
+    }
+  }
+  os << "ENDATA\n";
+}
+
+Model read_mps(std::istream& is) {
+  enum class Section { kNone, kRows, kColumns, kRhs, kBounds, kDone };
+  Section section = Section::kNone;
+  Model model;
+  std::map<std::string, int> row_ids;        // name -> constraint index
+  std::map<std::string, Sense> row_sense;    // staged before creation
+  std::vector<std::string> row_order;
+  std::map<std::string, int> col_ids;
+  std::map<std::string, double> objective;   // column -> obj coefficient
+  std::map<std::string, std::map<std::string, double>> matrix;  // row->col
+  std::map<std::string, double> rhs;
+  std::map<std::string, double> uppers;
+  std::map<std::string, bool> integral;
+  std::vector<std::string> col_order;
+  bool in_int_block = false;
+  std::string objective_row;
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '*') continue;  // comment (incl. OBJSENSE)
+    const auto toks = tokens(line);
+    if (toks.empty()) continue;
+    if (line[0] != ' ' && line[0] != '\t') {
+      const std::string& head = toks[0];
+      if (head == "NAME") continue;
+      if (head == "ROWS") { section = Section::kRows; continue; }
+      if (head == "COLUMNS") { section = Section::kColumns; continue; }
+      if (head == "RHS") { section = Section::kRhs; continue; }
+      if (head == "BOUNDS") { section = Section::kBounds; continue; }
+      if (head == "RANGES") {
+        throw std::invalid_argument("read_mps: RANGES not supported");
+      }
+      if (head == "ENDATA") { section = Section::kDone; break; }
+      throw std::invalid_argument("read_mps: unknown section " + head);
+    }
+    switch (section) {
+      case Section::kRows: {
+        if (toks.size() != 2) {
+          throw std::invalid_argument("read_mps: malformed ROWS line");
+        }
+        if (toks[0] == "N") {
+          objective_row = toks[1];
+        } else if (toks[0] == "L" || toks[0] == "G" || toks[0] == "E") {
+          row_sense[toks[1]] = toks[0] == "L"   ? Sense::kLe
+                               : toks[0] == "G" ? Sense::kGe
+                                                : Sense::kEq;
+          row_order.push_back(toks[1]);
+        } else {
+          throw std::invalid_argument("read_mps: bad row sense " + toks[0]);
+        }
+        break;
+      }
+      case Section::kColumns: {
+        if (toks.size() >= 3 && toks[1] == "'MARKER'") {
+          in_int_block = (toks[2] == "'INTORG'");
+          break;
+        }
+        if (toks.size() < 3 || toks.size() % 2 == 0) {
+          throw std::invalid_argument("read_mps: malformed COLUMNS line");
+        }
+        const std::string& col = toks[0];
+        if (!col_ids.contains(col)) {
+          col_ids[col] = static_cast<int>(col_order.size());
+          col_order.push_back(col);
+          integral[col] = in_int_block;
+        }
+        for (std::size_t k = 1; k + 1 < toks.size(); k += 2) {
+          const std::string& row = toks[k];
+          double value = 0.0;
+          try {
+            value = std::stod(toks[k + 1]);
+          } catch (const std::exception&) {
+            throw std::invalid_argument("read_mps: bad coefficient " +
+                                        toks[k + 1]);
+          }
+          if (row == objective_row) {
+            objective[col] += value;
+          } else if (row_sense.contains(row)) {
+            matrix[row][col] += value;
+          } else {
+            throw std::invalid_argument("read_mps: unknown row " + row);
+          }
+        }
+        break;
+      }
+      case Section::kRhs: {
+        if (toks.size() < 3 || toks.size() % 2 == 0) {
+          throw std::invalid_argument("read_mps: malformed RHS line");
+        }
+        for (std::size_t k = 1; k + 1 < toks.size(); k += 2) {
+          rhs[toks[k]] = std::stod(toks[k + 1]);
+        }
+        break;
+      }
+      case Section::kBounds: {
+        if (toks.size() < 3) {
+          throw std::invalid_argument("read_mps: malformed BOUNDS line");
+        }
+        if (toks[0] == "UP") {
+          if (toks.size() != 4) {
+            throw std::invalid_argument("read_mps: malformed UP bound");
+          }
+          uppers[toks[2]] = std::stod(toks[3]);
+        } else if (toks[0] == "BV") {
+          integral[toks[2]] = true;
+          uppers[toks[2]] = 1.0;
+        } else {
+          throw std::invalid_argument("read_mps: unsupported bound " +
+                                      toks[0]);
+        }
+        break;
+      }
+      default:
+        throw std::invalid_argument("read_mps: data before a section");
+    }
+  }
+
+  for (const std::string& col : col_order) {
+    const double upper =
+        uppers.contains(col) ? uppers.at(col) : kInf;
+    model.add_variable(col, objective.contains(col) ? objective.at(col) : 0.0,
+                       upper, integral.at(col));
+  }
+  for (const std::string& row : row_order) {
+    std::vector<Term> terms;
+    if (matrix.contains(row)) {
+      for (const auto& [col, value] : matrix.at(row)) {
+        terms.push_back(Term{col_ids.at(col), value});
+      }
+    }
+    model.add_constraint(row, row_sense.at(row),
+                         rhs.contains(row) ? rhs.at(row) : 0.0,
+                         std::move(terms));
+  }
+  return model;
+}
+
+}  // namespace mecar::lp

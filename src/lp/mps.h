@@ -1,0 +1,29 @@
+// MPS (fixed-format-free) export/import for lp::Model.
+//
+// Lets a slot-indexed LP be dumped for inspection or cross-checked against
+// an external solver, and lets externally authored models drive the in-repo
+// engines. The dialect written is the widely accepted free MPS subset:
+// NAME / ROWS / COLUMNS / RHS / RANGES(omitted) / BOUNDS / ENDATA, with a
+// MAXIMIZE comment convention (MPS has no objective-sense record; we write
+// `* OBJSENSE MAX` and honour it on read).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lp/model.h"
+
+namespace mecar::lp {
+
+/// Writes `model` as free MPS. Variable/constraint names are sanitized
+/// (spaces -> underscores); integral variables go into an INTORG/INTEND
+/// marker block.
+void write_mps(const Model& model, std::ostream& os,
+               const std::string& name = "MECAR");
+
+/// Parses the subset written by write_mps (objective sense comment, N/L/G/E
+/// rows, COLUMNS with integer markers, RHS, UP/BV bounds). Throws
+/// std::invalid_argument on malformed input or unsupported records.
+Model read_mps(std::istream& is);
+
+}  // namespace mecar::lp

@@ -1,0 +1,462 @@
+#include "lp/revised_simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace mecar::lp {
+namespace {
+
+struct SparseCol {
+  std::vector<Term> entries;  // (row, value)
+};
+
+class Engine {
+ public:
+  Engine(const Model& model, const RevisedSimplexOptions& opt) : opt_(opt) {
+    build(model);
+  }
+
+  SolveResult run(const Model& model);
+
+ private:
+  void build(const Model& model);
+  SolveStatus iterate(const std::vector<double>& costs, int& iterations,
+                      int max_iterations);
+  void refactorize();
+  void compute_y(const std::vector<double>& costs);
+  int price(const std::vector<double>& costs, bool bland) const;
+  void column_times_binv(int col, std::vector<double>& w) const;
+  void drive_out_artificials();
+  double basic_value(const std::vector<double>& costs) const;
+
+  RevisedSimplexOptions opt_;
+  int m_ = 0;
+  int total_cols_ = 0;
+  int art_begin_ = 0;
+  int price_limit_ = 0;
+  std::vector<SparseCol> cols_;
+  std::vector<double> rhs_;
+  std::vector<int> basis_;
+  std::vector<char> in_basis_;
+  std::vector<double> binv_;  // row-major m x m
+  std::vector<double> xb_;
+  std::vector<double> y_;  // pricing vector
+  std::vector<int> tab_to_model_;
+  std::vector<double> phase2_costs_;
+  int pivots_since_refactor_ = 0;
+};
+
+void Engine::build(const Model& model) {
+  const int n_model = model.num_variables();
+  std::vector<int> live(static_cast<std::size_t>(n_model), -1);
+  for (int j = 0; j < n_model; ++j) {
+    if (model.variable(j).upper > 0.0) {
+      live[static_cast<std::size_t>(j)] =
+          static_cast<int>(tab_to_model_.size());
+      tab_to_model_.push_back(j);
+    }
+  }
+  const int n_live = static_cast<int>(tab_to_model_.size());
+
+  struct RowSpec {
+    std::vector<Term> terms;  // live column index, value
+    Sense sense = Sense::kLe;
+    double rhs = 0.0;
+  };
+  std::vector<RowSpec> rows;
+  for (const Row& row : model.rows()) {
+    RowSpec spec;
+    spec.sense = row.sense;
+    spec.rhs = row.rhs;
+    for (const Term& t : row.terms) {
+      const int lv = live[static_cast<std::size_t>(t.col)];
+      if (lv >= 0) spec.terms.push_back(Term{lv, t.coeff});
+    }
+    rows.push_back(std::move(spec));
+  }
+  for (int j = 0; j < n_model; ++j) {
+    const double u = model.variable(j).upper;
+    const int lv = live[static_cast<std::size_t>(j)];
+    if (lv >= 0 && std::isfinite(u)) {
+      RowSpec spec;
+      spec.sense = Sense::kLe;
+      spec.rhs = u;
+      spec.terms.push_back(Term{lv, 1.0});
+      rows.push_back(std::move(spec));
+    }
+  }
+  for (RowSpec& row : rows) {
+    if (row.rhs < 0.0) {
+      row.rhs = -row.rhs;
+      for (Term& t : row.terms) t.coeff = -t.coeff;
+      if (row.sense == Sense::kLe) row.sense = Sense::kGe;
+      else if (row.sense == Sense::kGe) row.sense = Sense::kLe;
+    }
+  }
+
+  m_ = static_cast<int>(rows.size());
+  int n_slack = 0, n_art = 0;
+  for (const RowSpec& row : rows) {
+    if (row.sense != Sense::kEq) ++n_slack;
+    if (row.sense != Sense::kLe) ++n_art;
+  }
+  art_begin_ = n_live + n_slack;
+  total_cols_ = art_begin_ + n_art;
+
+  cols_.resize(static_cast<std::size_t>(total_cols_));
+  rhs_.resize(static_cast<std::size_t>(m_));
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  in_basis_.assign(static_cast<std::size_t>(total_cols_), 0);
+
+  // Structural columns, transposed from rows.
+  for (int r = 0; r < m_; ++r) {
+    rhs_[static_cast<std::size_t>(r)] = rows[static_cast<std::size_t>(r)].rhs;
+    for (const Term& t : rows[static_cast<std::size_t>(r)].terms) {
+      cols_[static_cast<std::size_t>(t.col)].entries.push_back(
+          Term{r, t.coeff});
+    }
+  }
+  int next_slack = n_live, next_art = art_begin_;
+  for (int r = 0; r < m_; ++r) {
+    switch (rows[static_cast<std::size_t>(r)].sense) {
+      case Sense::kLe:
+        cols_[static_cast<std::size_t>(next_slack)].entries.push_back(
+            Term{r, 1.0});
+        basis_[static_cast<std::size_t>(r)] = next_slack++;
+        break;
+      case Sense::kGe:
+        cols_[static_cast<std::size_t>(next_slack)].entries.push_back(
+            Term{r, -1.0});
+        ++next_slack;
+        cols_[static_cast<std::size_t>(next_art)].entries.push_back(
+            Term{r, 1.0});
+        basis_[static_cast<std::size_t>(r)] = next_art++;
+        break;
+      case Sense::kEq:
+        cols_[static_cast<std::size_t>(next_art)].entries.push_back(
+            Term{r, 1.0});
+        basis_[static_cast<std::size_t>(r)] = next_art++;
+        break;
+    }
+  }
+  for (int b : basis_) in_basis_[static_cast<std::size_t>(b)] = 1;
+
+  // Initial basis is the identity.
+  binv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_),
+               0.0);
+  for (int r = 0; r < m_; ++r) {
+    binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) +
+          static_cast<std::size_t>(r)] = 1.0;
+  }
+  xb_ = rhs_;
+  y_.assign(static_cast<std::size_t>(m_), 0.0);
+
+  phase2_costs_.assign(static_cast<std::size_t>(total_cols_), 0.0);
+  for (int c = 0; c < n_live; ++c) {
+    phase2_costs_[static_cast<std::size_t>(c)] =
+        model.variable(tab_to_model_[static_cast<std::size_t>(c)]).objective;
+  }
+}
+
+void Engine::refactorize() {
+  // Gauss-Jordan inversion of the current basis matrix.
+  const auto mm = static_cast<std::size_t>(m_);
+  std::vector<double> work(mm * mm, 0.0);   // B
+  std::vector<double> inv(mm * mm, 0.0);    // -> B^{-1}
+  for (int r = 0; r < m_; ++r) inv[static_cast<std::size_t>(r) * mm + r] = 1.0;
+  for (int c = 0; c < m_; ++c) {
+    for (const Term& t :
+         cols_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(c)])]
+             .entries) {
+      work[static_cast<std::size_t>(t.col) * mm + static_cast<std::size_t>(c)] =
+          t.coeff;
+    }
+  }
+  for (int col = 0; col < m_; ++col) {
+    // Partial pivoting.
+    int pivot = col;
+    double best = std::abs(work[static_cast<std::size_t>(col) * mm + col]);
+    for (int r = col + 1; r < m_; ++r) {
+      const double v = std::abs(work[static_cast<std::size_t>(r) * mm + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      util::log_warn() << "revised simplex: singular basis at refactor";
+      return;  // keep the incrementally updated inverse
+    }
+    if (pivot != col) {
+      for (int k = 0; k < m_; ++k) {
+        std::swap(work[static_cast<std::size_t>(pivot) * mm + k],
+                  work[static_cast<std::size_t>(col) * mm + k]);
+        std::swap(inv[static_cast<std::size_t>(pivot) * mm + k],
+                  inv[static_cast<std::size_t>(col) * mm + k]);
+      }
+    }
+    const double p = work[static_cast<std::size_t>(col) * mm + col];
+    const double ip = 1.0 / p;
+    for (int k = 0; k < m_; ++k) {
+      work[static_cast<std::size_t>(col) * mm + k] *= ip;
+      inv[static_cast<std::size_t>(col) * mm + k] *= ip;
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (r == col) continue;
+      const double f = work[static_cast<std::size_t>(r) * mm + col];
+      if (f == 0.0) continue;
+      for (int k = 0; k < m_; ++k) {
+        work[static_cast<std::size_t>(r) * mm + k] -=
+            f * work[static_cast<std::size_t>(col) * mm + k];
+        inv[static_cast<std::size_t>(r) * mm + k] -=
+            f * inv[static_cast<std::size_t>(col) * mm + k];
+      }
+    }
+  }
+  binv_ = std::move(inv);
+  // xb = B^{-1} rhs.
+  for (int r = 0; r < m_; ++r) {
+    double acc = 0.0;
+    for (int k = 0; k < m_; ++k) {
+      acc += binv_[static_cast<std::size_t>(r) * mm + k] *
+             rhs_[static_cast<std::size_t>(k)];
+    }
+    xb_[static_cast<std::size_t>(r)] = acc;
+  }
+  pivots_since_refactor_ = 0;
+}
+
+void Engine::compute_y(const std::vector<double>& costs) {
+  const auto mm = static_cast<std::size_t>(m_);
+  std::fill(y_.begin(), y_.end(), 0.0);
+  for (int r = 0; r < m_; ++r) {
+    const double cb =
+        costs[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+    if (cb == 0.0) continue;
+    const double* row = &binv_[static_cast<std::size_t>(r) * mm];
+    for (int k = 0; k < m_; ++k) y_[static_cast<std::size_t>(k)] += cb * row[k];
+  }
+}
+
+int Engine::price(const std::vector<double>& costs, bool bland) const {
+  int best = -1;
+  double best_d = opt_.opt_tol;
+  for (int j = 0; j < price_limit_; ++j) {
+    if (in_basis_[static_cast<std::size_t>(j)]) continue;
+    double d = costs[static_cast<std::size_t>(j)];
+    for (const Term& t : cols_[static_cast<std::size_t>(j)].entries) {
+      d -= y_[static_cast<std::size_t>(t.col)] * t.coeff;
+    }
+    if (d > opt_.opt_tol) {
+      if (bland) return j;
+      if (d > best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+  }
+  return best;
+}
+
+void Engine::column_times_binv(int col, std::vector<double>& w) const {
+  const auto mm = static_cast<std::size_t>(m_);
+  std::fill(w.begin(), w.end(), 0.0);
+  for (const Term& t : cols_[static_cast<std::size_t>(col)].entries) {
+    const double v = t.coeff;
+    for (int r = 0; r < m_; ++r) {
+      w[static_cast<std::size_t>(r)] +=
+          binv_[static_cast<std::size_t>(r) * mm +
+                static_cast<std::size_t>(t.col)] *
+          v;
+    }
+  }
+}
+
+SolveStatus Engine::iterate(const std::vector<double>& costs, int& iterations,
+                            int max_iterations) {
+  std::vector<double> w(static_cast<std::size_t>(m_));
+  bool bland = false;
+  int degenerate_streak = 0;
+  while (true) {
+    compute_y(costs);
+    const int entering = price(costs, bland);
+    if (entering < 0) return SolveStatus::kOptimal;
+
+    column_times_binv(entering, w);
+    int leave = -1;
+    double best_ratio = 0.0;
+    int best_basis = -1;
+    for (int r = 0; r < m_; ++r) {
+      const double wr = w[static_cast<std::size_t>(r)];
+      if (wr <= opt_.pivot_tol) continue;
+      const double ratio = xb_[static_cast<std::size_t>(r)] / wr;
+      if (leave < 0 || ratio < best_ratio - opt_.pivot_tol ||
+          (ratio < best_ratio + opt_.pivot_tol &&
+           basis_[static_cast<std::size_t>(r)] < best_basis)) {
+        leave = r;
+        best_ratio = ratio;
+        best_basis = basis_[static_cast<std::size_t>(r)];
+      }
+    }
+    if (leave < 0) return SolveStatus::kUnbounded;
+
+    const bool degenerate = xb_[static_cast<std::size_t>(leave)] <=
+                            opt_.pivot_tol;
+
+    // Pivot: update basis inverse and basic solution.
+    const auto mm = static_cast<std::size_t>(m_);
+    const double p = w[static_cast<std::size_t>(leave)];
+    const double ip = 1.0 / p;
+    double* leave_row = &binv_[static_cast<std::size_t>(leave) * mm];
+    for (int k = 0; k < m_; ++k) leave_row[k] *= ip;
+    xb_[static_cast<std::size_t>(leave)] *= ip;
+    for (int r = 0; r < m_; ++r) {
+      if (r == leave) continue;
+      const double f = w[static_cast<std::size_t>(r)];
+      if (f == 0.0) continue;
+      double* row = &binv_[static_cast<std::size_t>(r) * mm];
+      for (int k = 0; k < m_; ++k) row[k] -= f * leave_row[k];
+      xb_[static_cast<std::size_t>(r)] -=
+          f * xb_[static_cast<std::size_t>(leave)];
+    }
+    in_basis_[static_cast<std::size_t>(
+        basis_[static_cast<std::size_t>(leave)])] = 0;
+    basis_[static_cast<std::size_t>(leave)] = entering;
+    in_basis_[static_cast<std::size_t>(entering)] = 1;
+
+    ++iterations;
+    if (++pivots_since_refactor_ >= opt_.refactor_interval) refactorize();
+    if (iterations >= max_iterations) return SolveStatus::kIterationLimit;
+    if (degenerate) {
+      if (++degenerate_streak >= opt_.stall_threshold && !bland) {
+        bland = true;
+        util::log_debug() << "revised simplex: degenerate stall, Bland mode";
+      }
+    } else {
+      degenerate_streak = 0;
+      bland = false;
+    }
+  }
+}
+
+void Engine::drive_out_artificials() {
+  for (int r = 0; r < m_; ++r) {
+    if (basis_[static_cast<std::size_t>(r)] < art_begin_) continue;
+    const auto mm = static_cast<std::size_t>(m_);
+    for (int j = 0; j < art_begin_; ++j) {
+      if (in_basis_[static_cast<std::size_t>(j)]) continue;
+      double wr = 0.0;
+      for (const Term& t : cols_[static_cast<std::size_t>(j)].entries) {
+        wr += binv_[static_cast<std::size_t>(r) * mm +
+                    static_cast<std::size_t>(t.col)] *
+              t.coeff;
+      }
+      if (std::abs(wr) <= 1e-7) continue;
+      // Pivot j into row r.
+      std::vector<double> w(static_cast<std::size_t>(m_));
+      column_times_binv(j, w);
+      const double p = w[static_cast<std::size_t>(r)];
+      if (std::abs(p) <= 1e-9) continue;
+      const double ipv = 1.0 / p;
+      double* leave_row = &binv_[static_cast<std::size_t>(r) * mm];
+      for (int k = 0; k < m_; ++k) leave_row[k] *= ipv;
+      xb_[static_cast<std::size_t>(r)] *= ipv;
+      for (int rr = 0; rr < m_; ++rr) {
+        if (rr == r) continue;
+        const double f = w[static_cast<std::size_t>(rr)];
+        if (f == 0.0) continue;
+        double* row = &binv_[static_cast<std::size_t>(rr) * mm];
+        for (int k = 0; k < m_; ++k) row[k] -= f * leave_row[k];
+        xb_[static_cast<std::size_t>(rr)] -=
+            f * xb_[static_cast<std::size_t>(r)];
+      }
+      in_basis_[static_cast<std::size_t>(
+          basis_[static_cast<std::size_t>(r)])] = 0;
+      basis_[static_cast<std::size_t>(r)] = j;
+      in_basis_[static_cast<std::size_t>(j)] = 1;
+      break;
+    }
+  }
+}
+
+double Engine::basic_value(const std::vector<double>& costs) const {
+  double value = 0.0;
+  for (int r = 0; r < m_; ++r) {
+    value += costs[static_cast<std::size_t>(
+                basis_[static_cast<std::size_t>(r)])] *
+             xb_[static_cast<std::size_t>(r)];
+  }
+  return value;
+}
+
+SolveResult Engine::run(const Model& model) {
+  SolveResult result;
+  const int max_iterations =
+      opt_.max_iterations > 0 ? opt_.max_iterations
+                              : 200 * (m_ + total_cols_) + 2000;
+
+  if (art_begin_ < total_cols_) {
+    price_limit_ = total_cols_;
+    std::vector<double> phase1(static_cast<std::size_t>(total_cols_), 0.0);
+    for (int c = art_begin_; c < total_cols_; ++c) {
+      phase1[static_cast<std::size_t>(c)] = -1.0;
+    }
+    const SolveStatus st = iterate(phase1, result.iterations, max_iterations);
+    if (st == SolveStatus::kIterationLimit) {
+      result.status = st;
+      return result;
+    }
+    if (basic_value(phase1) < -opt_.feas_tol) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+    drive_out_artificials();
+  }
+
+  price_limit_ = art_begin_;
+  const SolveStatus st =
+      iterate(phase2_costs_, result.iterations, max_iterations);
+  result.status = st;
+  if (st != SolveStatus::kOptimal) return result;
+
+  result.x.assign(static_cast<std::size_t>(model.num_variables()), 0.0);
+  for (int r = 0; r < m_; ++r) {
+    const int b = basis_[static_cast<std::size_t>(r)];
+    if (b < static_cast<int>(tab_to_model_.size())) {
+      result.x[static_cast<std::size_t>(
+          tab_to_model_[static_cast<std::size_t>(b)])] =
+          std::max(0.0, xb_[static_cast<std::size_t>(r)]);
+    }
+  }
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.is_fixed(j)) {
+      result.x[static_cast<std::size_t>(j)] =
+          model.fixed_values()[static_cast<std::size_t>(j)];
+    }
+  }
+  result.objective = basic_value(phase2_costs_) + model.fixed_objective();
+  return result;
+}
+
+}  // namespace
+
+SolveResult RevisedSimplexSolver::solve(const Model& model) const {
+  Engine engine(model, options_);
+  return engine.run(model);
+}
+
+SolveResult solve_lp(const Model& model) {
+  // The revised engine wins when m*n is large and columns are sparse; the
+  // dense tableau has the lower constant factor on small models.
+  const long long m = model.num_constraints();
+  const long long n = model.num_variables();
+  if (m * n >= 64LL * 1024LL) {
+    return RevisedSimplexSolver().solve(model);
+  }
+  return SimplexSolver().solve(model);
+}
+
+}  // namespace mecar::lp

@@ -1,0 +1,46 @@
+// Revised simplex with a dense explicit basis inverse and sparse columns.
+//
+// A second, faster engine for the slot-indexed LPs, which are extremely
+// sparse (~4 nonzeros per column): per-iteration cost is O(m^2) for the
+// pricing vector and inverse update instead of the dense tableau's O(m n).
+// Same model class, same result type, same two-phase scheme as
+// SimplexSolver; the basis inverse is refactorized periodically for
+// numerical stability. `solve_lp` picks the engine by model shape.
+#pragma once
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace mecar::lp {
+
+struct RevisedSimplexOptions {
+  double pivot_tol = 1e-9;
+  double opt_tol = 1e-9;
+  double feas_tol = 1e-7;
+  int max_iterations = 0;  // 0 = automatic
+  /// Rebuild the basis inverse from scratch every this many pivots.
+  int refactor_interval = 96;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  int stall_threshold = 128;
+};
+
+/// Sparse revised simplex. Stateless between solves.
+class RevisedSimplexSolver {
+ public:
+  explicit RevisedSimplexSolver(RevisedSimplexOptions options = {})
+      : options_(options) {}
+
+  /// Solves the LP relaxation of `model` (integrality flags ignored).
+  SolveResult solve(const Model& model) const;
+
+  const RevisedSimplexOptions& options() const noexcept { return options_; }
+
+ private:
+  RevisedSimplexOptions options_;
+};
+
+/// Convenience front-end: revised simplex for large sparse models, dense
+/// tableau for small ones (lower constant factor).
+SolveResult solve_lp(const Model& model);
+
+}  // namespace mecar::lp

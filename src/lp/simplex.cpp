@@ -1,0 +1,345 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace mecar::lp {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+// Dense tableau with one extra objective row and one rhs column.
+// Column layout: [structural cols that are live] [slacks/surplus] [artificials].
+class Tableau {
+ public:
+  Tableau(const Model& model, const SimplexOptions& opt) : opt_(opt) {
+    build(model);
+  }
+
+  SolveResult run(const Model& model);
+
+ private:
+  struct RowSpec {
+    std::vector<Term> terms;  // live structural terms (tableau col indices)
+    Sense sense = Sense::kLe;
+    double rhs = 0.0;
+  };
+
+  void build(const Model& model);
+  void set_objective_from(const std::vector<double>& costs);
+  // One simplex phase; returns final status (optimal = phase converged).
+  SolveStatus iterate(int& iterations, int max_iterations);
+  void pivot(int row, int col);
+  int choose_entering(bool bland) const;
+  // Columns >= price_limit_ never enter the basis (used to ban artificials
+  // during phase 2).
+  int price_limit_ = 0;
+  int choose_leaving(int entering) const;
+  void drive_out_artificials();
+
+  double& at(int r, int c) { return data_[static_cast<std::size_t>(r) * stride_ + c]; }
+  double at(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * stride_ + c];
+  }
+  double& rhs(int r) { return at(r, total_cols_); }
+  double rhs(int r) const { return at(r, total_cols_); }
+  double& obj(int c) { return at(m_, c); }
+  double obj(int c) const { return at(m_, c); }
+
+  SimplexOptions opt_;
+  int m_ = 0;           // constraint rows
+  int total_cols_ = 0;  // structural-live + slack + artificial columns
+  int stride_ = 0;      // total_cols_ + 1 (rhs)
+  int art_begin_ = 0;   // first artificial column (== total_cols_ if none)
+  std::vector<double> data_;
+  std::vector<int> basis_;              // basic column per row
+  std::vector<int> live_cols_;          // model col -> tableau col (-1 dead)
+  std::vector<int> tab_to_model_;       // tableau structural col -> model col
+  std::vector<double> phase2_costs_;    // per tableau column
+  int degenerate_streak_ = 0;
+};
+
+void Tableau::build(const Model& model) {
+  const int n_model = model.num_variables();
+  live_cols_.assign(static_cast<std::size_t>(n_model), -1);
+
+  // Live structural columns: positive upper bound (zero-upper columns are
+  // forced to 0 and dropped; their fixed values are re-added on extraction).
+  for (int j = 0; j < n_model; ++j) {
+    if (model.variable(j).upper > 0.0) {
+      live_cols_[static_cast<std::size_t>(j)] =
+          static_cast<int>(tab_to_model_.size());
+      tab_to_model_.push_back(j);
+    }
+  }
+  const int n_live = static_cast<int>(tab_to_model_.size());
+
+  // Gather rows: model rows plus bound rows for finite positive uppers.
+  std::vector<RowSpec> rows;
+  rows.reserve(static_cast<std::size_t>(model.num_constraints()));
+  for (const Row& row : model.rows()) {
+    RowSpec spec;
+    spec.sense = row.sense;
+    spec.rhs = row.rhs;
+    for (const Term& t : row.terms) {
+      const int live = live_cols_[static_cast<std::size_t>(t.col)];
+      if (live >= 0) spec.terms.push_back(Term{live, t.coeff});
+      // Dead columns are fixed to 0: no rhs adjustment needed.
+    }
+    rows.push_back(std::move(spec));
+  }
+  for (int j = 0; j < n_model; ++j) {
+    const double u = model.variable(j).upper;
+    const int live = live_cols_[static_cast<std::size_t>(j)];
+    if (live >= 0 && std::isfinite(u)) {
+      RowSpec spec;
+      spec.sense = Sense::kLe;
+      spec.rhs = u;
+      spec.terms.push_back(Term{live, 1.0});
+      rows.push_back(std::move(spec));
+    }
+  }
+
+  // Normalize rhs >= 0 by flipping rows.
+  for (RowSpec& row : rows) {
+    if (row.rhs < 0.0) {
+      row.rhs = -row.rhs;
+      for (Term& t : row.terms) t.coeff = -t.coeff;
+      if (row.sense == Sense::kLe) row.sense = Sense::kGe;
+      else if (row.sense == Sense::kGe) row.sense = Sense::kLe;
+    }
+  }
+
+  m_ = static_cast<int>(rows.size());
+
+  // Column counts: slack/surplus for every inequality; artificial for >=/=.
+  int n_slack = 0;
+  int n_art = 0;
+  for (const RowSpec& row : rows) {
+    if (row.sense != Sense::kEq) ++n_slack;
+    if (row.sense != Sense::kLe) ++n_art;
+  }
+  art_begin_ = n_live + n_slack;
+  total_cols_ = n_live + n_slack + n_art;
+  stride_ = total_cols_ + 1;
+  data_.assign(static_cast<std::size_t>(m_ + 1) * stride_, 0.0);
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+
+  int next_slack = n_live;
+  int next_art = art_begin_;
+  for (int r = 0; r < m_; ++r) {
+    const RowSpec& row = rows[static_cast<std::size_t>(r)];
+    for (const Term& t : row.terms) at(r, t.col) = t.coeff;
+    rhs(r) = row.rhs;
+    switch (row.sense) {
+      case Sense::kLe:
+        at(r, next_slack) = 1.0;
+        basis_[static_cast<std::size_t>(r)] = next_slack++;
+        break;
+      case Sense::kGe:
+        at(r, next_slack) = -1.0;
+        ++next_slack;
+        at(r, next_art) = 1.0;
+        basis_[static_cast<std::size_t>(r)] = next_art++;
+        break;
+      case Sense::kEq:
+        at(r, next_art) = 1.0;
+        basis_[static_cast<std::size_t>(r)] = next_art++;
+        break;
+    }
+  }
+
+  // Phase-2 costs per tableau column (0 for slacks/artificials).
+  phase2_costs_.assign(static_cast<std::size_t>(total_cols_), 0.0);
+  for (int c = 0; c < n_live; ++c) {
+    phase2_costs_[static_cast<std::size_t>(c)] =
+        model.variable(tab_to_model_[static_cast<std::size_t>(c)]).objective;
+  }
+}
+
+void Tableau::set_objective_from(const std::vector<double>& costs) {
+  // Reduced costs c_j - c_B B^{-1} A_j, computed from the current tableau
+  // (tableau rows already hold B^{-1} A). The rhs cell stores the NEGATED
+  // objective value: pivot row-operations then keep both invariants.
+  for (int c = 0; c <= total_cols_; ++c) obj(c) = 0.0;
+  for (int c = 0; c < total_cols_; ++c) obj(c) = costs[static_cast<std::size_t>(c)];
+  double value = 0.0;
+  for (int r = 0; r < m_; ++r) {
+    const double cb = costs[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+    if (cb == 0.0) continue;
+    for (int c = 0; c < total_cols_; ++c) obj(c) -= cb * at(r, c);
+    value += cb * rhs(r);
+  }
+  rhs(m_) = -value;
+}
+
+int Tableau::choose_entering(bool bland) const {
+  if (bland) {
+    for (int c = 0; c < price_limit_; ++c) {
+      if (obj(c) > opt_.opt_tol) return c;
+    }
+    return -1;
+  }
+  int best = -1;
+  double best_rc = opt_.opt_tol;
+  for (int c = 0; c < price_limit_; ++c) {
+    if (obj(c) > best_rc) {
+      best_rc = obj(c);
+      best = c;
+    }
+  }
+  return best;
+}
+
+int Tableau::choose_leaving(int entering) const {
+  int best_row = -1;
+  double best_ratio = 0.0;
+  int best_basis = -1;
+  for (int r = 0; r < m_; ++r) {
+    const double a = at(r, entering);
+    if (a <= opt_.pivot_tol) continue;
+    const double ratio = rhs(r) / a;
+    if (best_row < 0 || ratio < best_ratio - opt_.pivot_tol ||
+        (ratio < best_ratio + opt_.pivot_tol &&
+         basis_[static_cast<std::size_t>(r)] < best_basis)) {
+      best_row = r;
+      best_ratio = ratio;
+      best_basis = basis_[static_cast<std::size_t>(r)];
+    }
+  }
+  return best_row;
+}
+
+void Tableau::pivot(int row, int col) {
+  const double p = at(row, col);
+  const double inv = 1.0 / p;
+  for (int c = 0; c <= total_cols_; ++c) at(row, c) *= inv;
+  at(row, col) = 1.0;  // kill roundoff
+  for (int r = 0; r <= m_; ++r) {
+    if (r == row) continue;
+    const double factor = at(r, col);
+    if (factor == 0.0) continue;
+    double* target = &data_[static_cast<std::size_t>(r) * stride_];
+    const double* source = &data_[static_cast<std::size_t>(row) * stride_];
+    for (int c = 0; c <= total_cols_; ++c) target[c] -= factor * source[c];
+    at(r, col) = 0.0;
+  }
+  basis_[static_cast<std::size_t>(row)] = col;
+}
+
+SolveStatus Tableau::iterate(int& iterations, int max_iterations) {
+  bool bland = false;
+  degenerate_streak_ = 0;
+  while (true) {
+    const int entering = choose_entering(bland);
+    if (entering < 0) return SolveStatus::kOptimal;
+    const int leaving = choose_leaving(entering);
+    if (leaving < 0) return SolveStatus::kUnbounded;
+    const bool degenerate = rhs(leaving) <= opt_.pivot_tol;
+    pivot(leaving, entering);
+    ++iterations;
+    if (iterations >= max_iterations) return SolveStatus::kIterationLimit;
+    if (degenerate) {
+      if (++degenerate_streak_ >= opt_.stall_threshold && !bland) {
+        bland = true;  // anti-cycling fallback
+        util::log_debug() << "simplex: stall after " << degenerate_streak_
+                          << " degenerate pivots; switching to Bland's rule";
+      }
+    } else {
+      degenerate_streak_ = 0;
+      bland = false;
+    }
+  }
+}
+
+void Tableau::drive_out_artificials() {
+  for (int r = 0; r < m_; ++r) {
+    const int b = basis_[static_cast<std::size_t>(r)];
+    if (b < art_begin_) continue;
+    // Basic artificial (value ~0 after a feasible phase 1): pivot in any
+    // non-artificial column with a nonzero entry; if none, the row is
+    // redundant and the artificial harmlessly stays basic at zero.
+    for (int c = 0; c < art_begin_; ++c) {
+      if (std::abs(at(r, c)) > 1e-7) {
+        pivot(r, c);
+        break;
+      }
+    }
+  }
+}
+
+SolveResult Tableau::run(const Model& model) {
+  SolveResult result;
+  const int max_iterations =
+      opt_.max_iterations > 0
+          ? opt_.max_iterations
+          : 200 * (m_ + total_cols_) + 2000;
+
+  if (art_begin_ < total_cols_) {
+    // Phase 1: maximize -sum(artificials); all columns may enter.
+    price_limit_ = total_cols_;
+    std::vector<double> phase1(static_cast<std::size_t>(total_cols_), 0.0);
+    for (int c = art_begin_; c < total_cols_; ++c) {
+      phase1[static_cast<std::size_t>(c)] = -1.0;
+    }
+    set_objective_from(phase1);
+    const SolveStatus st = iterate(result.iterations, max_iterations);
+    if (st == SolveStatus::kIterationLimit) {
+      result.status = st;
+      return result;
+    }
+    // rhs(m_) = -(phase-1 objective) = total infeasibility; feasible iff ~0.
+    if (rhs(m_) > opt_.feas_tol) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+    drive_out_artificials();
+  }
+
+  // Phase 2: artificial columns are banned from entering; any artificial
+  // still basic sits on a redundant row at value zero.
+  price_limit_ = art_begin_;
+  set_objective_from(phase2_costs_);
+  const SolveStatus st = iterate(result.iterations, max_iterations);
+  result.status = st;
+  if (st != SolveStatus::kOptimal) return result;
+
+  // Extract solution.
+  result.x.assign(static_cast<std::size_t>(model.num_variables()), 0.0);
+  for (int r = 0; r < m_; ++r) {
+    const int b = basis_[static_cast<std::size_t>(r)];
+    if (b < static_cast<int>(tab_to_model_.size())) {
+      result.x[static_cast<std::size_t>(
+          tab_to_model_[static_cast<std::size_t>(b)])] = std::max(0.0, rhs(r));
+    }
+  }
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.is_fixed(j)) {
+      result.x[static_cast<std::size_t>(j)] =
+          model.fixed_values()[static_cast<std::size_t>(j)];
+    }
+  }
+  result.objective = -rhs(m_) + model.fixed_objective();
+  return result;
+}
+
+}  // namespace
+
+SolveResult SimplexSolver::solve(const Model& model) const {
+  Tableau tableau(model, options_);
+  return tableau.run(model);
+}
+
+}  // namespace mecar::lp

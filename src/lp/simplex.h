@@ -1,0 +1,66 @@
+// Two-phase primal simplex for the LP relaxations of the paper's programs.
+//
+// The paper assumes an LP oracle but never names one; this is a from-scratch
+// dense-tableau implementation sized for the slot-indexed relaxations
+// (hundreds of rows, a few thousand columns):
+//   * rows of any sense (<=, =, >=), rhs normalized non-negative,
+//   * non-negative variables with optional finite upper bounds
+//     (finite bounds become internal rows),
+//   * phase 1 with artificials, phase 2 with Dantzig pricing and a Bland's
+//     rule fallback after a degenerate stall (anti-cycling).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace mecar::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+std::string to_string(SolveStatus status);
+
+struct SimplexOptions {
+  /// Pivot tolerance: entries smaller in magnitude are treated as zero.
+  double pivot_tol = 1e-9;
+  /// Reduced-cost optimality tolerance.
+  double opt_tol = 1e-9;
+  /// Phase-1 residual above which the model is declared infeasible.
+  double feas_tol = 1e-7;
+  /// 0 means "choose automatically from the model size".
+  int max_iterations = 0;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  int stall_threshold = 128;
+};
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective value (includes any Model::fixed_objective constant).
+  double objective = 0.0;
+  /// Values for all model columns, including fixed ones.
+  std::vector<double> x;
+  int iterations = 0;
+  bool optimal() const noexcept { return status == SolveStatus::kOptimal; }
+};
+
+/// Dense two-phase tableau simplex. Stateless between solves.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves the LP relaxation of `model` (integrality flags are ignored).
+  SolveResult solve(const Model& model) const;
+
+  const SimplexOptions& options() const noexcept { return options_; }
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace mecar::lp

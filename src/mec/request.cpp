@@ -1,0 +1,94 @@
+#include "mec/request.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mecar::mec {
+
+RateRewardDist::RateRewardDist(std::vector<RateLevel> levels)
+    : levels_(std::move(levels)) {
+  if (levels_.empty()) {
+    throw std::invalid_argument("RateRewardDist: no levels");
+  }
+  double total_prob = 0.0;
+  double prev_rate = -1.0;
+  for (const RateLevel& lvl : levels_) {
+    if (lvl.rate <= prev_rate) {
+      throw std::invalid_argument(
+          "RateRewardDist: rates must be strictly increasing");
+    }
+    if (lvl.prob < 0.0 || lvl.prob > 1.0) {
+      throw std::invalid_argument("RateRewardDist: probability outside [0,1]");
+    }
+    if (lvl.reward < 0.0) {
+      throw std::invalid_argument("RateRewardDist: negative reward");
+    }
+    prev_rate = lvl.rate;
+    total_prob += lvl.prob;
+    expected_rate_ += lvl.prob * lvl.rate;
+    expected_reward_ += lvl.prob * lvl.reward;
+  }
+  if (std::abs(total_prob - 1.0) > 1e-9) {
+    throw std::invalid_argument("RateRewardDist: probabilities must sum to 1");
+  }
+}
+
+double RateRewardDist::expected_truncated_rate(double cap) const noexcept {
+  double e = 0.0;
+  for (const RateLevel& lvl : levels_) {
+    e += lvl.prob * std::min(lvl.rate, cap);
+  }
+  return e;
+}
+
+double RateRewardDist::expected_reward_within(double cap) const noexcept {
+  double e = 0.0;
+  for (const RateLevel& lvl : levels_) {
+    if (lvl.rate <= cap) e += lvl.prob * lvl.reward;
+  }
+  return e;
+}
+
+std::size_t RateRewardDist::sample(util::Rng& rng) const {
+  double target = rng.uniform();
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    target -= levels_[k].prob;
+    if (target < 0.0) return k;
+  }
+  return levels_.size() - 1;
+}
+
+double ARRequest::total_proc_weight() const noexcept {
+  double total = 0.0;
+  for (const TaskSpec& task : tasks) total += task.proc_weight;
+  return total;
+}
+
+double placement_latency_ms(const Topology& topo, const ARRequest& req,
+                            int bs) {
+  const double trans = topo.transmission_delay_ms(req.home_station, bs);
+  const double proc =
+      req.total_proc_weight() * topo.station(bs).proc_ms_per_unit;
+  return 2.0 * trans + proc;
+}
+
+double split_placement_latency_ms(const Topology& topo, const ARRequest& req,
+                                  const std::vector<int>& task_stations) {
+  if (task_stations.size() != req.tasks.size()) {
+    throw std::invalid_argument(
+        "split_placement_latency_ms: one station per task required");
+  }
+  double latency = 0.0;
+  int prev = req.home_station;
+  for (std::size_t k = 0; k < req.tasks.size(); ++k) {
+    const int bs = task_stations[k];
+    latency += topo.transmission_delay_ms(prev, bs);
+    latency += req.tasks[k].proc_weight * topo.station(bs).proc_ms_per_unit;
+    prev = bs;
+  }
+  // Results return to the user device via its home station.
+  latency += topo.transmission_delay_ms(prev, req.home_station);
+  return latency;
+}
+
+}  // namespace mecar::mec

@@ -1,0 +1,296 @@
+#include "sim/dynamic_rr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bandit/epsilon_greedy.h"
+#include "bandit/thompson.h"
+#include "bandit/ucb1.h"
+#include "core/slot_lp.h"
+#include "lp/revised_simplex.h"
+#include "util/log.h"
+
+namespace mecar::sim {
+
+DynamicRrPolicy::DynamicRrPolicy(const mec::Topology& topo,
+                                 core::AlgorithmParams alg,
+                                 DynamicRrParams params, util::Rng rng)
+    : topo_(topo),
+      alg_(alg),
+      params_(params),
+      rng_(rng),
+      grid_(params.threshold_min_mhz, params.threshold_max_mhz,
+            params.kappa) {
+  switch (params_.learner) {
+    case ThresholdLearner::kSuccessiveElimination:
+      discrete_ = std::make_unique<bandit::SuccessiveElimination>(
+          grid_.num_arms(), params_.confidence_range);
+      break;
+    case ThresholdLearner::kUcb1:
+      discrete_ = std::make_unique<bandit::Ucb1>(grid_.num_arms(),
+                                                 params_.confidence_range);
+      break;
+    case ThresholdLearner::kEpsilonGreedy:
+      discrete_ = std::make_unique<bandit::EpsilonGreedy>(grid_.num_arms(),
+                                                          rng_.split());
+      break;
+    case ThresholdLearner::kThompson:
+      discrete_ = std::make_unique<bandit::ThompsonSampling>(
+          grid_.num_arms(), rng_.split(), params_.confidence_range);
+      break;
+    case ThresholdLearner::kZooming:
+      zoom_ = std::make_unique<bandit::ZoomingBandit>(
+          params_.threshold_min_mhz, params_.threshold_max_mhz, rng_.split(),
+          params_.confidence_range);
+      break;
+  }
+}
+
+DynamicRrPolicy::~DynamicRrPolicy() = default;
+
+const bandit::SuccessiveElimination& DynamicRrPolicy::bandit() const {
+  const auto* se =
+      dynamic_cast<const bandit::SuccessiveElimination*>(discrete_.get());
+  if (se == nullptr) {
+    throw std::logic_error(
+        "DynamicRrPolicy::bandit(): learner is not successive elimination");
+  }
+  return *se;
+}
+
+double DynamicRrPolicy::next_threshold() {
+  if (zoom_) return zoom_->select_point();
+  if (auto* se =
+          dynamic_cast<bandit::SuccessiveElimination*>(discrete_.get())) {
+    played_arm_ = se->num_active() > 1 ? se->select_arm()
+                                       : se->best_active_arm();
+  } else {
+    played_arm_ = discrete_->select_arm();
+  }
+  return grid_.value(played_arm_);
+}
+
+void DynamicRrPolicy::learn(double normalized_reward) {
+  if (zoom_) {
+    zoom_->update(normalized_reward);
+  } else {
+    discrete_->update(played_arm_, normalized_reward);
+  }
+}
+
+SlotDecision DynamicRrPolicy::decide(const SlotView& view) {
+  SlotDecision decision;
+
+  // 1. Arm selection, held for window_slots slots (Alg. 3 steps 5-9):
+  // successive elimination explores active arms round-robin; once a single
+  // arm survives it is exploited.
+  if (!window_open_ || window_pos_ >= params_.window_slots) {
+    if (window_open_) {
+      // Close the previous window.
+      const double mean_reward =
+          window_reward_ / std::max(1, params_.window_slots);
+      const double scale = params_.reward_scale > 0.0
+                               ? params_.reward_scale
+                               : std::max({adaptive_scale_, mean_reward, 1e-9});
+      adaptive_scale_ = scale;
+      learn(mean_reward / scale);
+    }
+    last_threshold_ = next_threshold();
+    window_open_ = true;
+    window_pos_ = 0;
+    window_reward_ = 0.0;
+  }
+  ++window_pos_;
+
+  if (view.pending.empty()) return decision;
+
+  // 2. Per-station round-robin floor: with threshold C^th, a station of
+  // capacity C holds at most floor(C / C^th) concurrent streams so that
+  // every stream's share stays >= C^th. Older residents have priority;
+  // the newest are preempted (paused) when the realized mix overflows.
+  std::vector<int> allowed(static_cast<std::size_t>(topo_.num_stations()));
+  for (int bs = 0; bs < topo_.num_stations(); ++bs) {
+    allowed[static_cast<std::size_t>(bs)] = std::max(
+        1, static_cast<int>(std::floor(topo_.station(bs).capacity_mhz /
+                                       last_threshold_)));
+  }
+
+  std::vector<std::vector<int>> residents(
+      static_cast<std::size_t>(topo_.num_stations()));
+  std::vector<int> waiting;
+  std::vector<int> displaced;  // outage victims needing re-placement
+  for (int j : view.pending) {
+    const RequestState& st = (*view.states)[static_cast<std::size_t>(j)];
+    if (st.phase == Phase::kServed) {
+      if (st.station >= 0) {
+        residents[static_cast<std::size_t>(st.station)].push_back(j);
+      } else {
+        displaced.push_back(j);
+      }
+    } else {
+      waiting.push_back(j);
+    }
+  }
+  // The threshold gates ADMISSION: a station holds at most `allowed`
+  // in-flight sessions, so every stream's round-robin share stays above
+  // C^th. Resident streams always receive service (no systematic
+  // preemption — pausing in-progress sessions only strands partial work);
+  // newcomers take the quota slots residents left free.
+  std::vector<int> slots_left = allowed;
+  std::vector<double> residual_mhz(
+      static_cast<std::size_t>(topo_.num_stations()));
+  for (int bs = 0; bs < topo_.num_stations(); ++bs) {
+    const auto& ids = residents[static_cast<std::size_t>(bs)];
+    double used = 0.0;
+    for (int j : ids) {
+      decision.active.push_back({j, bs});
+      used += (*view.states)[static_cast<std::size_t>(j)].demand_mhz;
+    }
+    slots_left[static_cast<std::size_t>(bs)] = std::max(
+        0, allowed[static_cast<std::size_t>(bs)] -
+               static_cast<int>(ids.size()));
+    residual_mhz[static_cast<std::size_t>(bs)] =
+        std::max(0.0, topo_.station(bs).capacity_mhz - used);
+    if (!view.is_up(bs)) {
+      slots_left[static_cast<std::size_t>(bs)] = 0;
+      residual_mhz[static_cast<std::size_t>(bs)] = 0.0;
+    }
+  }
+
+  // 2b. Re-place streams displaced by station outages: their realized
+  // demand is known; nearest station with quota and capacity wins.
+  for (int j : displaced) {
+    const RequestState& st = (*view.states)[static_cast<std::size_t>(j)];
+    const mec::ARRequest& req = (*view.requests)[static_cast<std::size_t>(j)];
+    for (int bs : topo_.stations_by_distance(req.home_station)) {
+      if (!view.is_up(bs)) continue;
+      if (slots_left[static_cast<std::size_t>(bs)] <= 0) continue;
+      if (residual_mhz[static_cast<std::size_t>(bs)] < st.demand_mhz) continue;
+      --slots_left[static_cast<std::size_t>(bs)];
+      residual_mhz[static_cast<std::size_t>(bs)] -= st.demand_mhz;
+      decision.active.push_back({j, bs});
+      break;
+    }
+  }
+
+  // 3. New admissions: the waiting queue enters the LP-PT batch highest
+  // expected-reward density first — under saturation the LP cannot see the
+  // whole queue, so the batch pre-selection must already favour the
+  // requests the reward-maximizing LP would pick.
+  auto density = [&](int j) {
+    const auto& demand = (*view.requests)[static_cast<std::size_t>(j)].demand;
+    return demand.expected_reward() / std::max(1e-9, demand.expected_rate());
+  };
+  std::sort(waiting.begin(), waiting.end(), [&](int a, int b) {
+    const double da = density(a);
+    const double db = density(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  if (static_cast<int>(waiting.size()) > params_.max_batch) {
+    waiting.resize(static_cast<std::size_t>(params_.max_batch));
+  }
+  if (!waiting.empty()) {
+    admit_new(view, waiting, slots_left, residual_mhz, decision);
+  }
+  return decision;
+}
+
+void DynamicRrPolicy::admit_new(const SlotView& view,
+                                const std::vector<int>& waiting,
+                                std::vector<int>& slots_left,
+                                std::vector<double>& residual_mhz,
+                                SlotDecision& decision) {
+  std::vector<mec::ARRequest> batch;
+  batch.reserve(waiting.size());
+  core::SlotLpOptions options;
+  options.share_cap_mhz = last_threshold_;
+  options.capacity_override_mhz = residual_mhz;
+  options.waiting_ms_per_request.reserve(waiting.size());
+  for (int j : waiting) {
+    batch.push_back((*view.requests)[static_cast<std::size_t>(j)]);
+    options.waiting_ms_per_request.push_back(view.waiting_ms(j));
+  }
+
+  std::vector<int> placement(waiting.size(), -1);
+  const core::SlotLpInstance inst =
+      core::build_slot_lp(topo_, batch, alg_, options);
+  if (inst.model.num_variables() > 0) {
+    const lp::SolveResult res = lp::solve_lp(inst.model);
+    if (res.optimal()) {
+      // Deterministic rounding: request -> station with the largest
+      // fractional mass sum_l y_jil; among stations within 50% of the best
+      // mass (the LP is often indifferent, ER_jil varies little across
+      // stations) prefer the lowest placement latency.
+      for (std::size_t b = 0; b < waiting.size(); ++b) {
+        std::vector<double> mass(
+            static_cast<std::size_t>(topo_.num_stations()), 0.0);
+        for (int col : inst.request_columns[b]) {
+          mass[static_cast<std::size_t>(
+              inst.vars[static_cast<std::size_t>(col)].station)] +=
+              res.x[static_cast<std::size_t>(col)];
+        }
+        double best_mass = 0.0;
+        for (double m : mass) best_mass = std::max(best_mass, m);
+        if (best_mass < 0.25) continue;  // no meaningful LP support
+        int best_bs = -1;
+        double best_lat = 0.0;
+        for (std::size_t bs = 0; bs < mass.size(); ++bs) {
+          if (mass[bs] < 0.5 * best_mass || mass[bs] < 0.25) continue;
+          const double lat = mec::placement_latency_ms(
+              topo_, batch[b], static_cast<int>(bs));
+          if (best_bs < 0 || lat < best_lat) {
+            best_bs = static_cast<int>(bs);
+            best_lat = lat;
+          }
+        }
+        placement[b] = best_bs;
+      }
+    } else {
+      util::log_debug() << "DynamicRR: LP-PT not optimal ("
+                        << lp::to_string(res.status) << "), greedy fallback";
+    }
+  }
+
+  for (std::size_t b = 0; b < waiting.size(); ++b) {
+    const int j = waiting[b];
+    const mec::ARRequest& req = (*view.requests)[static_cast<std::size_t>(j)];
+    const double expected_mhz = req.demand.expected_rate() * alg_.c_unit;
+    const double wait = view.waiting_ms(j);
+    // Starvation rescue (the point of the MAB threshold per section VI-B:
+    // "avoid the starvation of AR requests"): a request that has already
+    // waited a slot is heading toward its deadline (the budget leaves only
+    // ~3 slots of slack) and may exceed the round-robin quota — its share
+    // dips below C^th briefly — as long as real capacity holds.
+    const bool last_chance = wait >= view.slot_ms;
+    auto admissible = [&](int bs) {
+      return bs >= 0 &&
+             (slots_left[static_cast<std::size_t>(bs)] > 0 || last_chance) &&
+             residual_mhz[static_cast<std::size_t>(bs)] >= expected_mhz &&
+             wait + mec::placement_latency_ms(topo_, req, bs) <=
+                 req.latency_budget_ms;
+    };
+    int bs = placement[b];
+    if (!admissible(bs)) {
+      bs = -1;
+      for (int cand : core::candidate_stations(topo_, req, alg_, wait)) {
+        if (admissible(cand)) {
+          bs = cand;
+          break;
+        }
+      }
+    }
+    if (bs < 0) continue;  // stays pending; may be admitted a later slot
+    --slots_left[static_cast<std::size_t>(bs)];
+    residual_mhz[static_cast<std::size_t>(bs)] -= expected_mhz;
+    decision.active.push_back({j, bs});
+  }
+}
+
+void DynamicRrPolicy::feedback(const SlotFeedback& fb) {
+  // Net value of the slot: collected reward minus the opportunity cost of
+  // requests the current threshold starved past their deadline.
+  window_reward_ += fb.completed_reward - fb.dropped_expected_reward;
+}
+
+}  // namespace mecar::sim

@@ -1,0 +1,39 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace mecar::sim {
+
+double jain_index(std::span<const double> values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+DetailedSummary summarize(const OnlineMetrics& metrics) {
+  DetailedSummary out;
+  if (!metrics.completed_latencies_ms.empty()) {
+    std::vector<double> sorted = metrics.completed_latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    out.latency_p50_ms = util::quantile(sorted, 0.5);
+    out.latency_p95_ms = util::quantile(sorted, 0.95);
+    out.latency_max_ms = sorted.back();
+  }
+  out.service_fairness = jain_index(metrics.service_ratios);
+  if (!metrics.per_slot_utilization.empty()) {
+    util::RunningStats stats;
+    for (double u : metrics.per_slot_utilization) stats.add(u);
+    out.mean_utilization = stats.mean();
+    out.peak_utilization = stats.max();
+  }
+  return out;
+}
+
+}  // namespace mecar::sim

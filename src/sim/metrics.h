@@ -1,0 +1,37 @@
+// Derived metrics over online simulation runs: latency percentiles, Jain
+// fairness over service ratios, utilization summaries. The simulator
+// records the raw series when OnlineParams::collect_detail is set; the
+// helpers here turn them into report-ready numbers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/online_sim.h"
+
+namespace mecar::sim {
+
+/// Jain's fairness index over non-negative allocations:
+/// (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly fair.
+/// Returns 1 for empty or all-zero input.
+double jain_index(std::span<const double> values);
+
+/// Summary of one detailed run.
+struct DetailedSummary {
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_max_ms = 0.0;
+  /// Jain index over per-request service ratios (work done / work total)
+  /// of every request that was ever scheduled.
+  double service_fairness = 1.0;
+  /// Mean fraction of total network capacity allocated per slot.
+  double mean_utilization = 0.0;
+  double peak_utilization = 0.0;
+};
+
+/// Computes the summary from the detail fields of `metrics` (requires a
+/// run with OnlineParams::collect_detail = true; degenerates gracefully
+/// otherwise).
+DetailedSummary summarize(const OnlineMetrics& metrics);
+
+}  // namespace mecar::sim

@@ -1,0 +1,60 @@
+// Online versions of the comparison algorithms (section VI-A: "these
+// benchmarks are implemented as offline and online versions").
+//
+// All three are NON-preemptive reservation schedulers: an admitted stream
+// keeps its reservation until completion. They differ in ordering,
+// placement rule, and — crucially — in the rate estimate used for
+// admission (peak for Greedy/OCORP, mean for HeuKKT), mirroring their
+// offline counterparts.
+#pragma once
+
+#include <vector>
+
+#include "sim/online_sim.h"
+
+namespace mecar::sim {
+
+/// Greedy [32] online: per slot, unscheduled requests in decreasing
+/// execution-time order; placement = minimum-latency local station whose
+/// peak-rate reservation fits.
+class GreedyOnlinePolicy final : public OnlinePolicy {
+ public:
+  GreedyOnlinePolicy(const mec::Topology& topo, core::AlgorithmParams alg);
+  SlotDecision decide(const SlotView& view) override;
+  std::string name() const override { return "Greedy"; }
+
+ private:
+  const mec::Topology& topo_;
+  core::AlgorithmParams alg_;
+};
+
+/// OCORP [20] online: per slot, unfinished jobs in (arrival, remaining
+/// data) order; placement = best-fit (smallest fitting residual) among the
+/// nearest local stations, peak-rate reservations.
+class OcorpOnlinePolicy final : public OnlinePolicy {
+ public:
+  OcorpOnlinePolicy(const mec::Topology& topo, core::AlgorithmParams alg);
+  SlotDecision decide(const SlotView& view) override;
+  std::string name() const override { return "OCORP"; }
+
+ private:
+  const mec::Topology& topo_;
+  core::AlgorithmParams alg_;
+};
+
+/// HeuKKT [21] online: per slot, KKT water-filling at the home station with
+/// mean-rate commitments; overflow to the globally most-spare feasible
+/// station, else the request keeps waiting (remote cloud yields no edge
+/// reward).
+class HeuKktOnlinePolicy final : public OnlinePolicy {
+ public:
+  HeuKktOnlinePolicy(const mec::Topology& topo, core::AlgorithmParams alg);
+  SlotDecision decide(const SlotView& view) override;
+  std::string name() const override { return "HeuKKT"; }
+
+ private:
+  const mec::Topology& topo_;
+  core::AlgorithmParams alg_;
+};
+
+}  // namespace mecar::sim

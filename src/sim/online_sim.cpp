@@ -1,0 +1,302 @@
+#include "sim/online_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace mecar::sim {
+
+void OnlinePolicy::feedback(const SlotFeedback& /*fb*/) {}
+
+double SlotView::waiting_ms(int request_index) const {
+  const auto& req = (*requests)[static_cast<std::size_t>(request_index)];
+  return (slot - req.arrival_slot) * slot_ms;
+}
+
+std::vector<double> SlotView::resident_demand_mhz() const {
+  std::vector<double> demand(static_cast<std::size_t>(topo->num_stations()),
+                             0.0);
+  for (std::size_t j = 0; j < states->size(); ++j) {
+    const RequestState& st = (*states)[j];
+    if (st.phase == Phase::kServed && st.station >= 0) {
+      demand[static_cast<std::size_t>(st.station)] += st.demand_mhz;
+    }
+  }
+  return demand;
+}
+
+std::vector<double> waterfill(double capacity,
+                              const std::vector<double>& demands) {
+  std::vector<double> alloc(demands.size(), 0.0);
+  if (demands.empty() || capacity <= 0.0) return alloc;
+  for (double d : demands) {
+    if (d < 0.0) throw std::invalid_argument("waterfill: negative demand");
+  }
+  std::vector<std::size_t> open(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) open[i] = i;
+  double remaining = capacity;
+  while (!open.empty() && remaining > 1e-12) {
+    const double share = remaining / static_cast<double>(open.size());
+    std::vector<std::size_t> still_open;
+    bool saturated_any = false;
+    for (std::size_t i : open) {
+      const double need = demands[i] - alloc[i];
+      if (need <= share + 1e-12) {
+        alloc[i] += need;
+        remaining -= need;
+        saturated_any = true;
+      } else {
+        still_open.push_back(i);
+      }
+    }
+    if (!saturated_any) {
+      // Everyone open wants more than the share: split evenly and stop.
+      for (std::size_t i : still_open) {
+        alloc[i] += share;
+      }
+      remaining = 0.0;
+      break;
+    }
+    open = std::move(still_open);
+  }
+  return alloc;
+}
+
+OnlineSimulator::OnlineSimulator(const mec::Topology& topo,
+                                 std::vector<mec::ARRequest> requests,
+                                 std::vector<std::size_t> realized,
+                                 OnlineParams params)
+    : topo_(topo),
+      requests_(std::move(requests)),
+      realized_(std::move(realized)),
+      params_(params) {
+  if (realized_.size() != requests_.size()) {
+    throw std::invalid_argument("OnlineSimulator: realized size mismatch");
+  }
+  if (params_.horizon_slots <= 0 || params_.slot_ms <= 0.0) {
+    throw std::invalid_argument("OnlineSimulator: bad horizon/slot length");
+  }
+  min_latency_ms_.reserve(requests_.size());
+  for (const mec::ARRequest& req : requests_) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int bs = 0; bs < topo_.num_stations(); ++bs) {
+      best = std::min(best, mec::placement_latency_ms(topo_, req, bs));
+    }
+    min_latency_ms_.push_back(best);
+  }
+}
+
+OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
+  // Mobility mutates request attachments; work on a copy so runs stay
+  // independent and repeatable.
+  std::vector<mec::ARRequest> requests = requests_;
+  std::vector<double> min_latency = min_latency_ms_;
+
+  std::vector<RequestState> states(requests.size());
+  OnlineMetrics metrics;
+  metrics.per_slot_reward.assign(
+      static_cast<std::size_t>(params_.horizon_slots), 0.0);
+
+  for (int t = 0; t < params_.horizon_slots; ++t) {
+    // Mobility: re-attach moved users (before drop checks, so a move into
+    // better coverage can save a request from starvation this very slot).
+    for (const MobilityEvent& move : params_.mobility) {
+      if (move.slot != t) continue;
+      if (move.request_index < 0 ||
+          move.request_index >= static_cast<int>(requests.size()) ||
+          move.new_home < 0 || move.new_home >= topo_.num_stations()) {
+        throw std::out_of_range("OnlineSimulator: bad mobility event");
+      }
+      auto& req = requests[static_cast<std::size_t>(move.request_index)];
+      if (req.home_station == move.new_home) continue;
+      req.home_station = move.new_home;
+      ++metrics.handovers;
+      double best = std::numeric_limits<double>::infinity();
+      for (int bs = 0; bs < topo_.num_stations(); ++bs) {
+        best = std::min(best, mec::placement_latency_ms(topo_, req, bs));
+      }
+      min_latency[static_cast<std::size_t>(move.request_index)] = best;
+    }
+    // 0. Outage bookkeeping: availability map + displacement of resident
+    // streams on failed stations (progress kept, placement lost).
+    std::vector<char> up(static_cast<std::size_t>(topo_.num_stations()), 1);
+    for (const StationOutage& outage : params_.outages) {
+      if (outage.station >= 0 && outage.station < topo_.num_stations() &&
+          t >= outage.from_slot && t < outage.until_slot) {
+        up[static_cast<std::size_t>(outage.station)] = 0;
+      }
+    }
+    for (auto& st : states) {
+      if (st.phase == Phase::kServed && st.station >= 0 &&
+          up[static_cast<std::size_t>(st.station)] == 0) {
+        st.station = -1;  // displaced; policy must re-place
+        ++metrics.displaced;
+      }
+    }
+
+    // 1. Arrivals and starvation drops.
+    SlotView view;
+    view.slot = t;
+    view.slot_ms = params_.slot_ms;
+    view.station_up = up;
+    view.topo = &topo_;
+    view.requests = &requests;
+    view.states = &states;
+    double dropped_expected = 0.0;
+    for (std::size_t j = 0; j < requests.size(); ++j) {
+      const mec::ARRequest& req = requests[j];
+      RequestState& st = states[j];
+      if (req.arrival_slot > t) continue;
+      if (req.arrival_slot == t) ++metrics.arrived;
+      if (st.phase == Phase::kWaiting) {
+        const double wait_ms = (t - req.arrival_slot) * params_.slot_ms;
+        if (wait_ms + min_latency[j] > req.latency_budget_ms) {
+          st.phase = Phase::kDropped;  // starved: deadline unmeetable
+          dropped_expected += req.demand.expected_reward();
+          continue;
+        }
+        view.pending.push_back(static_cast<int>(j));
+      } else if (st.phase == Phase::kServed) {
+        view.pending.push_back(static_cast<int>(j));
+      }
+    }
+
+    // 2. Policy decision.
+    const SlotDecision decision = policy.decide(view);
+
+    // 3. Apply activations.
+    for (auto& st : states) st.active_this_slot = false;
+    for (const SlotDecision::Activation& act : decision.active) {
+      if (act.request_index < 0 ||
+          act.request_index >= static_cast<int>(requests.size())) {
+        throw std::out_of_range("OnlineSimulator: activation out of range");
+      }
+      const auto j = static_cast<std::size_t>(act.request_index);
+      RequestState& st = states[j];
+      const mec::ARRequest& req = requests[j];
+      if (req.arrival_slot > t || st.phase == Phase::kCompleted ||
+          st.phase == Phase::kDropped) {
+        continue;  // stale activation; ignore
+      }
+      if (st.phase == Phase::kWaiting) {
+        if (act.station < 0 || act.station >= topo_.num_stations()) {
+          throw std::out_of_range("OnlineSimulator: bad placement station");
+        }
+        if (up[static_cast<std::size_t>(act.station)] == 0) {
+          continue;  // placed onto a failed station; refuse
+        }
+        const double wait_ms = (t - req.arrival_slot) * params_.slot_ms;
+        const double lat =
+            wait_ms + mec::placement_latency_ms(topo_, req, act.station);
+        if (lat > req.latency_budget_ms) {
+          util::log_debug() << "policy " << policy.name()
+                            << " placed request " << req.id
+                            << " beyond its latency budget; ignoring";
+          continue;
+        }
+        const std::size_t level = realized_[j];
+        st.phase = Phase::kServed;
+        st.station = act.station;
+        st.first_service_slot = t;
+        st.realized_level = level;
+        st.demand_mhz = req.demand.level(level).rate * params_.alg.c_unit;
+        st.work_total = st.demand_mhz * req.duration_slots;
+        st.work_done = 0.0;
+        st.latency_ms = lat;
+      } else if (st.station < 0) {
+        // Displaced stream: the activation re-places it (progress kept).
+        if (act.station < 0 || act.station >= topo_.num_stations()) {
+          throw std::out_of_range("OnlineSimulator: bad re-placement station");
+        }
+        if (up[static_cast<std::size_t>(act.station)] == 0) continue;
+        st.station = act.station;
+      }
+      st.active_this_slot = true;
+    }
+
+    // 4. Per-station max-min fair allocation among active streams.
+    std::vector<std::vector<std::size_t>> residents(
+        static_cast<std::size_t>(topo_.num_stations()));
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      if (states[j].active_this_slot && states[j].phase == Phase::kServed &&
+          states[j].station >= 0) {
+        residents[static_cast<std::size_t>(states[j].station)].push_back(j);
+      }
+    }
+    double slot_reward = 0.0;
+    double slot_allocated = 0.0;
+    for (int bs = 0; bs < topo_.num_stations(); ++bs) {
+      const auto& ids = residents[static_cast<std::size_t>(bs)];
+      if (ids.empty()) continue;
+      std::vector<double> demands;
+      demands.reserve(ids.size());
+      for (std::size_t j : ids) {
+        demands.push_back(
+            std::min(states[j].demand_mhz,
+                     states[j].work_total - states[j].work_done));
+      }
+      const auto alloc =
+          waterfill(topo_.station(bs).capacity_mhz, demands);
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        RequestState& st = states[ids[k]];
+        st.work_done += alloc[k];
+        slot_allocated += alloc[k];
+        if (st.work_done >= st.work_total - 1e-9) {
+          st.phase = Phase::kCompleted;
+          st.reward = requests[ids[k]].demand.level(st.realized_level).reward;
+          slot_reward += st.reward;
+          if (params_.collect_detail) {
+            metrics.completed_latencies_ms.push_back(st.latency_ms);
+          }
+        }
+      }
+    }
+    metrics.per_slot_reward[static_cast<std::size_t>(t)] = slot_reward;
+    metrics.total_reward += slot_reward;
+    if (params_.collect_detail) {
+      metrics.per_slot_utilization.push_back(
+          slot_allocated / topo_.total_capacity_mhz());
+    }
+
+    // 5. Policy feedback.
+    SlotFeedback fb;
+    fb.slot = t;
+    fb.completed_reward = slot_reward;
+    fb.dropped_expected_reward = dropped_expected;
+    policy.feedback(fb);
+  }
+
+  // Final accounting.
+  double latency_total = 0.0;
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    if (requests[j].arrival_slot >= params_.horizon_slots) continue;
+    if (params_.collect_detail && states[j].work_total > 0.0) {
+      metrics.service_ratios.push_back(states[j].work_done /
+                                       states[j].work_total);
+    }
+    switch (states[j].phase) {
+      case Phase::kCompleted:
+        ++metrics.completed;
+        latency_total += states[j].latency_ms;
+        break;
+      case Phase::kDropped:
+        ++metrics.dropped;
+        break;
+      case Phase::kWaiting:
+        ++metrics.dropped;  // never scheduled within the horizon
+        break;
+      case Phase::kServed:
+        ++metrics.unfinished;
+        break;
+    }
+  }
+  if (metrics.completed > 0) {
+    metrics.avg_latency_ms = latency_total / metrics.completed;
+  }
+  return metrics;
+}
+
+}  // namespace mecar::sim

@@ -1,0 +1,184 @@
+// Slotted-time simulator for the dynamic reward maximization problem
+// (section V).
+//
+// Time is divided into slots of 0.05 s (section VI-A). AR requests arrive
+// over the horizon, wait to be scheduled, and — once scheduled — stream for
+// their session duration. The data rate of a request realizes at the moment
+// it is first scheduled. Scheduling is PREEMPTIVE: a policy may pause a
+// resident stream (it keeps its progress and placement) and resume it later.
+//
+// Work model (DESIGN.md section 3): a request with realized rate rho and
+// duration tau holds W = rho * C_unit * tau MHz-slots of work; each slot an
+// active request receives a max-min-fair share of its station's capacity,
+// capped at its per-slot demand rho * C_unit. The session completes when W
+// is exhausted, collecting the realized reward. A request whose waiting
+// time alone makes its latency budget unmeetable is dropped (starvation —
+// the failure mode DynamicRR's threshold learning avoids).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "mec/request.h"
+#include "mec/topology.h"
+
+namespace mecar::sim {
+
+/// A base-station outage: the station serves nothing in slots
+/// [from_slot, until_slot); resident streams are displaced (they keep
+/// their progress but must be re-placed by the policy).
+struct StationOutage {
+  int station = 0;
+  int from_slot = 0;
+  int until_slot = 0;
+};
+
+/// A user movement: at `slot`, the user of `request_index` re-attaches to
+/// `new_home`. Waiting requests see their placement feasibility change; a
+/// stream already being served keeps its service instance (the session is
+/// anchored) but its user now reaches it across the new attachment point.
+struct MobilityEvent {
+  int request_index = 0;
+  int slot = 0;
+  int new_home = 0;
+};
+
+/// Simulation parameters (paper defaults).
+struct OnlineParams {
+  int horizon_slots = 600;
+  /// Slot length: 0.05 s (section VI-A).
+  double slot_ms = 50.0;
+  core::AlgorithmParams alg;
+  /// Failure injection (empty = no outages).
+  std::vector<StationOutage> outages;
+  /// User mobility (empty = static users).
+  std::vector<MobilityEvent> mobility;
+  /// Record detailed series (per-slot utilization, latency samples,
+  /// service ratios) for sim::summarize.
+  bool collect_detail = false;
+};
+
+/// Lifecycle of a request inside the simulator.
+enum class Phase {
+  kWaiting,    // arrived, never scheduled
+  kServed,     // scheduled at least once (rate realized, placement sticky)
+  kCompleted,  // all work done, reward collected
+  kDropped,    // deadline unmeetable before first scheduling
+};
+
+/// Mutable per-request simulation state (read-only for policies).
+struct RequestState {
+  Phase phase = Phase::kWaiting;
+  int station = -1;             // sticky placement once served
+  int first_service_slot = -1;  // b_j
+  std::size_t realized_level = 0;
+  double demand_mhz = 0.0;      // realized rate * C_unit (per-slot need)
+  double work_total = 0.0;      // MHz-slots
+  double work_done = 0.0;
+  double latency_ms = 0.0;      // waiting + placement latency, set at b_j
+  double reward = 0.0;          // collected at completion
+  bool active_this_slot = false;
+};
+
+/// What a policy observes each slot.
+struct SlotView {
+  int slot = 0;
+  double slot_ms = 50.0;
+  const mec::Topology* topo = nullptr;
+  const std::vector<mec::ARRequest>* requests = nullptr;
+  const std::vector<RequestState>* states = nullptr;
+  /// Requests available for scheduling this slot: kWaiting and unfinished
+  /// kServed ones (including displaced streams whose station is -1).
+  std::vector<int> pending;
+  /// Per-station availability this slot (outage injection).
+  std::vector<char> station_up;
+  /// Waiting time (ms) a request would have accumulated if first scheduled
+  /// this slot.
+  double waiting_ms(int request_index) const;
+  /// Residual capacity if only *resident, currently serving* streams are
+  /// counted at their realized demand.
+  std::vector<double> resident_demand_mhz() const;
+  bool is_up(int station) const {
+    return station_up.empty() ||
+           station_up[static_cast<std::size_t>(station)] != 0;
+  }
+};
+
+/// Scheduling decision for one slot: the set of requests that receive
+/// resources this slot. For a first-time-scheduled request, `station` is
+/// its placement; for resident requests the field is ignored (sticky).
+struct SlotDecision {
+  struct Activation {
+    int request_index = -1;
+    int station = -1;
+  };
+  std::vector<Activation> active;
+};
+
+/// End-of-slot observation handed to policies.
+struct SlotFeedback {
+  int slot = 0;
+  /// Reward collected from sessions completing this slot.
+  double completed_reward = 0.0;
+  /// Expected reward of requests starved past their deadline this slot —
+  /// the opportunity cost a learning policy should charge itself.
+  double dropped_expected_reward = 0.0;
+};
+
+/// Interface implemented by DynamicRR and the online baselines.
+class OnlinePolicy {
+ public:
+  virtual ~OnlinePolicy() = default;
+  virtual SlotDecision decide(const SlotView& view) = 0;
+  /// Called at the end of each slot.
+  virtual void feedback(const SlotFeedback& fb);
+  virtual std::string name() const = 0;
+};
+
+/// Aggregate metrics of one simulation run.
+struct OnlineMetrics {
+  double total_reward = 0.0;
+  int arrived = 0;
+  int completed = 0;
+  int dropped = 0;
+  int unfinished = 0;  // still streaming when the horizon ended
+  int displaced = 0;   // stream-displacement events from station outages
+  int handovers = 0;   // mobility events applied
+  /// Mean experienced latency (waiting + placement) over completed requests.
+  double avg_latency_ms = 0.0;
+  std::vector<double> per_slot_reward;
+  /// Detail series (populated when OnlineParams::collect_detail is set).
+  std::vector<double> completed_latencies_ms;
+  /// Allocated / total capacity per slot, in [0, 1].
+  std::vector<double> per_slot_utilization;
+  /// work_done / work_total per request that was ever scheduled.
+  std::vector<double> service_ratios;
+};
+
+/// Runs one policy over one workload realization.
+class OnlineSimulator {
+ public:
+  OnlineSimulator(const mec::Topology& topo,
+                  std::vector<mec::ARRequest> requests,
+                  std::vector<std::size_t> realized, OnlineParams params);
+
+  OnlineMetrics run(OnlinePolicy& policy);
+
+  const OnlineParams& params() const noexcept { return params_; }
+
+ private:
+  const mec::Topology& topo_;
+  std::vector<mec::ARRequest> requests_;
+  std::vector<std::size_t> realized_;
+  OnlineParams params_;
+  std::vector<double> min_latency_ms_;  // per request, over all stations
+};
+
+/// Max-min fair allocation of `capacity` among demands with per-request
+/// caps: every demand gets min(cap_i, fair share), water-filling the rest.
+/// Exposed for tests.
+std::vector<double> waterfill(double capacity,
+                              const std::vector<double>& demands);
+
+}  // namespace mecar::sim

@@ -1,0 +1,72 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+namespace mecar::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string key = arg.substr(2);
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      flags_[key.substr(0, eq)] = key.substr(eq + 1);
+    } else {
+      flags_[key] = "";  // boolean flag; values require --key=value
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const {
+  return flags_.contains(key);
+}
+
+std::optional<std::string> Cli::get(const std::string& key) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_or(const std::string& key, std::string fallback) const {
+  const auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::int64_t Cli::get_int_or(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key + " expects an integer, got '" +
+                                *v + "'");
+  }
+}
+
+double Cli::get_double_or(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key + " expects a number, got '" +
+                                *v + "'");
+  }
+}
+
+bool Cli::get_bool_or(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes") return true;
+  if (*v == "0" || *v == "false" || *v == "no") return false;
+  throw std::invalid_argument("flag --" + key + " expects a boolean, got '" +
+                              *v + "'");
+}
+
+}  // namespace mecar::util

@@ -1,0 +1,37 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace mecar::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::cerr << "[mecar:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace mecar::util

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for reproducible simulations.
+//
+// Every stochastic component in mecar (topology generation, workloads,
+// randomized rounding, rate realization, bandit exploration) draws from an
+// explicitly passed Rng so that a single seed reproduces an entire
+// experiment. The generator is xoshiro256**, seeded through SplitMix64, which
+// is both fast and statistically strong for simulation purposes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mecar::util {
+
+/// Deterministic random number generator (xoshiro256**).
+///
+/// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+/// with <random> distributions, although the member helpers below are the
+/// preferred interface inside mecar.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a 64-bit seed (expanded via SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Weights must be non-negative and not all zero.
+  std::size_t categorical(std::span<const double> weights);
+
+  /// Samples an index in [0, weights.size()) proportional to weights, where
+  /// weights may sum to less than `total`; with the residual probability
+  /// (total - sum) / total, returns weights.size() ("no pick"). Used by the
+  /// y/4 randomized rounding of algorithm Appro.
+  std::size_t categorical_or_none(std::span<const double> weights,
+                                  double total);
+
+  /// Exponential variate with the given rate (> 0).
+  double exponential(double rate);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// subsystem its own stream while remaining reproducible.
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace mecar::util

@@ -1,0 +1,60 @@
+// Streaming and batch statistics used by the metric collectors and benches.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace mecar::util {
+
+/// Welford-style running accumulator: mean/variance/min/max in one pass
+/// without storing samples.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double sum() const noexcept { return sum_; }
+  /// Mean of the samples; 0 when empty.
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Returns the q-th quantile (q in [0,1]) with linear interpolation.
+/// Throws std::invalid_argument on an empty sample or q outside [0,1].
+double quantile(std::span<const double> sorted_samples, double q);
+
+/// Sorts a copy of `samples` and returns the q-th quantile.
+double quantile_unsorted(std::span<const double> samples, double q);
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> samples) noexcept;
+
+/// Sum of a span.
+double sum(std::span<const double> samples) noexcept;
+
+/// Simple ordinary-least-squares fit y = a + b*x; returns {a, b}.
+/// Used by the regret bench to estimate growth exponents in log-log space.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace mecar::util

@@ -1,0 +1,52 @@
+// Aligned console tables + CSV emission for the figure-reproduction benches.
+//
+// Each bench prints the exact series a paper figure plots: one row per sweep
+// point, one column per algorithm. `Table` renders both a human-readable
+// aligned view and a machine-readable CSV block so results can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mecar::util {
+
+/// A rectangular table with a header row; cells are strings, with helpers
+/// for formatting numeric series.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, remaining cells are numbers
+  /// formatted with `precision` digits after the decimal point.
+  void add_numeric_row(const std::string& label,
+                       const std::vector<double>& values, int precision = 2);
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t cols() const noexcept { return header_.size(); }
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::string>& row(std::size_t r) const {
+    return cells_.at(r);
+  }
+
+  /// Renders an aligned, pipe-separated table.
+  std::string to_aligned() const;
+
+  /// Renders an RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  /// Prints the aligned table, then the CSV block fenced by `csv:` markers.
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string format_double(double value, int precision = 2);
+
+}  // namespace mecar::util

@@ -1,0 +1,207 @@
+// Tests for the backhaul bandwidth extension: path extraction, link load
+// tracking, the post-hoc audit, and Appro's bandwidth-aware admission.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/appro.h"
+#include "core/backhaul.h"
+#include "mec/workload.h"
+#include "util/rng.h"
+
+namespace mecar::core {
+namespace {
+
+/// Line 0 -(l0)- 1 -(l1)- 2 with finite bandwidths.
+mec::Topology line(double bw0 = 100.0, double bw1 = 50.0) {
+  std::vector<mec::BaseStation> stations{
+      {0, 3000.0, 1.0, 0.0, 0.0},
+      {1, 3000.0, 1.0, 0.5, 0.0},
+      {2, 3000.0, 1.0, 1.0, 0.0},
+  };
+  std::vector<mec::Link> links{{0, 1, 1.0, bw0}, {1, 2, 1.0, bw1}};
+  return mec::Topology(std::move(stations), std::move(links));
+}
+
+TEST(ShortestPathLinks, FollowsTheDelayShortestRoute) {
+  const mec::Topology topo = line();
+  EXPECT_TRUE(topo.shortest_path_links(1, 1).empty());
+  const auto p01 = topo.shortest_path_links(0, 1);
+  ASSERT_EQ(p01.size(), 1u);
+  EXPECT_EQ(p01[0], 0);
+  const auto p02 = topo.shortest_path_links(0, 2);
+  ASSERT_EQ(p02.size(), 2u);
+  EXPECT_EQ(p02[0], 0);
+  EXPECT_EQ(p02[1], 1);
+  EXPECT_THROW(topo.shortest_path_links(-1, 0), std::out_of_range);
+}
+
+TEST(ShortestPathLinks, PrefersTheShortcut) {
+  std::vector<mec::BaseStation> stations{
+      {0, 3000.0, 1.0, 0.0, 0.0},
+      {1, 3000.0, 1.0, 0.5, 0.0},
+      {2, 3000.0, 1.0, 1.0, 0.0},
+  };
+  std::vector<mec::Link> links{
+      {0, 1, 5.0}, {1, 2, 5.0}, {0, 2, 3.0}};
+  const mec::Topology topo(std::move(stations), std::move(links));
+  const auto path = topo.shortest_path_links(0, 2);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 2);
+}
+
+TEST(ShortestPathLinks, DisconnectedThrows) {
+  std::vector<mec::BaseStation> stations{
+      {0, 3000.0, 1.0, 0.0, 0.0},
+      {1, 3000.0, 1.0, 1.0, 0.0},
+  };
+  const mec::Topology topo(std::move(stations), {});
+  EXPECT_THROW(topo.shortest_path_links(0, 1), std::runtime_error);
+}
+
+TEST(TopologyValidation, RejectsNonPositiveBandwidth) {
+  std::vector<mec::BaseStation> stations{
+      {0, 3000.0, 1.0, 0.0, 0.0},
+      {1, 3000.0, 1.0, 1.0, 0.0},
+  };
+  EXPECT_THROW(mec::Topology(stations, {{0, 1, 1.0, 0.0}}),
+               std::invalid_argument);
+}
+
+TEST(BackhaulLoad, ConsumeReleaseRoundTrip) {
+  const mec::Topology topo = line(100.0, 50.0);
+  BackhaulLoad load(topo);
+  const auto path = topo.shortest_path_links(0, 2);
+  EXPECT_DOUBLE_EQ(load.available_mbps(path), 50.0);  // bottleneck link
+  EXPECT_TRUE(load.consume(path, 30.0));
+  EXPECT_DOUBLE_EQ(load.available_mbps(path), 20.0);
+  EXPECT_FALSE(load.consume(path, 30.0));  // would exceed the bottleneck
+  EXPECT_DOUBLE_EQ(load.used_mbps(0), 30.0);
+  load.release(path, 30.0);
+  EXPECT_DOUBLE_EQ(load.available_mbps(path), 50.0);
+  EXPECT_THROW(load.release(path, 5.0), std::invalid_argument);
+  EXPECT_THROW(load.consume(path, -1.0), std::invalid_argument);
+}
+
+TEST(BackhaulLoad, EmptyPathIsFree) {
+  const mec::Topology topo = line();
+  BackhaulLoad load(topo);
+  EXPECT_TRUE(std::isinf(load.available_mbps({})));
+  EXPECT_TRUE(load.consume({}, 1e9));
+}
+
+TEST(BackhaulAudit, VoidsRewardsBeyondTheBottleneck) {
+  const mec::Topology topo = line(100.0, 35.0);
+  std::vector<mec::ARRequest> requests;
+  std::vector<std::size_t> realized;
+  OffloadResult result;
+  // Two requests homed at 0, both rewarded at station 2 with rate 30:
+  // only the first fits the 35 MB/s bottleneck.
+  for (int j = 0; j < 2; ++j) {
+    mec::ARRequest req;
+    req.id = j;
+    req.home_station = 0;
+    req.tasks = mec::ar_pipeline(3);
+    req.demand = mec::RateRewardDist({{30.0, 1.0, 400.0}});
+    requests.push_back(req);
+    realized.push_back(0);
+    RequestOutcome outcome;
+    outcome.request_id = j;
+    outcome.admitted = true;
+    outcome.rewarded = true;
+    outcome.station = 2;
+    outcome.realized_rate = 30.0;
+    outcome.reward = 400.0;
+    result.outcomes.push_back(outcome);
+  }
+  const auto audit = apply_backhaul_audit(topo, requests, result);
+  EXPECT_EQ(audit.voided, 1);
+  EXPECT_DOUBLE_EQ(audit.reward_lost, 400.0);
+  EXPECT_DOUBLE_EQ(result.total_reward(), 400.0);
+  EXPECT_NEAR(audit.peak_link_utilization, 30.0 / 35.0, 1e-9);
+}
+
+TEST(BackhaulAudit, LocalExecutionIsExempt) {
+  const mec::Topology topo = line(1.0, 1.0);  // near-zero backhaul
+  std::vector<mec::ARRequest> requests(1);
+  requests[0].id = 0;
+  requests[0].home_station = 1;
+  requests[0].tasks = mec::ar_pipeline(3);
+  requests[0].demand = mec::RateRewardDist({{50.0, 1.0, 500.0}});
+  OffloadResult result;
+  RequestOutcome outcome;
+  outcome.admitted = outcome.rewarded = true;
+  outcome.station = 1;  // == home
+  outcome.realized_rate = 50.0;
+  outcome.reward = 500.0;
+  result.outcomes.push_back(outcome);
+  const auto audit = apply_backhaul_audit(topo, requests, result);
+  EXPECT_EQ(audit.voided, 0);
+  EXPECT_DOUBLE_EQ(result.total_reward(), 500.0);
+}
+
+TEST(BackhaulAudit, SizeMismatchThrows) {
+  const mec::Topology topo = line();
+  OffloadResult result;
+  result.outcomes.resize(2);
+  std::vector<mec::ARRequest> requests(1);
+  EXPECT_THROW(apply_backhaul_audit(topo, requests, result),
+               std::invalid_argument);
+}
+
+TEST(BackhaulEnforcement, ApproRespectsFiniteLinks) {
+  // Constrained backhaul; bandwidth-aware Appro never places a rewarded
+  // stream on a path it cannot carry (audit finds nothing to void).
+  util::Rng rng(41);
+  mec::TopologyParams tparams;
+  tparams.num_stations = 10;
+  tparams.link_bandwidth_min_mbps = 40.0;
+  tparams.link_bandwidth_max_mbps = 120.0;
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 60;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto realized = realize_demand_levels(requests, rng);
+
+  AlgorithmParams params;
+  params.enforce_backhaul = true;
+  util::Rng round_rng(42);
+  auto result = run_appro(topo, requests, realized, params, round_rng);
+  const double before = result.total_reward();
+  const auto audit = apply_backhaul_audit(topo, requests, result);
+  EXPECT_EQ(audit.voided, 0);
+  EXPECT_DOUBLE_EQ(result.total_reward(), before);
+}
+
+TEST(BackhaulEnforcement, BlindApproLosesRewardToTheAudit) {
+  util::Rng rng(43);
+  mec::TopologyParams tparams;
+  tparams.num_stations = 10;
+  tparams.link_bandwidth_min_mbps = 25.0;  // tight backhaul
+  tparams.link_bandwidth_max_mbps = 60.0;
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 120;
+  wparams.home_skew = 1.5;  // hotspots force remote placements
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto realized = realize_demand_levels(requests, rng);
+
+  AlgorithmParams blind;  // enforce_backhaul = false
+  util::Rng r1(44);
+  auto blind_result = run_appro(topo, requests, realized, blind, r1);
+  const auto audit = apply_backhaul_audit(topo, requests, blind_result);
+  EXPECT_GT(audit.voided, 0);  // the blind plan oversubscribed some link
+
+  AlgorithmParams aware = blind;
+  aware.enforce_backhaul = true;
+  util::Rng r2(44);
+  auto aware_result = run_appro(topo, requests, realized, aware, r2);
+  const auto aware_audit =
+      apply_backhaul_audit(topo, requests, aware_result);
+  EXPECT_EQ(aware_audit.voided, 0);
+  // Awareness retains at least as much audited reward.
+  EXPECT_GE(aware_result.total_reward(), blind_result.total_reward() * 0.95);
+}
+
+}  // namespace
+}  // namespace mecar::core

@@ -1,0 +1,125 @@
+// Tests for the bandit extensions: Thompson sampling (Gaussian posterior)
+// and the zooming algorithm for Lipschitz bandits, plus their integration
+// as DynamicRR threshold learners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bandit/thompson.h"
+#include "bandit/zooming.h"
+#include "util/rng.h"
+
+namespace mecar::bandit {
+namespace {
+
+TEST(Thompson, Validates) {
+  EXPECT_THROW(ThompsonSampling(0, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(ThompsonSampling(2, util::Rng(1), 0.0), std::invalid_argument);
+  EXPECT_THROW(ThompsonSampling(2, util::Rng(1), 1.0, 0.0, -1.0),
+               std::invalid_argument);
+  ThompsonSampling ts(2, util::Rng(1));
+  EXPECT_THROW(ts.update(7, 0.0), std::out_of_range);
+}
+
+TEST(Thompson, PosteriorConcentratesOnTrueMean) {
+  ThompsonSampling ts(1, util::Rng(3), 0.25, 0.0, 1.0);
+  for (int i = 0; i < 400; ++i) ts.update(0, 0.7);
+  EXPECT_NEAR(ts.posterior_mean(0), 0.7, 0.02);
+  EXPECT_LT(ts.posterior_std(0), 0.05);
+  EXPECT_NEAR(ts.mean(0), 0.7, 1e-9);
+}
+
+TEST(Thompson, FindsBestBernoulliArm) {
+  util::Rng env_rng(5);
+  ThompsonSampling ts(3, util::Rng(6), 0.5, 0.5, 1.0);
+  const double means[3] = {0.2, 0.8, 0.4};
+  int plays[3] = {0, 0, 0};
+  for (int t = 0; t < 3000; ++t) {
+    const int arm = ts.select_arm();
+    ++plays[arm];
+    ts.update(arm, env_rng.bernoulli(means[arm]) ? 1.0 : 0.0);
+  }
+  EXPECT_GT(plays[1], plays[0]);
+  EXPECT_GT(plays[1], plays[2]);
+  EXPECT_GT(plays[1], 2000);  // exploitation dominates
+}
+
+TEST(Thompson, RoundsCountPulls) {
+  ThompsonSampling ts(2, util::Rng(7));
+  EXPECT_EQ(ts.rounds(), 0);
+  ts.update(0, 0.5);
+  ts.update(1, 0.5);
+  EXPECT_EQ(ts.rounds(), 2);
+}
+
+TEST(Zooming, Validates) {
+  EXPECT_THROW(ZoomingBandit(1.0, 0.0, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(ZoomingBandit(0.0, 1.0, util::Rng(1), 0.0),
+               std::invalid_argument);
+  ZoomingBandit z(0.0, 1.0, util::Rng(1));
+  EXPECT_THROW(z.update(0.5), std::logic_error);
+}
+
+TEST(Zooming, StartsAtMidpointAndGrows) {
+  ZoomingBandit z(0.0, 10.0, util::Rng(3));
+  EXPECT_EQ(z.num_active_points(), 1);
+  const double first = z.select_point();
+  EXPECT_DOUBLE_EQ(first, 5.0);
+  z.update(0.3);
+  // As confidence shrinks, new points get activated to cover the interval.
+  for (int t = 0; t < 400; ++t) {
+    (void)z.select_point();
+    z.update(0.3);
+  }
+  EXPECT_GT(z.num_active_points(), 1);
+}
+
+TEST(Zooming, PointsStayInInterval) {
+  ZoomingBandit z(2.0, 8.0, util::Rng(5));
+  util::Rng env(6);
+  for (int t = 0; t < 500; ++t) {
+    const double x = z.select_point();
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 8.0);
+    z.update(env.uniform());
+  }
+  for (const auto& p : z.points()) {
+    EXPECT_GE(p.value, 2.0);
+    EXPECT_LE(p.value, 8.0);
+  }
+}
+
+TEST(Zooming, ZoomsTowardTheOptimum) {
+  // Reward peaks at x* = 7 (triangular, Lipschitz); zooming should place
+  // most pulls near the peak and report a best point close to it.
+  ZoomingBandit z(0.0, 10.0, util::Rng(7), 0.5);
+  util::Rng env(8);
+  auto reward = [&](double x) {
+    const double base = 1.0 - 0.12 * std::abs(x - 7.0);
+    return base + env.uniform(-0.05, 0.05);
+  };
+  for (int t = 0; t < 4000; ++t) {
+    const double x = z.select_point();
+    z.update(reward(x));
+  }
+  EXPECT_NEAR(z.best_point(), 7.0, 1.5);
+  // Pull mass concentrates near the optimum.
+  int near = 0, far = 0;
+  for (const auto& p : z.points()) {
+    (std::abs(p.value - 7.0) < 2.0 ? near : far) += p.pulls;
+  }
+  EXPECT_GT(near, far);
+}
+
+TEST(Zooming, AdaptiveCoverageActivatesMultiplePoints) {
+  ZoomingBandit z(0.0, 1.0, util::Rng(9), 0.05);  // small radius
+  util::Rng env(10);
+  for (int t = 0; t < 300; ++t) {
+    (void)z.select_point();
+    z.update(env.uniform());
+  }
+  EXPECT_GT(z.num_active_points(), 3);
+}
+
+}  // namespace
+}  // namespace mecar::bandit

@@ -1,0 +1,243 @@
+// Tests for the offline baselines (Greedy [32], OCORP [20], HeuKKT [21]):
+// admission rules, reservation semantics, locality, and cross-algorithm
+// ordering properties used by the figure benches.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/greedy.h"
+#include "baselines/heu_kkt.h"
+#include "baselines/ocorp.h"
+#include "core/appro.h"
+#include "core/heu.h"
+#include "mec/workload.h"
+#include "util/rng.h"
+
+namespace mecar::baselines {
+namespace {
+
+using core::AlgorithmParams;
+using core::OffloadResult;
+
+mec::Topology tiny_topology() {
+  std::vector<mec::BaseStation> stations{
+      {0, 2200.0, 1.0, 0.0, 0.0},  // fits two peak reservations of 1000
+      {1, 2200.0, 2.0, 1.0, 0.0},
+  };
+  std::vector<mec::Link> links{{0, 1, 2.0}};
+  return mec::Topology(std::move(stations), std::move(links));
+}
+
+mec::ARRequest request_with(int id, int home, double reward) {
+  mec::ARRequest req;
+  req.id = id;
+  req.home_station = home;
+  req.tasks = mec::ar_pipeline(3);
+  req.demand =
+      mec::RateRewardDist({{30.0, 0.5, reward}, {50.0, 0.5, reward}});
+  req.latency_budget_ms = 200.0;
+  return req;
+}
+
+TEST(Greedy, PeakReservationNeverOverflows) {
+  const mec::Topology topo = tiny_topology();
+  std::vector<mec::ARRequest> requests;
+  std::vector<std::size_t> realized;
+  for (int j = 0; j < 10; ++j) {
+    requests.push_back(request_with(j, j % 2, 500.0));
+    realized.push_back(1);  // everyone realizes the 50 MB/s peak
+  }
+  const auto result = run_greedy(topo, requests, realized, AlgorithmParams{});
+  // Peak demand = 1000 MHz, station capacity 2200 -> 2 per station, and
+  // every admitted request is rewarded (the reservation always covers).
+  EXPECT_EQ(result.num_admitted(), 4);
+  EXPECT_EQ(result.num_rewarded(), result.num_admitted());
+  // Station usage never exceeds capacity even at peak realization.
+  std::vector<double> used(2, 0.0);
+  for (const auto& o : result.outcomes) {
+    if (o.admitted) used[static_cast<std::size_t>(o.station)] += 1000.0;
+  }
+  EXPECT_LE(used[0], 2200.0);
+  EXPECT_LE(used[1], 2200.0);
+}
+
+TEST(Greedy, PrefersLowLatencyStations) {
+  const mec::Topology topo = tiny_topology();
+  std::vector<mec::ARRequest> requests{request_with(0, 0, 500.0)};
+  const std::vector<std::size_t> realized{0};
+  const auto result = run_greedy(topo, requests, realized, AlgorithmParams{});
+  ASSERT_TRUE(result.outcomes[0].admitted);
+  EXPECT_EQ(result.outcomes[0].station, 0);  // home is latency-optimal
+}
+
+TEST(Greedy, BigJobsFirstCanStarveSmallOnes) {
+  // One station, room for one peak reservation; the longer pipeline must
+  // win the slot ("sorts tasks in a decreasing order of execution times").
+  std::vector<mec::BaseStation> stations{{0, 1100.0, 1.0, 0.0, 0.0}};
+  const mec::Topology topo(std::move(stations), {});
+  mec::ARRequest small = request_with(0, 0, 500.0);
+  small.tasks = mec::ar_pipeline(3);
+  mec::ARRequest big = request_with(1, 0, 100.0);
+  big.tasks = mec::ar_pipeline(5);
+  const std::vector<std::size_t> realized{0, 0};
+  const auto result =
+      run_greedy(topo, {small, big}, realized, AlgorithmParams{});
+  EXPECT_FALSE(result.outcomes[0].admitted);
+  EXPECT_TRUE(result.outcomes[1].admitted);
+}
+
+TEST(Greedy, MismatchedRealizationThrows) {
+  const mec::Topology topo = tiny_topology();
+  std::vector<mec::ARRequest> requests{request_with(0, 0, 500.0)};
+  EXPECT_THROW(run_greedy(topo, requests, {}, AlgorithmParams{}),
+               std::invalid_argument);
+}
+
+TEST(Ocorp, BestFitPacksTightStations) {
+  // Station 0 has less remaining room after one admission; best-fit sends
+  // the next request there while first-fit-by-latency would not care.
+  std::vector<mec::BaseStation> stations{
+      {0, 1100.0, 1.0, 0.0, 0.0},
+      {1, 3000.0, 1.0, 0.1, 0.0},
+  };
+  std::vector<mec::Link> links{{0, 1, 1.0}};
+  const mec::Topology topo(std::move(stations), std::move(links));
+  std::vector<mec::ARRequest> requests{request_with(0, 0, 500.0)};
+  const std::vector<std::size_t> realized{0};
+  const auto result = run_ocorp(topo, requests, realized, AlgorithmParams{});
+  ASSERT_TRUE(result.outcomes[0].admitted);
+  EXPECT_EQ(result.outcomes[0].station, 0);  // smaller residual that fits
+}
+
+TEST(Ocorp, ArrivalOrderIsRespected) {
+  // One peak slot; the earlier arrival gets it.
+  std::vector<mec::BaseStation> stations{{0, 1100.0, 1.0, 0.0, 0.0}};
+  const mec::Topology topo(std::move(stations), {});
+  mec::ARRequest early = request_with(0, 0, 100.0);
+  early.arrival_slot = 0;
+  mec::ARRequest late = request_with(1, 0, 900.0);
+  late.arrival_slot = 5;
+  const std::vector<std::size_t> realized{0, 0};
+  const auto result =
+      run_ocorp(topo, {early, late}, realized, AlgorithmParams{});
+  EXPECT_TRUE(result.outcomes[0].admitted);
+  EXPECT_FALSE(result.outcomes[1].admitted);
+}
+
+TEST(Ocorp, AdmittedAlwaysRewarded) {
+  util::Rng rng(3);
+  const mec::Topology topo = mec::generate_topology({}, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 60;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto realized = core::realize_demand_levels(requests, rng);
+  const auto result = run_ocorp(topo, requests, realized, AlgorithmParams{});
+  EXPECT_EQ(result.num_admitted(), result.num_rewarded());
+}
+
+TEST(HeuKkt, HomeFirstPlacement) {
+  const mec::Topology topo = tiny_topology();
+  std::vector<mec::ARRequest> requests{request_with(0, 1, 500.0)};
+  const std::vector<std::size_t> realized{0};
+  const auto result =
+      run_heu_kkt(topo, requests, realized, AlgorithmParams{});
+  ASSERT_TRUE(result.outcomes[0].admitted);
+  EXPECT_EQ(result.outcomes[0].station, 1);
+}
+
+TEST(HeuKkt, WaterFillingAdmitsSmallDemandsFirst) {
+  // Home station with room for one mean commitment (800 MHz): the smaller
+  // expected demand wins; the larger overflows to the neighbour.
+  std::vector<mec::BaseStation> stations{
+      {0, 900.0, 1.0, 0.0, 0.0},
+      {1, 3000.0, 1.0, 0.5, 0.0},
+  };
+  std::vector<mec::Link> links{{0, 1, 1.0}};
+  const mec::Topology topo(std::move(stations), std::move(links));
+  mec::ARRequest small = request_with(0, 0, 100.0);
+  small.demand = mec::RateRewardDist({{40.0, 1.0, 100.0}});  // 800 MHz
+  mec::ARRequest smaller = request_with(1, 0, 900.0);
+  smaller.demand = mec::RateRewardDist({{35.0, 1.0, 900.0}});  // 700 MHz
+  const std::vector<std::size_t> realized{0, 0};
+  const auto result =
+      run_heu_kkt(topo, {small, smaller}, realized, AlgorithmParams{});
+  ASSERT_TRUE(result.outcomes[1].admitted);
+  EXPECT_EQ(result.outcomes[1].station, 0);  // smaller demand stays home
+  ASSERT_TRUE(result.outcomes[0].admitted);
+  EXPECT_EQ(result.outcomes[0].station, 1);  // overflow to neighbour
+}
+
+TEST(HeuKkt, OverflowBeyondNeighbourhoodIsLost) {
+  // Home + one tiny neighbour: the third request goes to the remote cloud
+  // (not admitted, no reward).
+  std::vector<mec::BaseStation> stations{
+      {0, 900.0, 1.0, 0.0, 0.0},
+      {1, 900.0, 1.0, 0.5, 0.0},
+  };
+  std::vector<mec::Link> links{{0, 1, 1.0}};
+  const mec::Topology topo(std::move(stations), std::move(links));
+  std::vector<mec::ARRequest> requests;
+  std::vector<std::size_t> realized;
+  for (int j = 0; j < 3; ++j) {
+    mec::ARRequest req = request_with(j, 0, 100.0);
+    req.demand = mec::RateRewardDist({{40.0, 1.0, 100.0}});
+    requests.push_back(req);
+    realized.push_back(0);
+  }
+  const auto result =
+      run_heu_kkt(topo, requests, realized, AlgorithmParams{});
+  EXPECT_EQ(result.num_admitted(), 2);
+}
+
+TEST(HeuKkt, MeanCommitmentCanOverflowOnRealization) {
+  // Commitments are means; when everyone realizes the peak, the last
+  // admitted request does not fit and earns nothing (uncertainty penalty).
+  std::vector<mec::BaseStation> stations{{0, 1700.0, 1.0, 0.0, 0.0}};
+  const mec::Topology topo(std::move(stations), {});
+  std::vector<mec::ARRequest> requests{
+      request_with(0, 0, 500.0),  // mean 40 -> commit 800
+      request_with(1, 0, 500.0),
+  };
+  const std::vector<std::size_t> realized{1, 1};  // both realize 50 -> 1000
+  const auto result =
+      run_heu_kkt(topo, requests, realized, AlgorithmParams{});
+  EXPECT_EQ(result.num_admitted(), 2);
+  EXPECT_EQ(result.num_rewarded(), 1);
+}
+
+// --- Cross-algorithm ordering on the paper's default workload -----------
+
+class OrderingSeeds : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OrderingSeeds, RewardAwareAlgorithmsDominateUnderSaturation) {
+  util::Rng rng(GetParam());
+  mec::TopologyParams tparams;
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 250;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto realized = core::realize_demand_levels(requests, rng);
+  AlgorithmParams params;
+
+  util::Rng round_rng(GetParam() + 500);
+  const double heu = core::run_heu(topo, requests, realized, params, round_rng)
+                         .total_reward();
+  const double greedy =
+      run_greedy(topo, requests, realized, params).total_reward();
+  const double ocorp =
+      run_ocorp(topo, requests, realized, params).total_reward();
+  const double kkt =
+      run_heu_kkt(topo, requests, realized, params).total_reward();
+
+  // Paper Fig. 3(a): Heu > HeuKKT > {OCORP, Greedy} under saturation.
+  EXPECT_GT(heu, kkt);
+  EXPECT_GT(kkt, greedy);
+  EXPECT_GT(kkt, ocorp);
+  // And the headline magnitude: Heu clearly above the local baselines.
+  EXPECT_GT(heu, 1.2 * std::max(greedy, ocorp));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderingSeeds, ::testing::Values(7u, 23u, 41u));
+
+}  // namespace
+}  // namespace mecar::baselines

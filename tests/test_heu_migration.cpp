@@ -1,0 +1,163 @@
+// Targeted tests for algorithm Heu's migration step (Alg. 2 steps 11-14):
+// constructed scenarios where migration must rescue an admission, respect
+// latency budgets, and conserve resources.
+#include <gtest/gtest.h>
+
+#include "core/appro.h"
+#include "core/heu.h"
+#include "core/rounding.h"
+#include "mec/workload.h"
+#include "util/rng.h"
+
+namespace mecar::core {
+namespace {
+
+/// Hub-and-spoke: station 0 (hub) close to everyone; stations 1 and 2 are
+/// spokes with ample capacity.
+mec::Topology hub_and_spokes(double hub_capacity) {
+  std::vector<mec::BaseStation> stations{
+      {0, hub_capacity, 1.0, 0.5, 0.5},
+      {1, 4000.0, 1.0, 0.4, 0.5},
+      {2, 4000.0, 1.0, 0.6, 0.5},
+  };
+  std::vector<mec::Link> links{{0, 1, 1.0}, {0, 2, 1.0}, {1, 2, 2.5}};
+  return mec::Topology(std::move(stations), std::move(links));
+}
+
+mec::ARRequest fixed_request(int id, int home, double rate, double reward,
+                             double budget_ms = 200.0) {
+  mec::ARRequest req;
+  req.id = id;
+  req.home_station = home;
+  req.tasks = mec::ar_pipeline(4);
+  req.demand = mec::RateRewardDist({{rate, 1.0, reward}});
+  req.latency_budget_ms = budget_ms;
+  return req;
+}
+
+TEST(HeuMigration, MigrationConservesTotalUsage) {
+  // Hub too small for everyone; Heu's migrations must never create or
+  // destroy resource usage across the network.
+  util::Rng rng(51);
+  const mec::Topology topo = hub_and_spokes(2000.0);
+  std::vector<mec::ARRequest> requests;
+  std::vector<std::size_t> realized;
+  for (int j = 0; j < 8; ++j) {
+    requests.push_back(fixed_request(j, 0, 40.0, 500.0));
+    realized.push_back(0);
+  }
+  AlgorithmParams params;
+  const auto result = run_heu(topo, requests, realized, params, rng);
+
+  double rewarded_usage = 0.0;
+  for (const auto& o : result.outcomes) {
+    if (!o.admitted) continue;
+    // Each admitted request's shares are split over its task stations; the
+    // grand total over rewarded requests equals demand (800 MHz each).
+    if (o.rewarded) rewarded_usage += o.realized_rate * params.c_unit;
+  }
+  EXPECT_LE(rewarded_usage, topo.total_capacity_mhz() + 1e-6);
+  EXPECT_GT(result.num_rewarded(), 0);
+}
+
+TEST(HeuMigration, SplitLatencyStaysWithinBudget) {
+  util::Rng rng(53);
+  const mec::Topology topo = hub_and_spokes(1700.0);
+  std::vector<mec::ARRequest> requests;
+  std::vector<std::size_t> realized;
+  for (int j = 0; j < 10; ++j) {
+    requests.push_back(fixed_request(j, 0, 40.0, 500.0));
+    realized.push_back(0);
+  }
+  AlgorithmParams params;
+  const auto result = run_heu(topo, requests, realized, params, rng);
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    const auto& o = result.outcomes[j];
+    if (!o.admitted) continue;
+    // Recompute the split latency from the reported task placement and
+    // check it agrees with the outcome and the budget.
+    const double lat =
+        mec::split_placement_latency_ms(topo, requests[j], o.task_stations);
+    EXPECT_NEAR(lat, o.latency_ms, 1e-9);
+    EXPECT_LE(lat, requests[j].latency_budget_ms + 1e-9);
+  }
+}
+
+TEST(HeuMigration, TightBudgetPreventsMigration) {
+  // With a latency budget so tight that any inter-station hop violates it,
+  // Heu must not split pipelines: every admitted request stays whole.
+  util::Rng rng(55);
+  const mec::Topology topo = hub_and_spokes(2000.0);
+  std::vector<mec::ARRequest> requests;
+  std::vector<std::size_t> realized;
+  for (int j = 0; j < 8; ++j) {
+    // Budget 5 ms: hub processing alone costs 4 ms (weight 4 x 1 ms);
+    // any migration adds two 1 ms hops and busts the budget.
+    requests.push_back(fixed_request(j, 0, 40.0, 500.0, 5.0));
+    realized.push_back(0);
+  }
+  AlgorithmParams params;
+  const auto result = run_heu(topo, requests, realized, params, rng);
+  for (const auto& o : result.outcomes) {
+    if (!o.admitted) continue;
+    for (int bs : o.task_stations) {
+      EXPECT_EQ(bs, o.station);  // no task left its station
+    }
+  }
+}
+
+TEST(HeuMigration, HeuAdmitsAtLeastAsManyAsApproOnHubOverload) {
+  // The canonical Heu-vs-Appro scenario: hub overloaded with bare rounding
+  // (backfill off isolates the migration effect). Heu may migrate donor
+  // tasks to the spokes; Appro must reject.
+  int heu_wins = 0, ties = 0, appro_wins = 0;
+  for (unsigned seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(seed);
+    const mec::Topology topo = hub_and_spokes(1500.0);
+    std::vector<mec::ARRequest> requests;
+    std::vector<std::size_t> realized;
+    for (int j = 0; j < 12; ++j) {
+      requests.push_back(fixed_request(j, 0, 40.0, 500.0));
+      realized.push_back(0);
+    }
+    AlgorithmParams params;
+    params.backfill = false;
+    util::Rng r1(seed + 100), r2(seed + 100);
+    const int appro =
+        run_appro(topo, requests, realized, params, r1).num_admitted();
+    const int heu =
+        run_heu(topo, requests, realized, params, r2).num_admitted();
+    if (heu > appro) ++heu_wins;
+    else if (heu == appro) ++ties;
+    else ++appro_wins;
+  }
+  EXPECT_EQ(appro_wins, 0);
+  EXPECT_GT(heu_wins + ties, 15);
+}
+
+TEST(HeuMigration, TaskStationsAlwaysValid) {
+  util::Rng rng(57);
+  mec::TopologyParams tparams;
+  tparams.num_stations = 6;
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 60;
+  wparams.home_skew = 2.0;  // heavy hotspot -> many migrations
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto realized = realize_demand_levels(requests, rng);
+  AlgorithmParams params;
+  util::Rng round_rng(58);
+  const auto result = run_heu(topo, requests, realized, params, round_rng);
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    const auto& o = result.outcomes[j];
+    if (!o.admitted) continue;
+    ASSERT_EQ(o.task_stations.size(), requests[j].tasks.size());
+    for (int bs : o.task_stations) {
+      EXPECT_GE(bs, 0);
+      EXPECT_LT(bs, topo.num_stations());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mecar::core

@@ -1,0 +1,206 @@
+// Integration tests across subsystems: determinism under seeds, paper-scale
+// end-to-end invariants, offline/online consistency, and the figure-shape
+// properties the benches rely on.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.h"
+#include "baselines/heu_kkt.h"
+#include "baselines/ocorp.h"
+#include "core/appro.h"
+#include "core/heu.h"
+#include "mec/trace.h"
+#include "mec/workload.h"
+#include "sim/dynamic_rr.h"
+#include "sim/online_baselines.h"
+#include "sim/online_sim.h"
+#include "util/rng.h"
+
+namespace mecar {
+namespace {
+
+struct World {
+  mec::Topology topo;
+  std::vector<mec::ARRequest> requests;
+  std::vector<std::size_t> realized;
+};
+
+World make_world(unsigned seed, int requests_n, int horizon = 0) {
+  util::Rng rng(seed);
+  mec::Topology topo = mec::generate_topology({}, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = requests_n;
+  wparams.horizon_slots = horizon;
+  auto requests = mec::generate_requests(wparams, topo, rng);
+  auto realized = core::realize_demand_levels(requests, rng);
+  return {std::move(topo), std::move(requests), std::move(realized)};
+}
+
+TEST(Determinism, SameSeedSameOfflineResults) {
+  for (int run = 0; run < 2; ++run) {
+    static double first_appro = 0.0, first_greedy = 0.0;
+    const World w = make_world(99, 120);
+    util::Rng rng(100);
+    const double appro =
+        core::run_appro(w.topo, w.requests, w.realized,
+                        core::AlgorithmParams{}, rng)
+            .total_reward();
+    const double greedy =
+        baselines::run_greedy(w.topo, w.requests, w.realized,
+                              core::AlgorithmParams{})
+            .total_reward();
+    if (run == 0) {
+      first_appro = appro;
+      first_greedy = greedy;
+    } else {
+      EXPECT_DOUBLE_EQ(appro, first_appro);
+      EXPECT_DOUBLE_EQ(greedy, first_greedy);
+    }
+  }
+}
+
+TEST(Determinism, SameSeedSameOnlineResults) {
+  double first = -1.0;
+  for (int run = 0; run < 2; ++run) {
+    const World w = make_world(7, 150, 300);
+    sim::OnlineParams params;
+    params.horizon_slots = 300;
+    sim::DynamicRrPolicy policy(w.topo, core::AlgorithmParams{},
+                                sim::DynamicRrParams{}, util::Rng(8));
+    sim::OnlineSimulator simulator(w.topo, w.requests, w.realized, params);
+    const double reward = simulator.run(policy).total_reward;
+    if (run == 0) {
+      first = reward;
+    } else {
+      EXPECT_DOUBLE_EQ(reward, first);
+    }
+  }
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  const World a = make_world(1, 120);
+  const World b = make_world(2, 120);
+  util::Rng r1(3), r2(3);
+  const double ra = core::run_heu(a.topo, a.requests, a.realized,
+                                  core::AlgorithmParams{}, r1)
+                        .total_reward();
+  const double rb = core::run_heu(b.topo, b.requests, b.realized,
+                                  core::AlgorithmParams{}, r2)
+                        .total_reward();
+  EXPECT_NE(ra, rb);
+}
+
+TEST(PaperScale, DefaultInstanceRunsEveryOfflineAlgorithm) {
+  const World w = make_world(42, 150);  // the paper's default |R|
+  const core::AlgorithmParams params;
+  util::Rng rng(43);
+
+  const auto appro = core::run_appro(w.topo, w.requests, w.realized, params,
+                                     rng);
+  util::Rng rng2(43);
+  const auto heu =
+      core::run_heu(w.topo, w.requests, w.realized, params, rng2);
+  const auto greedy =
+      baselines::run_greedy(w.topo, w.requests, w.realized, params);
+  const auto ocorp =
+      baselines::run_ocorp(w.topo, w.requests, w.realized, params);
+  const auto kkt =
+      baselines::run_heu_kkt(w.topo, w.requests, w.realized, params);
+
+  for (const auto* result : {&appro, &heu, &greedy, &ocorp, &kkt}) {
+    EXPECT_GT(result->total_reward(), 0.0);
+    EXPECT_GE(result->num_admitted(), result->num_rewarded());
+    // Rewarded requests are within latency budgets.
+    for (const auto& o : result->outcomes) {
+      if (o.rewarded) {
+        EXPECT_LE(o.latency_ms, 200.0 + 1e-9);
+      }
+    }
+  }
+  // The slot-LP bound caps every realized total on this instance... only
+  // in expectation; assert the softer sanity LP bound > 0 and above half
+  // of Appro's realized reward.
+  EXPECT_GT(appro.lp_bound, 0.5 * appro.total_reward());
+}
+
+TEST(PaperScale, RewardsAreCapacityBound) {
+  // No algorithm can reward more aggregate demand than the network holds.
+  const World w = make_world(13, 300);
+  const core::AlgorithmParams params;
+  util::Rng rng(14);
+  const auto result =
+      core::run_heu(w.topo, w.requests, w.realized, params, rng);
+  double rewarded_demand = 0.0;
+  for (const auto& o : result.outcomes) {
+    if (o.rewarded) rewarded_demand += o.realized_rate * params.c_unit;
+  }
+  EXPECT_LE(rewarded_demand, w.topo.total_capacity_mhz() + 1e-6);
+}
+
+TEST(OfflineOnlineConsistency, OnlineCompletionsNeverExceedArrivals) {
+  const World w = make_world(17, 200, 400);
+  sim::OnlineParams params;
+  params.horizon_slots = 400;
+  sim::HeuKktOnlinePolicy policy(w.topo, core::AlgorithmParams{});
+  sim::OnlineSimulator simulator(w.topo, w.requests, w.realized, params);
+  const auto m = simulator.run(policy);
+  EXPECT_LE(m.completed, m.arrived);
+  // Aggregate collected reward equals the sum over completed outcomes.
+  double expected_total = 0.0;
+  for (std::size_t j = 0; j < w.requests.size(); ++j) {
+    // Cannot reconstruct which completed without the states; rely on the
+    // per-slot series consistency instead.
+    (void)j;
+  }
+  for (double r : m.per_slot_reward) expected_total += r;
+  EXPECT_DOUBLE_EQ(m.total_reward, expected_total);
+}
+
+TEST(TraceDrivenWorkload, EstimatedDemandsDriveOffloading) {
+  // Full pipeline: synthesize traces -> estimate demand distributions ->
+  // attach to requests -> run the offline algorithms.
+  util::Rng rng(23);
+  const mec::Topology topo = mec::generate_topology({}, rng);
+  std::vector<mec::ARRequest> requests;
+  for (int j = 0; j < 30; ++j) {
+    mec::TraceParams tparams;
+    tparams.duration_s = 5.0;
+    // Scale frame sizes up so rates land in the paper's 30-50 MB/s band.
+    tparams.frame_kb_mean = 380.0;
+    const auto trace = mec::synthesize_trace(tparams, rng);
+    mec::ARRequest req;
+    req.id = j;
+    req.home_station =
+        static_cast<int>(rng.uniform_int(0, topo.num_stations() - 1));
+    req.tasks = mec::ar_pipeline(4);
+    req.demand = mec::estimate_demand(trace, mec::EstimateOptions{}, rng);
+    req.latency_budget_ms = 200.0;
+    requests.push_back(std::move(req));
+  }
+  const auto realized = core::realize_demand_levels(requests, rng);
+  util::Rng round_rng(24);
+  const auto result = core::run_appro(topo, requests, realized,
+                                      core::AlgorithmParams{}, round_rng);
+  EXPECT_GT(result.num_rewarded(), 0);
+  EXPECT_GT(result.total_reward(), 0.0);
+}
+
+TEST(CommonRandomNumbers, AlgorithmsSeeTheSameRealizations) {
+  const World w = make_world(29, 80);
+  const core::AlgorithmParams params;
+  util::Rng rng(30);
+  const auto appro =
+      core::run_appro(w.topo, w.requests, w.realized, params, rng);
+  const auto greedy =
+      baselines::run_greedy(w.topo, w.requests, w.realized, params);
+  for (std::size_t j = 0; j < w.requests.size(); ++j) {
+    const auto& oa = appro.outcomes[j];
+    const auto& og = greedy.outcomes[j];
+    if (oa.admitted && og.admitted) {
+      EXPECT_EQ(oa.realized_level, og.realized_level);
+      EXPECT_DOUBLE_EQ(oa.realized_rate, og.realized_rate);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mecar

@@ -1,0 +1,95 @@
+// DynamicRR learner-matrix tests: every ThresholdLearner variant drives a
+// full simulation, keeps the threshold legal, and lands within a sane band
+// of the successive-elimination reference.
+#include <gtest/gtest.h>
+
+#include "mec/workload.h"
+#include "sim/dynamic_rr.h"
+#include "sim/online_sim.h"
+#include "util/rng.h"
+
+namespace mecar::sim {
+namespace {
+
+struct Env {
+  mec::Topology topo;
+  std::vector<mec::ARRequest> requests;
+  std::vector<std::size_t> realized;
+  OnlineParams params;
+};
+
+Env make_env(unsigned seed) {
+  util::Rng rng(seed);
+  mec::TopologyParams tparams;
+  tparams.num_stations = 12;
+  mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 180;
+  wparams.horizon_slots = 400;
+  auto requests = mec::generate_requests(wparams, topo, rng);
+  auto realized = core::realize_demand_levels(requests, rng);
+  OnlineParams params;
+  params.horizon_slots = 400;
+  return {std::move(topo), std::move(requests), std::move(realized), params};
+}
+
+class LearnerMatrix : public ::testing::TestWithParam<ThresholdLearner> {};
+
+TEST_P(LearnerMatrix, RunsAndKeepsThresholdInRange) {
+  const Env setup = make_env(71);
+  DynamicRrParams dparams;
+  dparams.learner = GetParam();
+  DynamicRrPolicy policy(setup.topo, core::AlgorithmParams{}, dparams,
+                         util::Rng(72));
+  OnlineSimulator sim(setup.topo, setup.requests, setup.realized,
+                      setup.params);
+  const auto m = sim.run(policy);
+  EXPECT_GT(m.total_reward, 0.0);
+  EXPECT_EQ(m.completed + m.dropped + m.unfinished, m.arrived);
+  EXPECT_GE(policy.last_threshold_mhz(),
+            dparams.threshold_min_mhz - 1e-9);
+  EXPECT_LE(policy.last_threshold_mhz(),
+            dparams.threshold_max_mhz + 1e-9);
+}
+
+TEST_P(LearnerMatrix, StaysWithinBandOfSuccessiveElimination) {
+  const Env setup = make_env(73);
+  auto run = [&](ThresholdLearner learner) {
+    DynamicRrParams dparams;
+    dparams.learner = learner;
+    DynamicRrPolicy policy(setup.topo, core::AlgorithmParams{}, dparams,
+                           util::Rng(74));
+    OnlineSimulator sim(setup.topo, setup.requests, setup.realized,
+                        setup.params);
+    return sim.run(policy).total_reward;
+  };
+  const double reference = run(ThresholdLearner::kSuccessiveElimination);
+  const double variant = run(GetParam());
+  EXPECT_GT(variant, 0.6 * reference);
+  EXPECT_LT(variant, 1.4 * reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLearners, LearnerMatrix,
+    ::testing::Values(ThresholdLearner::kSuccessiveElimination,
+                      ThresholdLearner::kUcb1,
+                      ThresholdLearner::kEpsilonGreedy,
+                      ThresholdLearner::kThompson,
+                      ThresholdLearner::kZooming));
+
+TEST(LearnerIntrospection, BanditAccessorGuardsType) {
+  const Env setup = make_env(75);
+  DynamicRrParams se_params;
+  DynamicRrPolicy se_policy(setup.topo, core::AlgorithmParams{}, se_params,
+                            util::Rng(76));
+  EXPECT_NO_THROW(se_policy.bandit());
+
+  DynamicRrParams ucb_params;
+  ucb_params.learner = ThresholdLearner::kUcb1;
+  DynamicRrPolicy ucb_policy(setup.topo, core::AlgorithmParams{}, ucb_params,
+                             util::Rng(77));
+  EXPECT_THROW(ucb_policy.bandit(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mecar::sim

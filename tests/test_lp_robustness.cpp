@@ -1,0 +1,122 @@
+// Numerical-robustness property tests for both simplex engines: badly
+// scaled rows/columns, degenerate ties, redundant rows, and larger sparse
+// instances; the two engines must agree with each other and stay feasible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/revised_simplex.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace mecar::lp {
+namespace {
+
+class ScalingSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ScalingSweep, EnginesAgreeUnderBadScaling) {
+  util::Rng rng(GetParam());
+  Model m;
+  const int n = static_cast<int>(rng.uniform_int(4, 16));
+  const int rows = static_cast<int>(rng.uniform_int(3, 10));
+  for (int j = 0; j < n; ++j) {
+    // Objective magnitudes across 6 decades.
+    const double scale = std::pow(10.0, rng.uniform(-3.0, 3.0));
+    m.add_variable("x" + std::to_string(j), rng.uniform(0.1, 1.0) * scale,
+                   rng.uniform(0.5, 2.0) / scale);
+  }
+  for (int r = 0; r < rows; ++r) {
+    const double row_scale = std::pow(10.0, rng.uniform(-2.0, 2.0));
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.6)) {
+        terms.push_back({j, rng.uniform(0.1, 2.0) * row_scale});
+      }
+    }
+    if (terms.empty()) terms.push_back({0, row_scale});
+    m.add_constraint("r" + std::to_string(r), Sense::kLe,
+                     rng.uniform(1.0, 5.0) * row_scale, terms);
+  }
+  const auto dense = SimplexSolver().solve(m);
+  const auto revised = RevisedSimplexSolver().solve(m);
+  ASSERT_TRUE(dense.optimal());
+  ASSERT_TRUE(revised.optimal());
+  const double tol = 1e-5 * std::max(1.0, std::abs(dense.objective));
+  EXPECT_NEAR(dense.objective, revised.objective, tol);
+  EXPECT_LE(m.max_violation(dense.x), 1e-5);
+  EXPECT_LE(m.max_violation(revised.x), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalingSweep, ::testing::Range(100u, 120u));
+
+TEST(Robustness, ManyRedundantRows) {
+  Model m;
+  const int x = m.add_variable("x", 1.0);
+  const int y = m.add_variable("y", 1.0);
+  for (int r = 0; r < 30; ++r) {
+    // The same constraint thirty times (plus jitter in naming only).
+    m.add_constraint("dup" + std::to_string(r), Sense::kLe, 10.0,
+                     {{x, 1.0}, {y, 1.0}});
+  }
+  const SolveResult results[] = {SimplexSolver().solve(m),
+                                 RevisedSimplexSolver().solve(m)};
+  for (const SolveResult& result : results) {
+    ASSERT_TRUE(result.optimal());
+    EXPECT_NEAR(result.objective, 10.0, 1e-6);
+  }
+}
+
+TEST(Robustness, HighlyDegenerateVertex) {
+  // Many constraints through the same optimal vertex (2, 2).
+  Model m;
+  const int x = m.add_variable("x", 1.0);
+  const int y = m.add_variable("y", 1.0);
+  for (int k = 1; k <= 12; ++k) {
+    m.add_constraint("c" + std::to_string(k), Sense::kLe,
+                     2.0 * (1.0 + k) , {{x, 1.0}, {y, static_cast<double>(k)}});
+  }
+  m.add_constraint("cap_x", Sense::kLe, 2.0, {{x, 1.0}});
+  m.add_constraint("cap_y", Sense::kLe, 2.0, {{y, 1.0}});
+  const auto dense = SimplexSolver().solve(m);
+  const auto revised = RevisedSimplexSolver().solve(m);
+  ASSERT_TRUE(dense.optimal());
+  ASSERT_TRUE(revised.optimal());
+  EXPECT_NEAR(dense.objective, revised.objective, 1e-7);
+}
+
+TEST(Robustness, LargerSparseInstanceStaysConsistent) {
+  util::Rng rng(7);
+  Model m;
+  const int n = 400;
+  const int rows = 80;
+  for (int j = 0; j < n; ++j) {
+    m.add_variable("x" + std::to_string(j), rng.uniform(0.1, 1.0), 1.0);
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (int hits = 0; hits < 6; ++hits) {
+      terms.push_back({static_cast<int>(rng.uniform_int(0, n - 1)),
+                       rng.uniform(0.2, 1.0)});
+    }
+    m.add_constraint("r" + std::to_string(r), Sense::kLe,
+                     rng.uniform(1.0, 3.0), terms);
+  }
+  const auto dense = SimplexSolver().solve(m);
+  const auto revised = RevisedSimplexSolver().solve(m);
+  ASSERT_TRUE(dense.optimal());
+  ASSERT_TRUE(revised.optimal());
+  EXPECT_NEAR(dense.objective, revised.objective,
+              1e-6 * std::max(1.0, dense.objective));
+}
+
+TEST(Robustness, TinyCoefficientsAreNotTreatedAsZero) {
+  Model m;
+  const int x = m.add_variable("x", 1.0);
+  m.add_constraint("c", Sense::kLe, 1e-6, {{x, 1e-6}});
+  const auto res = SimplexSolver().solve(m);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.x[static_cast<std::size_t>(x)], 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace mecar::lp

@@ -1,0 +1,330 @@
+// Tests for the MEC substrate: topology construction and generation,
+// shortest paths, request distributions, pipeline latency, workloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mec/request.h"
+#include "mec/topology.h"
+#include "mec/workload.h"
+#include "util/rng.h"
+
+namespace mecar::mec {
+namespace {
+
+Topology line_topology() {
+  // 0 --1ms-- 1 --2ms-- 2, capacities 3000/3200/3400.
+  std::vector<BaseStation> stations{
+      {0, 3000.0, 1.0, 0.0, 0.0},
+      {1, 3200.0, 2.0, 0.5, 0.0},
+      {2, 3400.0, 3.0, 1.0, 0.0},
+  };
+  std::vector<Link> links{{0, 1, 1.0}, {1, 2, 2.0}};
+  return Topology(std::move(stations), std::move(links));
+}
+
+TEST(Topology, ShortestPathsOnLine) {
+  const Topology topo = line_topology();
+  EXPECT_DOUBLE_EQ(topo.transmission_delay_ms(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(topo.transmission_delay_ms(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(topo.transmission_delay_ms(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(topo.transmission_delay_ms(2, 0), 3.0);
+  EXPECT_TRUE(topo.connected());
+}
+
+TEST(Topology, ShortcutBeatsLongPath) {
+  std::vector<BaseStation> stations{
+      {0, 3000.0, 1.0, 0.0, 0.0},
+      {1, 3000.0, 1.0, 0.5, 0.0},
+      {2, 3000.0, 1.0, 1.0, 0.0},
+  };
+  std::vector<Link> links{{0, 1, 5.0}, {1, 2, 5.0}, {0, 2, 3.0}};
+  const Topology topo(std::move(stations), std::move(links));
+  EXPECT_DOUBLE_EQ(topo.transmission_delay_ms(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(topo.transmission_delay_ms(0, 1), 5.0);
+}
+
+TEST(Topology, DisconnectedReportsInfinity) {
+  std::vector<BaseStation> stations{
+      {0, 3000.0, 1.0, 0.0, 0.0},
+      {1, 3000.0, 1.0, 1.0, 0.0},
+  };
+  const Topology topo(std::move(stations), {});
+  EXPECT_FALSE(topo.connected());
+  EXPECT_TRUE(std::isinf(topo.transmission_delay_ms(0, 1)));
+}
+
+TEST(Topology, ValidationRejectsBadInput) {
+  std::vector<BaseStation> ok{{0, 3000.0, 1.0, 0.0, 0.0}};
+  EXPECT_THROW(Topology({}, {}), std::invalid_argument);
+  std::vector<BaseStation> bad_id{{1, 3000.0, 1.0, 0.0, 0.0}};
+  EXPECT_THROW(Topology(std::move(bad_id), {}), std::invalid_argument);
+  std::vector<BaseStation> bad_cap{{0, 0.0, 1.0, 0.0, 0.0}};
+  EXPECT_THROW(Topology(std::move(bad_cap), {}), std::invalid_argument);
+  std::vector<BaseStation> two{{0, 1.0, 1.0, 0.0, 0.0},
+                               {1, 1.0, 1.0, 0.0, 0.0}};
+  EXPECT_THROW(Topology(two, {{0, 5, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(Topology(two, {{0, 0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(Topology(two, {{0, 1, -1.0}}), std::invalid_argument);
+}
+
+TEST(Topology, StationsByDistanceStartsWithSelf) {
+  const Topology topo = line_topology();
+  const auto order = topo.stations_by_distance(1);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);  // 1ms beats 2ms
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(Topology, TotalCapacitySumsStations) {
+  EXPECT_DOUBLE_EQ(line_topology().total_capacity_mhz(), 9600.0);
+}
+
+TEST(Topology, DelayQueriesValidateIds) {
+  const Topology topo = line_topology();
+  EXPECT_THROW(topo.transmission_delay_ms(-1, 0), std::out_of_range);
+  EXPECT_THROW(topo.transmission_delay_ms(0, 3), std::out_of_range);
+}
+
+class GeneratorSeeds : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GeneratorSeeds, GeneratedTopologyIsConnectedAndInRange) {
+  util::Rng rng(GetParam());
+  TopologyParams params;
+  params.num_stations = 20;
+  const Topology topo = generate_topology(params, rng);
+  EXPECT_EQ(topo.num_stations(), 20);
+  EXPECT_TRUE(topo.connected());
+  for (const BaseStation& bs : topo.stations()) {
+    EXPECT_GE(bs.capacity_mhz, params.capacity_min_mhz);
+    EXPECT_LE(bs.capacity_mhz, params.capacity_max_mhz);
+    EXPECT_GE(bs.proc_ms_per_unit, params.proc_ms_min);
+    EXPECT_LE(bs.proc_ms_per_unit, params.proc_ms_max);
+  }
+  for (const Link& link : topo.links()) {
+    EXPECT_GE(link.delay_ms, params.link_delay_min_ms);
+    EXPECT_LE(link.delay_ms, params.link_delay_max_ms);
+  }
+}
+
+TEST_P(GeneratorSeeds, GeneratedWorkloadMatchesSectionVIA) {
+  util::Rng rng(100 + GetParam());
+  TopologyParams tparams;
+  const Topology topo = generate_topology(tparams, rng);
+  WorkloadParams wparams;
+  wparams.num_requests = 60;
+  const auto requests = generate_requests(wparams, topo, rng);
+  ASSERT_EQ(requests.size(), 60u);
+  for (const ARRequest& req : requests) {
+    EXPECT_GE(req.home_station, 0);
+    EXPECT_LT(req.home_station, topo.num_stations());
+    EXPECT_GE(static_cast<int>(req.tasks.size()), wparams.tasks_min);
+    EXPECT_LE(static_cast<int>(req.tasks.size()), wparams.tasks_max);
+    EXPECT_DOUBLE_EQ(req.latency_budget_ms, 200.0);
+    EXPECT_EQ(static_cast<int>(req.demand.size()), wparams.num_rate_levels);
+    // Rates within (jittered) section VI-A support and increasing.
+    double prob = 0.0;
+    double prev = 0.0;
+    for (const RateLevel& lvl : req.demand.levels()) {
+      EXPECT_GT(lvl.rate, prev);
+      EXPECT_GE(lvl.rate, wparams.rate_min - 2.0);
+      EXPECT_LE(lvl.rate, wparams.rate_max + 2.0);
+      // Independent reward model: reward = unit * volume with
+      // unit in [12, 15] and volume in the rate support.
+      EXPECT_GE(lvl.reward,
+                wparams.rate_min * wparams.reward_per_unit_min - 1e-9);
+      EXPECT_LE(lvl.reward,
+                wparams.rate_max * wparams.reward_per_unit_max + 1e-9);
+      prev = lvl.rate;
+      prob += lvl.prob;
+    }
+    EXPECT_NEAR(prob, 1.0, 1e-9);
+  }
+}
+
+TEST_P(GeneratorSeeds, SmallRatesAreMoreLikely) {
+  util::Rng rng(200 + GetParam());
+  const Topology topo = generate_topology(TopologyParams{}, rng);
+  WorkloadParams wparams;
+  wparams.num_requests = 50;
+  const auto requests = generate_requests(wparams, topo, rng);
+  double low = 0.0, high = 0.0;
+  for (const ARRequest& req : requests) {
+    low += req.demand.levels().front().prob;
+    high += req.demand.levels().back().prob;
+  }
+  EXPECT_GT(low, high);  // skewed toward small rates on aggregate
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeeds, ::testing::Range(1u, 9u));
+
+TEST(RateRewardDist, MomentsOfKnownDistribution) {
+  RateRewardDist dist({{30.0, 0.5, 300.0}, {50.0, 0.5, 700.0}});
+  EXPECT_DOUBLE_EQ(dist.expected_rate(), 40.0);
+  EXPECT_DOUBLE_EQ(dist.expected_reward(), 500.0);
+  EXPECT_DOUBLE_EQ(dist.min_rate(), 30.0);
+  EXPECT_DOUBLE_EQ(dist.max_rate(), 50.0);
+}
+
+TEST(RateRewardDist, TruncatedExpectation) {
+  RateRewardDist dist({{30.0, 0.5, 300.0}, {50.0, 0.5, 700.0}});
+  EXPECT_DOUBLE_EQ(dist.expected_truncated_rate(40.0), 35.0);
+  EXPECT_DOUBLE_EQ(dist.expected_truncated_rate(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(dist.expected_truncated_rate(0.0), 0.0);
+}
+
+TEST(RateRewardDist, RewardWithinCapImplementsEq8) {
+  RateRewardDist dist({{30.0, 0.5, 300.0}, {50.0, 0.5, 700.0}});
+  EXPECT_DOUBLE_EQ(dist.expected_reward_within(29.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.expected_reward_within(30.0), 150.0);
+  EXPECT_DOUBLE_EQ(dist.expected_reward_within(50.0), 500.0);
+}
+
+TEST(RateRewardDist, SampleFollowsProbabilities) {
+  RateRewardDist dist({{30.0, 0.25, 300.0}, {50.0, 0.75, 700.0}});
+  util::Rng rng(5);
+  int high = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) high += (dist.sample(rng) == 1);
+  EXPECT_NEAR(static_cast<double>(high) / n, 0.75, 0.02);
+}
+
+TEST(RateRewardDist, ValidatesInput) {
+  EXPECT_THROW(RateRewardDist(std::vector<RateLevel>{}),
+               std::invalid_argument);
+  EXPECT_THROW(RateRewardDist({{30.0, 0.5, 1.0}, {30.0, 0.5, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(RateRewardDist({{30.0, 0.5, 1.0}, {50.0, 0.2, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(RateRewardDist({{30.0, 1.0, -1.0}}), std::invalid_argument);
+  EXPECT_THROW(RateRewardDist({{30.0, 1.5, 1.0}}), std::invalid_argument);
+}
+
+TEST(RateRewardDist, DefaultIsDegenerate) {
+  const RateRewardDist dist;
+  EXPECT_EQ(dist.size(), 1u);
+  EXPECT_DOUBLE_EQ(dist.expected_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(dist.expected_reward(), 0.0);
+}
+
+TEST(ARPipeline, TemplateMatchesBraudTrace) {
+  const auto tasks = ar_pipeline(4);
+  ASSERT_EQ(tasks.size(), 4u);
+  EXPECT_EQ(tasks[3].name, "render_objects");
+  EXPECT_DOUBLE_EQ(tasks[3].output_kb, 100.0);  // render object 100 Kb
+  EXPECT_DOUBLE_EQ(tasks[0].output_kb, 64.0);
+  // Rendering is the most computing-intensive task.
+  for (std::size_t k = 0; k + 1 < tasks.size(); ++k) {
+    EXPECT_LE(tasks[k].proc_weight, tasks[3].proc_weight);
+  }
+}
+
+TEST(ARPipeline, CyclicExtension) {
+  const auto tasks = ar_pipeline(6);
+  ASSERT_EQ(tasks.size(), 6u);
+  EXPECT_EQ(tasks[4].name, tasks[0].name);
+  EXPECT_THROW(ar_pipeline(0), std::invalid_argument);
+}
+
+TEST(PlacementLatency, HomeStationSkipsTransmission) {
+  const Topology topo = line_topology();
+  ARRequest req;
+  req.home_station = 0;
+  req.tasks = ar_pipeline(4);  // total weight 0.8+0.6+1.0+1.6 = 4.0
+  EXPECT_DOUBLE_EQ(placement_latency_ms(topo, req, 0), 4.0 * 1.0);
+  // Station 1: 2*1ms transit + 4.0 * 2ms processing.
+  EXPECT_DOUBLE_EQ(placement_latency_ms(topo, req, 1), 2.0 + 8.0);
+  // Station 2: 2*3ms + 4.0*3ms.
+  EXPECT_DOUBLE_EQ(placement_latency_ms(topo, req, 2), 6.0 + 12.0);
+}
+
+TEST(PlacementLatency, SplitPlacementChainsHops) {
+  const Topology topo = line_topology();
+  ARRequest req;
+  req.home_station = 0;
+  req.tasks = ar_pipeline(3);  // weights 0.8, 0.6, 1.0
+  // All tasks at home: same as consolidated placement.
+  EXPECT_DOUBLE_EQ(split_placement_latency_ms(topo, req, {0, 0, 0}),
+                   placement_latency_ms(topo, req, 0));
+  // Last task moved to station 1: pay 0->1 hop and the return hop.
+  const double split = split_placement_latency_ms(topo, req, {0, 0, 1});
+  EXPECT_DOUBLE_EQ(split, 0.8 * 1.0 + 0.6 * 1.0 + 1.0 + 1.0 * 2.0 + 1.0);
+  EXPECT_THROW(split_placement_latency_ms(topo, req, {0, 0}),
+               std::invalid_argument);
+}
+
+TEST(Workload, OfflineRequestsArriveAtSlotZero) {
+  util::Rng rng(3);
+  const Topology topo = generate_topology(TopologyParams{}, rng);
+  WorkloadParams params;
+  params.num_requests = 20;
+  params.horizon_slots = 0;
+  for (const auto& req : generate_requests(params, topo, rng)) {
+    EXPECT_EQ(req.arrival_slot, 0);
+    EXPECT_GE(req.duration_slots, params.duration_min_slots);
+    EXPECT_LE(req.duration_slots, params.duration_max_slots);
+  }
+}
+
+TEST(Workload, OnlineArrivalsAreSortedWithinHorizon) {
+  util::Rng rng(4);
+  const Topology topo = generate_topology(TopologyParams{}, rng);
+  WorkloadParams params;
+  params.num_requests = 50;
+  params.horizon_slots = 100;
+  const auto requests = generate_requests(params, topo, rng);
+  int prev = 0;
+  std::set<int> distinct;
+  for (const auto& req : requests) {
+    EXPECT_GE(req.arrival_slot, prev);
+    EXPECT_LT(req.arrival_slot, 100);
+    prev = req.arrival_slot;
+    distinct.insert(req.arrival_slot);
+  }
+  EXPECT_GT(distinct.size(), 5u);  // genuinely spread over the horizon
+}
+
+TEST(Workload, ValidatesParameters) {
+  util::Rng rng(5);
+  const Topology topo = line_topology();
+  WorkloadParams params;
+  params.num_requests = -1;
+  EXPECT_THROW(generate_requests(params, topo, rng), std::invalid_argument);
+  params = {};
+  params.num_rate_levels = 0;
+  EXPECT_THROW(generate_requests(params, topo, rng), std::invalid_argument);
+  params = {};
+  params.rate_min = 50;
+  params.rate_max = 30;
+  EXPECT_THROW(generate_requests(params, topo, rng), std::invalid_argument);
+  params = {};
+  params.tasks_min = 0;
+  EXPECT_THROW(generate_requests(params, topo, rng), std::invalid_argument);
+  params = {};
+  params.rate_prob_skew = 0.0;
+  EXPECT_THROW(generate_requests(params, topo, rng), std::invalid_argument);
+}
+
+TEST(Workload, GeneratorRejectsBadTopologyParams) {
+  util::Rng rng(6);
+  TopologyParams params;
+  params.num_stations = 0;
+  EXPECT_THROW(generate_topology(params, rng), std::invalid_argument);
+}
+
+TEST(Workload, SingleRateLevelIsDegenerate) {
+  util::Rng rng(7);
+  const Topology topo = line_topology();
+  WorkloadParams params;
+  params.num_requests = 5;
+  params.num_rate_levels = 1;
+  for (const auto& req : generate_requests(params, topo, rng)) {
+    ASSERT_EQ(req.demand.size(), 1u);
+    EXPECT_NEAR(req.demand.level(0).prob, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mecar::mec

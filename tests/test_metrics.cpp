@@ -1,0 +1,109 @@
+// Tests for the detailed metrics layer: Jain index, latency percentiles,
+// utilization accounting, and service-ratio fairness.
+#include <gtest/gtest.h>
+
+#include "mec/workload.h"
+#include "sim/dynamic_rr.h"
+#include "sim/metrics.h"
+#include "sim/online_baselines.h"
+#include "util/rng.h"
+
+namespace mecar::sim {
+namespace {
+
+TEST(JainIndex, PerfectFairnessIsOne) {
+  const std::vector<double> equal{2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(jain_index(equal), 1.0);
+}
+
+TEST(JainIndex, SingleUserDominanceApproachesOneOverN) {
+  const std::vector<double> skewed{10.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(jain_index(skewed), 0.25, 1e-12);
+}
+
+TEST(JainIndex, KnownMixedValue) {
+  const std::vector<double> v{1.0, 3.0};  // (4)^2 / (2 * 10) = 0.8
+  EXPECT_DOUBLE_EQ(jain_index(v), 0.8);
+}
+
+TEST(JainIndex, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{}), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+TEST(Summarize, EmptyMetricsDegradeGracefully) {
+  OnlineMetrics metrics;
+  const auto s = summarize(metrics);
+  EXPECT_DOUBLE_EQ(s.latency_p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.service_fairness, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_utilization, 0.0);
+}
+
+TEST(Summarize, PercentilesFromLatencySamples) {
+  OnlineMetrics metrics;
+  for (int i = 1; i <= 100; ++i) {
+    metrics.completed_latencies_ms.push_back(static_cast<double>(i));
+  }
+  const auto s = summarize(metrics);
+  EXPECT_NEAR(s.latency_p50_ms, 50.5, 0.01);
+  EXPECT_NEAR(s.latency_p95_ms, 95.05, 0.1);
+  EXPECT_DOUBLE_EQ(s.latency_max_ms, 100.0);
+}
+
+TEST(DetailCollection, EndToEndSeriesAreConsistent) {
+  util::Rng rng(11);
+  const mec::Topology topo = mec::generate_topology({}, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 120;
+  wparams.horizon_slots = 300;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto realized = core::realize_demand_levels(requests, rng);
+  OnlineParams params;
+  params.horizon_slots = 300;
+  params.collect_detail = true;
+
+  HeuKktOnlinePolicy policy(topo, core::AlgorithmParams{});
+  OnlineSimulator sim(topo, requests, realized, params);
+  const auto m = sim.run(policy);
+
+  EXPECT_EQ(static_cast<int>(m.completed_latencies_ms.size()), m.completed);
+  EXPECT_EQ(m.per_slot_utilization.size(), 300u);
+  for (double u : m.per_slot_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  // Completed requests have service ratio ~1; ratios never exceed 1.
+  for (double r : m.service_ratios) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0 + 1e-6);
+  }
+  const auto s = summarize(m);
+  EXPECT_GT(s.mean_utilization, 0.0);
+  EXPECT_GE(s.peak_utilization, s.mean_utilization);
+  EXPECT_LE(s.latency_p50_ms, s.latency_p95_ms);
+  EXPECT_LE(s.latency_p95_ms, s.latency_max_ms);
+  EXPECT_GT(s.service_fairness, 0.0);
+  EXPECT_LE(s.service_fairness, 1.0);
+}
+
+TEST(DetailCollection, OffByDefault) {
+  util::Rng rng(13);
+  const mec::Topology topo = mec::generate_topology({}, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 30;
+  wparams.horizon_slots = 100;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto realized = core::realize_demand_levels(requests, rng);
+  OnlineParams params;
+  params.horizon_slots = 100;
+  GreedyOnlinePolicy policy(topo, core::AlgorithmParams{});
+  OnlineSimulator sim(topo, requests, realized, params);
+  const auto m = sim.run(policy);
+  EXPECT_TRUE(m.per_slot_utilization.empty());
+  EXPECT_TRUE(m.completed_latencies_ms.empty());
+  EXPECT_TRUE(m.service_ratios.empty());
+}
+
+}  // namespace
+}  // namespace mecar::sim

@@ -1,0 +1,136 @@
+// MPS round-trip tests: models survive write -> read with identical
+// optima, including integer blocks, bounds, and the slot-indexed LP.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/slot_lp.h"
+#include "lp/branch_and_bound.h"
+#include "lp/mps.h"
+#include "lp/simplex.h"
+#include "mec/workload.h"
+#include "util/rng.h"
+
+namespace mecar::lp {
+namespace {
+
+Model roundtrip(const Model& model) {
+  std::stringstream ss;
+  write_mps(model, ss);
+  return read_mps(ss);
+}
+
+TEST(Mps, SimpleLpRoundTrip) {
+  Model m;
+  const int x = m.add_variable("x", 3.0);
+  const int y = m.add_variable("y", 5.0, 6.5);
+  m.add_constraint("c1", Sense::kLe, 4.0, {{x, 1.0}});
+  m.add_constraint("c2", Sense::kLe, 18.0, {{x, 3.0}, {y, 2.0}});
+  const Model back = roundtrip(m);
+  EXPECT_EQ(back.num_variables(), 2);
+  EXPECT_EQ(back.num_constraints(), 2);
+  const auto a = SimplexSolver().solve(m);
+  const auto b = SimplexSolver().solve(back);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+}
+
+TEST(Mps, SenseVarietyRoundTrip) {
+  Model m;
+  const int x = m.add_variable("x", -1.0, 3.0);
+  const int y = m.add_variable("y", 2.0, 3.0);
+  m.add_constraint("ge", Sense::kGe, 1.0, {{x, 1.0}, {y, 1.0}});
+  m.add_constraint("eq", Sense::kEq, 2.5, {{x, 1.0}, {y, 0.5}});
+  const Model back = roundtrip(m);
+  const auto a = SimplexSolver().solve(m);
+  const auto b = SimplexSolver().solve(back);
+  ASSERT_EQ(a.status, b.status);
+  if (a.optimal()) {
+    EXPECT_NEAR(a.objective, b.objective, 1e-9);
+  }
+}
+
+TEST(Mps, IntegerBlockRoundTrip) {
+  Model m;
+  m.add_variable("a", 10.0, 1.0, true);
+  m.add_variable("frac", 1.5, 2.0, false);
+  m.add_variable("b", 13.0, 1.0, true);
+  m.add_constraint("w", Sense::kLe, 4.0, {{0, 3.0}, {1, 1.0}, {2, 2.0}});
+  const Model back = roundtrip(m);
+  ASSERT_EQ(back.num_variables(), 3);
+  EXPECT_TRUE(back.variable(0).integral);
+  EXPECT_FALSE(back.variable(1).integral);
+  EXPECT_TRUE(back.variable(2).integral);
+  const auto a = BranchAndBound().solve(m);
+  const auto b = BranchAndBound().solve(back);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+}
+
+TEST(Mps, ZeroObjectiveColumnSurvives) {
+  Model m;
+  m.add_variable("used", 1.0);
+  m.add_variable("unused", 0.0);  // appears in no row either
+  m.add_constraint("c", Sense::kLe, 1.0, {{0, 1.0}});
+  const Model back = roundtrip(m);
+  EXPECT_EQ(back.num_variables(), 2);
+}
+
+TEST(Mps, SlotLpRoundTripSameOptimum) {
+  util::Rng rng(7);
+  mec::TopologyParams tparams;
+  tparams.num_stations = 6;
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 20;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto inst =
+      core::build_slot_lp(topo, requests, core::AlgorithmParams{});
+  const Model back = roundtrip(inst.model);
+  const auto a = SimplexSolver().solve(inst.model);
+  const auto b = SimplexSolver().solve(back);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.objective, b.objective, 1e-6 * std::max(1.0, a.objective));
+}
+
+TEST(Mps, ReaderRejectsMalformedInput) {
+  {
+    std::stringstream ss("GARBAGE\n");
+    EXPECT_THROW(read_mps(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("ROWS\n Z  bad\n");
+    EXPECT_THROW(read_mps(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss(
+        "ROWS\n N  OBJ\n L  c\nCOLUMNS\n    x  nosuchrow  1.0\n");
+    EXPECT_THROW(read_mps(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("RANGES\n");
+    EXPECT_THROW(read_mps(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss(
+        "ROWS\n N  OBJ\n L  c\nCOLUMNS\n    x  c  notanumber\n");
+    EXPECT_THROW(read_mps(ss), std::invalid_argument);
+  }
+}
+
+TEST(Mps, NamesWithSpacesAreSanitized) {
+  Model m;
+  m.add_variable("my var", 1.0, 2.0);
+  m.add_constraint("a row", Sense::kLe, 1.0, {{0, 1.0}});
+  std::stringstream ss;
+  write_mps(m, ss, "has space");
+  const Model back = read_mps(ss);
+  EXPECT_EQ(back.variable(0).name, "my_var");
+  EXPECT_EQ(back.row(0).name, "a_row");
+}
+
+}  // namespace
+}  // namespace mecar::lp

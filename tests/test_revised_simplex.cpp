@@ -1,0 +1,169 @@
+// Tests for the revised simplex engine: the same textbook programs as the
+// dense tableau, plus property sweeps cross-checking both engines on
+// random LPs and on real slot-indexed instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/slot_lp.h"
+#include "lp/revised_simplex.h"
+#include "lp/simplex.h"
+#include "mec/workload.h"
+#include "util/rng.h"
+
+namespace mecar::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(RevisedSimplex, SolvesBasicTwoVariableLp) {
+  Model m;
+  const int x = m.add_variable("x", 3.0);
+  const int y = m.add_variable("y", 5.0);
+  m.add_constraint("c1", Sense::kLe, 4.0, {{x, 1.0}});
+  m.add_constraint("c2", Sense::kLe, 12.0, {{y, 2.0}});
+  m.add_constraint("c3", Sense::kLe, 18.0, {{x, 3.0}, {y, 2.0}});
+  const auto res = RevisedSimplexSolver().solve(m);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.objective, 36.0, kTol);
+  EXPECT_NEAR(res.x[static_cast<std::size_t>(x)], 2.0, kTol);
+  EXPECT_NEAR(res.x[static_cast<std::size_t>(y)], 6.0, kTol);
+}
+
+TEST(RevisedSimplex, Phase1AndEquality) {
+  Model m;
+  const int x = m.add_variable("x", 2.0);
+  const int y = m.add_variable("y", 3.0);
+  m.add_constraint("eq", Sense::kEq, 4.0, {{x, 1.0}, {y, 1.0}});
+  m.add_constraint("le", Sense::kLe, 2.0, {{x, 1.0}, {y, -1.0}});
+  const auto res = RevisedSimplexSolver().solve(m);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.objective, 12.0, kTol);
+}
+
+TEST(RevisedSimplex, DetectsInfeasibility) {
+  Model m;
+  const int x = m.add_variable("x", 1.0);
+  m.add_constraint("c1", Sense::kLe, 1.0, {{x, 1.0}});
+  m.add_constraint("c2", Sense::kGe, 2.0, {{x, 1.0}});
+  EXPECT_EQ(RevisedSimplexSolver().solve(m).status,
+            SolveStatus::kInfeasible);
+}
+
+TEST(RevisedSimplex, DetectsUnboundedness) {
+  Model m;
+  m.add_variable("x", 1.0);
+  EXPECT_EQ(RevisedSimplexSolver().solve(m).status,
+            SolveStatus::kUnbounded);
+}
+
+TEST(RevisedSimplex, UpperBoundsAndFixedVariables) {
+  Model m;
+  const int x = m.add_variable("x", 2.0, 1.0);
+  const int y = m.add_variable("y", 1.0, 1.0);
+  m.add_constraint("c", Sense::kLe, 1.5, {{x, 1.0}, {y, 1.0}});
+  const Model fixed = m.with_fixed(x, 1.0);
+  const auto res = RevisedSimplexSolver().solve(fixed);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_DOUBLE_EQ(res.x[static_cast<std::size_t>(x)], 1.0);
+  EXPECT_NEAR(res.x[static_cast<std::size_t>(y)], 0.5, kTol);
+  EXPECT_NEAR(res.objective, 2.5, kTol);
+}
+
+TEST(RevisedSimplex, RefactorizationKeepsAccuracy) {
+  // Force frequent refactorization and verify nothing drifts.
+  RevisedSimplexOptions options;
+  options.refactor_interval = 2;
+  Model m;
+  util::Rng rng(3);
+  for (int j = 0; j < 20; ++j) {
+    m.add_variable("x" + std::to_string(j), rng.uniform(0.5, 2.0), 3.0);
+  }
+  for (int r = 0; r < 12; ++r) {
+    std::vector<Term> terms;
+    for (int j = 0; j < 20; ++j) {
+      if (rng.bernoulli(0.4)) terms.push_back({j, rng.uniform(0.1, 1.0)});
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    m.add_constraint("r" + std::to_string(r), Sense::kLe,
+                     rng.uniform(1.0, 5.0), terms);
+  }
+  const auto fast = RevisedSimplexSolver(options).solve(m);
+  const auto reference = SimplexSolver().solve(m);
+  ASSERT_TRUE(fast.optimal());
+  ASSERT_TRUE(reference.optimal());
+  EXPECT_NEAR(fast.objective, reference.objective, 1e-6);
+  EXPECT_LE(m.max_violation(fast.x), 1e-6);
+}
+
+// Cross-engine agreement on random LPs.
+class EngineAgreement : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EngineAgreement, SameObjectiveAsDenseTableau) {
+  util::Rng rng(GetParam());
+  Model m;
+  const int n = static_cast<int>(rng.uniform_int(3, 24));
+  const int rows = static_cast<int>(rng.uniform_int(2, 12));
+  for (int j = 0; j < n; ++j) {
+    m.add_variable("x" + std::to_string(j), rng.uniform(-1.0, 3.0),
+                   rng.bernoulli(0.3) ? rng.uniform(0.5, 2.0) : kInf);
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.5)) terms.push_back({j, rng.uniform(0.1, 2.0)});
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    const Sense sense = rng.bernoulli(0.2) ? Sense::kGe : Sense::kLe;
+    const double rhs = sense == Sense::kGe ? rng.uniform(0.2, 1.5)
+                                           : rng.uniform(1.0, 6.0);
+    m.add_constraint("r" + std::to_string(r), sense, rhs, terms);
+  }
+  const auto dense = SimplexSolver().solve(m);
+  const auto revised = RevisedSimplexSolver().solve(m);
+  ASSERT_EQ(dense.status, revised.status)
+      << to_string(dense.status) << " vs " << to_string(revised.status);
+  if (dense.optimal()) {
+    EXPECT_NEAR(dense.objective, revised.objective,
+                1e-6 * std::max(1.0, std::abs(dense.objective)));
+    EXPECT_LE(m.max_violation(revised.x), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement, ::testing::Range(1u, 41u));
+
+// Cross-engine agreement on the real slot-indexed LP.
+class SlotLpAgreement : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SlotLpAgreement, SameObjectiveOnPaperInstances) {
+  util::Rng rng(GetParam());
+  mec::TopologyParams tparams;
+  tparams.num_stations = 10;
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 40;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto inst =
+      core::build_slot_lp(topo, requests, core::AlgorithmParams{});
+  const auto dense = SimplexSolver().solve(inst.model);
+  const auto revised = RevisedSimplexSolver().solve(inst.model);
+  ASSERT_TRUE(dense.optimal());
+  ASSERT_TRUE(revised.optimal());
+  EXPECT_NEAR(dense.objective, revised.objective,
+              1e-5 * std::max(1.0, dense.objective));
+  EXPECT_LE(inst.model.max_violation(revised.x), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlotLpAgreement, ::testing::Range(1u, 9u));
+
+TEST(SolveLpFrontend, PicksAnEngineAndSolves) {
+  Model small;
+  const int x = small.add_variable("x", 1.0, 2.0);
+  small.add_constraint("c", Sense::kLe, 1.0, {{x, 1.0}});
+  const auto res = solve_lp(small);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.objective, 1.0, kTol);
+}
+
+}  // namespace
+}  // namespace mecar::lp

@@ -1,0 +1,192 @@
+// Tests for the frame-level trace module: synthesis matches the Braud et
+// al. [5] aggregates, CSV round-trips, windowed rate extraction, and demand
+// estimation produces valid distributions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mec/trace.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mecar::mec {
+namespace {
+
+TEST(FrameTrace, BasicAggregates) {
+  FrameTrace trace({{0.0, 512.0}, {500.0, 512.0}, {1000.0, 1024.0}});
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.duration_ms(), 1000.0);
+  EXPECT_DOUBLE_EQ(trace.total_mb(), 2.0);
+  EXPECT_DOUBLE_EQ(trace.average_rate_mbps(), 2.0);
+}
+
+TEST(FrameTrace, DegenerateTraces) {
+  const FrameTrace empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.duration_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.average_rate_mbps(), 0.0);
+  const FrameTrace one({{10.0, 64.0}});
+  EXPECT_DOUBLE_EQ(one.duration_ms(), 0.0);
+}
+
+TEST(FrameTrace, ValidatesMonotonicityAndSizes) {
+  EXPECT_THROW(FrameTrace({{10.0, 64.0}, {5.0, 64.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(FrameTrace({{0.0, -1.0}}), std::invalid_argument);
+}
+
+TEST(FrameTrace, CsvRoundTrip) {
+  FrameTrace trace({{0.0, 64.0}, {11.1, 66.5}, {22.2, 63.0}});
+  std::stringstream ss;
+  trace.write_csv(ss);
+  const FrameTrace back = FrameTrace::read_csv(ss);
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(back.frames()[i].timestamp_ms,
+                trace.frames()[i].timestamp_ms, 1e-9);
+    EXPECT_NEAR(back.frames()[i].size_kb, trace.frames()[i].size_kb, 1e-9);
+  }
+}
+
+TEST(FrameTrace, CsvRejectsMalformedRows) {
+  std::stringstream ss("timestamp_ms,size_kb\nnot-a-number,64\n");
+  EXPECT_THROW(FrameTrace::read_csv(ss), std::invalid_argument);
+  std::stringstream ss2("0.0;64.0\n");
+  EXPECT_THROW(FrameTrace::read_csv(ss2), std::invalid_argument);
+}
+
+TEST(SynthesizeTrace, MatchesBraudAggregates) {
+  util::Rng rng(5);
+  TraceParams params;  // 64 KB frames at 90-120 fps
+  const FrameTrace trace = synthesize_trace(params, rng);
+  // Frame count ~ duration * fps.
+  const double fps =
+      trace.size() / (params.duration_s);
+  EXPECT_GE(fps, params.fps_min * 0.9);
+  EXPECT_LE(fps, params.fps_max * 1.1);
+  // The paper derives 30-50 MB/s streams from these statistics
+  // (bursts push the mean above the base 64 KB x ~105 fps ~ 6.6 MB/s x ...).
+  const double rate = trace.average_rate_mbps();
+  EXPECT_GT(rate, 5.0);
+  EXPECT_LT(rate, 15.0);
+  // Frame sizes hover around the configured mean.
+  util::RunningStats sizes;
+  for (const auto& f : trace.frames()) sizes.add(f.size_kb);
+  EXPECT_NEAR(sizes.mean(), params.frame_kb_mean, params.frame_kb_mean * 0.3);
+}
+
+TEST(SynthesizeTrace, BurstsRaiseRateVariance) {
+  util::Rng rng1(7), rng2(7);
+  TraceParams quiet;
+  quiet.burst_rate_per_s = 0.0;
+  TraceParams bursty;
+  bursty.burst_rate_per_s = 1.5;
+  const auto quiet_rates =
+      window_rates_mbps(synthesize_trace(quiet, rng1), 250.0);
+  const auto bursty_rates =
+      window_rates_mbps(synthesize_trace(bursty, rng2), 250.0);
+  util::RunningStats q, b;
+  for (double r : quiet_rates) q.add(r);
+  for (double r : bursty_rates) b.add(r);
+  EXPECT_GT(b.stddev(), q.stddev());
+}
+
+TEST(SynthesizeTrace, ValidatesParameters) {
+  util::Rng rng(1);
+  TraceParams params;
+  params.duration_s = 0.0;
+  EXPECT_THROW(synthesize_trace(params, rng), std::invalid_argument);
+  params = {};
+  params.fps_max = 10.0;
+  params.fps_min = 20.0;
+  EXPECT_THROW(synthesize_trace(params, rng), std::invalid_argument);
+}
+
+TEST(WindowRates, ExactOnHandTrace) {
+  // 4 frames of 1024 KB at 0/250/500/750 ms: each 500 ms window holds
+  // 2 MB -> 4 MB/s.
+  FrameTrace trace(
+      {{0.0, 1024.0}, {250.0, 1024.0}, {500.0, 1024.0}, {750.0, 1024.0}});
+  const auto rates = window_rates_mbps(trace, 500.0);
+  ASSERT_EQ(rates.size(), 1u);  // only [0, 500) fits fully before 750
+  EXPECT_NEAR(rates[0], 4.0, 1e-9);
+}
+
+TEST(WindowRates, Validation) {
+  FrameTrace trace({{0.0, 64.0}, {1000.0, 64.0}});
+  EXPECT_THROW(window_rates_mbps(trace, 0.0), std::invalid_argument);
+  EXPECT_TRUE(window_rates_mbps(trace, 5000.0).empty());
+  EXPECT_TRUE(window_rates_mbps(FrameTrace{}, 100.0).empty());
+}
+
+TEST(EstimateDemand, ProducesValidDistribution) {
+  util::Rng rng(11);
+  const FrameTrace trace = synthesize_trace(TraceParams{}, rng);
+  EstimateOptions options;
+  const RateRewardDist dist = estimate_demand(trace, options, rng);
+  EXPECT_GE(dist.size(), 1u);
+  EXPECT_LE(static_cast<int>(dist.size()), options.num_levels);
+  double prob = 0.0;
+  double prev_rate = -1.0;
+  for (const RateLevel& lvl : dist.levels()) {
+    EXPECT_GT(lvl.rate, prev_rate);
+    EXPECT_GE(lvl.reward, 0.0);
+    prob += lvl.prob;
+    prev_rate = lvl.rate;
+  }
+  EXPECT_NEAR(prob, 1.0, 1e-9);
+  // The estimated mean rate tracks the trace's observed mean.
+  const auto rates = window_rates_mbps(trace, options.window_ms);
+  util::RunningStats observed;
+  for (double r : rates) observed.add(r);
+  EXPECT_NEAR(dist.expected_rate(), observed.mean(),
+              0.25 * observed.mean() + 0.5);
+}
+
+TEST(EstimateDemand, StableTraceCollapsesToOneLevel) {
+  std::vector<FrameRecord> frames;
+  for (int i = 0; i < 200; ++i) {
+    frames.push_back({i * 10.0, 100.0});  // perfectly constant
+  }
+  util::Rng rng(13);
+  const RateRewardDist dist =
+      estimate_demand(FrameTrace(std::move(frames)), EstimateOptions{}, rng);
+  EXPECT_EQ(dist.size(), 1u);
+  EXPECT_NEAR(dist.level(0).prob, 1.0, 1e-12);
+}
+
+TEST(EstimateDemand, Validation) {
+  util::Rng rng(17);
+  EstimateOptions options;
+  EXPECT_THROW(estimate_demand(FrameTrace{}, options, rng),
+               std::invalid_argument);
+  options.num_levels = 0;
+  const FrameTrace trace({{0.0, 64.0}, {1000.0, 64.0}});
+  EXPECT_THROW(estimate_demand(trace, options, rng), std::invalid_argument);
+}
+
+// Property: estimation is consistent — feeding the estimated distribution
+// through the pipeline never produces probabilities outside [0,1] or
+// non-increasing rates, across many random traces.
+class EstimateSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EstimateSweep, AlwaysValid) {
+  util::Rng rng(GetParam());
+  TraceParams params;
+  params.duration_s = rng.uniform(2.0, 8.0);
+  params.burst_rate_per_s = rng.uniform(0.0, 2.0);
+  const FrameTrace trace = synthesize_trace(params, rng);
+  EstimateOptions options;
+  options.num_levels = static_cast<int>(rng.uniform_int(1, 8));
+  options.window_ms = rng.uniform(100.0, 1000.0);
+  const RateRewardDist dist = estimate_demand(trace, options, rng);
+  double prob = 0.0;
+  for (const RateLevel& lvl : dist.levels()) prob += lvl.prob;
+  EXPECT_NEAR(prob, 1.0, 1e-9);
+  EXPECT_GT(dist.expected_rate(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimateSweep, ::testing::Range(1u, 13u));
+
+}  // namespace
+}  // namespace mecar::mec

@@ -1,0 +1,201 @@
+// Tests for the solution validator: clean solutions from every algorithm
+// pass; hand-corrupted solutions trip exactly the right checks.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.h"
+#include "baselines/heu_kkt.h"
+#include "baselines/ocorp.h"
+#include "core/appro.h"
+#include "core/heu.h"
+#include "core/validate.h"
+#include "mec/workload.h"
+#include "util/rng.h"
+
+namespace mecar::core {
+namespace {
+
+struct Instance {
+  mec::Topology topo;
+  std::vector<mec::ARRequest> requests;
+  std::vector<std::size_t> realized;
+};
+
+Instance make_instance(unsigned seed) {
+  util::Rng rng(seed);
+  mec::TopologyParams tparams;
+  tparams.num_stations = 10;
+  mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 60;
+  auto requests = mec::generate_requests(wparams, topo, rng);
+  auto realized = realize_demand_levels(requests, rng);
+  return {std::move(topo), std::move(requests), std::move(realized)};
+}
+
+bool has_kind(const std::vector<Violation>& violations,
+              Violation::Kind kind) {
+  for (const Violation& v : violations) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Validate, AllAlgorithmsProduceCleanSolutions) {
+  const Instance inst = make_instance(81);
+  const AlgorithmParams params;
+  std::vector<std::pair<std::string, OffloadResult>> results;
+  {
+    util::Rng rng(82);
+    results.emplace_back("Appro", run_appro(inst.topo, inst.requests,
+                                            inst.realized, params, rng));
+  }
+  {
+    util::Rng rng(82);
+    results.emplace_back("Heu", run_heu(inst.topo, inst.requests,
+                                        inst.realized, params, rng));
+  }
+  results.emplace_back("Greedy", baselines::run_greedy(inst.topo,
+                                                       inst.requests,
+                                                       inst.realized, params));
+  results.emplace_back("OCORP", baselines::run_ocorp(inst.topo, inst.requests,
+                                                     inst.realized, params));
+  results.emplace_back(
+      "HeuKKT",
+      baselines::run_heu_kkt(inst.topo, inst.requests, inst.realized, params));
+  for (const auto& [name, result] : results) {
+    const auto violations =
+        validate_offload(inst.topo, inst.requests, inst.realized, result);
+    EXPECT_TRUE(violations.empty())
+        << name << ": " << violations.size() << " violations, first: "
+        << (violations.empty() ? "" : violations[0].message);
+  }
+}
+
+TEST(Validate, DetectsShapeMismatch) {
+  const Instance inst = make_instance(83);
+  OffloadResult bogus;
+  bogus.outcomes.resize(3);
+  const auto violations =
+      validate_offload(inst.topo, inst.requests, inst.realized, bogus);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kShape);
+}
+
+TEST(Validate, DetectsCorruptions) {
+  const Instance inst = make_instance(85);
+  const AlgorithmParams params;
+  util::Rng rng(86);
+  const OffloadResult clean =
+      run_appro(inst.topo, inst.requests, inst.realized, params, rng);
+
+  // Pick a rewarded outcome to corrupt.
+  int idx = -1;
+  for (std::size_t j = 0; j < clean.outcomes.size(); ++j) {
+    if (clean.outcomes[j].rewarded) {
+      idx = static_cast<int>(j);
+      break;
+    }
+  }
+  ASSERT_GE(idx, 0);
+
+  {
+    OffloadResult bad = clean;
+    bad.outcomes[static_cast<std::size_t>(idx)].reward += 100.0;
+    EXPECT_TRUE(has_kind(
+        validate_offload(inst.topo, inst.requests, inst.realized, bad),
+        Violation::Kind::kReward));
+  }
+  {
+    OffloadResult bad = clean;
+    bad.outcomes[static_cast<std::size_t>(idx)].station = 999;
+    EXPECT_TRUE(has_kind(
+        validate_offload(inst.topo, inst.requests, inst.realized, bad),
+        Violation::Kind::kStation));
+  }
+  {
+    OffloadResult bad = clean;
+    bad.outcomes[static_cast<std::size_t>(idx)].latency_ms = 0.0;
+    EXPECT_TRUE(has_kind(
+        validate_offload(inst.topo, inst.requests, inst.realized, bad),
+        Violation::Kind::kLatency));
+  }
+  {
+    OffloadResult bad = clean;
+    bad.outcomes[static_cast<std::size_t>(idx)].realized_level ^= 1u;
+    EXPECT_TRUE(has_kind(
+        validate_offload(inst.topo, inst.requests, inst.realized, bad),
+        Violation::Kind::kRealization));
+  }
+  {
+    // Granting a reward to every non-admitted request must blow up the
+    // per-station capacity aggregate or the reward checks.
+    OffloadResult bad = clean;
+    for (auto& o : bad.outcomes) {
+      if (!o.admitted) {
+        o.reward = 500.0;
+      }
+    }
+    EXPECT_TRUE(has_kind(
+        validate_offload(inst.topo, inst.requests, inst.realized, bad),
+        Violation::Kind::kReward));
+  }
+}
+
+TEST(Validate, DetectsEq8Violation) {
+  // One small station: a rewarded request whose realized demand exceeds the
+  // remaining slot capacity must trip the Eq. (8) check.
+  std::vector<mec::BaseStation> stations{{0, 1500.0, 1.0, 0.0, 0.0}};
+  const mec::Topology topo(std::move(stations), {});
+  mec::ARRequest req;
+  req.id = 0;
+  req.home_station = 0;
+  req.tasks = mec::ar_pipeline(3);
+  req.demand = mec::RateRewardDist({{90.0, 1.0, 500.0}});  // 1800 MHz
+  const std::vector<mec::ARRequest> requests{req};
+  const std::vector<std::size_t> realized{0};
+
+  OffloadResult result;
+  RequestOutcome o;
+  o.request_id = 0;
+  o.admitted = true;
+  o.rewarded = true;
+  o.station = 0;
+  o.start_slot = 0;
+  o.realized_level = 0;
+  o.realized_rate = 90.0;
+  o.reward = 500.0;
+  o.latency_ms = mec::placement_latency_ms(topo, req, 0);
+  o.task_stations.assign(req.tasks.size(), 0);
+  result.outcomes.push_back(o);
+
+  const auto violations =
+      validate_offload(topo, requests, realized, result);
+  EXPECT_TRUE(has_kind(violations, Violation::Kind::kEq8));
+  EXPECT_TRUE(has_kind(violations, Violation::Kind::kCapacity));
+}
+
+TEST(Validate, KindNamesAreStable) {
+  EXPECT_EQ(to_string(Violation::Kind::kShape), "shape");
+  EXPECT_EQ(to_string(Violation::Kind::kEq8), "eq8");
+  EXPECT_EQ(to_string(Violation::Kind::kCapacity), "capacity");
+}
+
+// Property sweep: every algorithm stays clean across seeds.
+class ValidateSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ValidateSweep, HeuAlwaysValidates) {
+  const Instance inst = make_instance(GetParam());
+  util::Rng rng(GetParam() + 7);
+  const auto result =
+      run_heu(inst.topo, inst.requests, inst.realized, AlgorithmParams{}, rng);
+  const auto violations =
+      validate_offload(inst.topo, inst.requests, inst.realized, result);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: "
+      << (violations.empty() ? "" : violations[0].message);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidateSweep, ::testing::Range(200u, 212u));
+
+}  // namespace
+}  // namespace mecar::core

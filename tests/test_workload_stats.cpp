@@ -1,0 +1,126 @@
+// Statistical tests of the workload model — in particular the paper's
+// challenge-2 property: under the independent reward model, a level's
+// reward is (nearly) uncorrelated with its rate, while the proportional
+// ablation is strongly correlated.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mec/workload.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mecar::mec {
+namespace {
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  util::RunningStats sx, sy;
+  for (double x : xs) sx.add(x);
+  for (double y : ys) sy.add(y);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+  }
+  cov /= static_cast<double>(xs.size() - 1);
+  return cov / (sx.stddev() * sy.stddev());
+}
+
+std::pair<std::vector<double>, std::vector<double>> level_samples(
+    RewardModel model, unsigned seed) {
+  util::Rng rng(seed);
+  const Topology topo = generate_topology({}, rng);
+  WorkloadParams params;
+  params.num_requests = 400;
+  params.reward_model = model;
+  std::vector<double> rates, rewards;
+  for (const ARRequest& req : generate_requests(params, topo, rng)) {
+    for (const RateLevel& lvl : req.demand.levels()) {
+      rates.push_back(lvl.rate);
+      rewards.push_back(lvl.reward);
+    }
+  }
+  return {std::move(rates), std::move(rewards)};
+}
+
+TEST(RewardIndependence, IndependentModelHasLowCorrelation) {
+  const auto [rates, rewards] =
+      level_samples(RewardModel::kIndependent, 5);
+  const double r = pearson(rates, rewards);
+  EXPECT_LT(std::abs(r), 0.1);  // "rewards and data rates are independent"
+}
+
+TEST(RewardIndependence, ProportionalModelIsStronglyCorrelated) {
+  const auto [rates, rewards] =
+      level_samples(RewardModel::kProportional, 5);
+  const double r = pearson(rates, rewards);
+  EXPECT_GT(r, 0.9);
+}
+
+TEST(WorkloadStats, ExpectedRateIsBelowSupportMidpoint) {
+  // The geometric probability skew biases the expectation below the
+  // midpoint of [rate_min, rate_max] ("large data rates are unlikely").
+  util::Rng rng(7);
+  const Topology topo = generate_topology({}, rng);
+  WorkloadParams params;
+  params.num_requests = 300;
+  util::RunningStats expected;
+  for (const ARRequest& req : generate_requests(params, topo, rng)) {
+    expected.add(req.demand.expected_rate());
+  }
+  const double midpoint = (params.rate_min + params.rate_max) / 2.0;
+  EXPECT_LT(expected.mean(), midpoint);
+  EXPECT_GT(expected.mean(), params.rate_min);
+}
+
+TEST(WorkloadStats, UniformSkewEqualizesLevelProbabilities) {
+  util::Rng rng(9);
+  const Topology topo = generate_topology({}, rng);
+  WorkloadParams params;
+  params.num_requests = 300;
+  params.rate_prob_skew = 1.0;  // uniform base weights (jitter remains)
+  util::RunningStats low, high;
+  for (const ARRequest& req : generate_requests(params, topo, rng)) {
+    low.add(req.demand.levels().front().prob);
+    high.add(req.demand.levels().back().prob);
+  }
+  EXPECT_NEAR(low.mean(), high.mean(), 0.03);
+}
+
+TEST(WorkloadStats, HomeSkewConcentratesAttachment) {
+  util::Rng rng(11);
+  const Topology topo = generate_topology({}, rng);
+  auto top_share = [&](double skew) {
+    util::Rng wrng(13);
+    WorkloadParams params;
+    params.num_requests = 600;
+    params.home_skew = skew;
+    std::vector<int> counts(static_cast<std::size_t>(topo.num_stations()), 0);
+    for (const ARRequest& req : generate_requests(params, topo, wrng)) {
+      ++counts[static_cast<std::size_t>(req.home_station)];
+    }
+    return static_cast<double>(
+               *std::max_element(counts.begin(), counts.end())) /
+           600.0;
+  };
+  EXPECT_GT(top_share(1.5), top_share(0.0) + 0.1);
+}
+
+TEST(WorkloadStats, RateSweepTracksConfiguredSupport) {
+  util::Rng rng(17);
+  const Topology topo = generate_topology({}, rng);
+  for (double rate_max : {20.0, 35.0, 50.0}) {
+    util::Rng wrng(19);
+    WorkloadParams params;
+    params.num_requests = 100;
+    params.rate_min = 10.0;
+    params.rate_max = rate_max;
+    util::RunningStats maxima;
+    for (const ARRequest& req : generate_requests(params, topo, wrng)) {
+      maxima.add(req.demand.max_rate());
+    }
+    EXPECT_NEAR(maxima.mean(), rate_max, 0.1 * rate_max + 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace mecar::mec

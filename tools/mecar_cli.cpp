@@ -1,0 +1,215 @@
+// mecar command-line front-end.
+//
+// Subcommands:
+//   offline    run the offline algorithms on a generated instance
+//   online     run the online policies over a slotted horizon
+//   topology   generate a topology and print its stations/links as CSV
+//   trace      synthesize a frame-level AR session trace as CSV
+//   lp         dump the slot-indexed LP of an instance in MPS format
+//
+// Common flags: --seed=N --requests=N --stations=N. Subcommand-specific
+// flags are listed by `mecar_cli <subcommand> --help`.
+#include <fstream>
+#include <iostream>
+
+#include "baselines/greedy.h"
+#include "baselines/heu_kkt.h"
+#include "baselines/ocorp.h"
+#include "core/appro.h"
+#include "core/heu.h"
+#include "core/slot_lp.h"
+#include "lp/mps.h"
+#include "mec/topology.h"
+#include "mec/trace.h"
+#include "mec/workload.h"
+#include "sim/dynamic_rr.h"
+#include "sim/metrics.h"
+#include "sim/online_baselines.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mecar;
+
+struct Common {
+  std::uint64_t seed;
+  int requests;
+  int stations;
+};
+
+Common common_flags(const util::Cli& cli) {
+  return Common{
+      static_cast<std::uint64_t>(cli.get_int_or("seed", 42)),
+      static_cast<int>(cli.get_int_or("requests", 150)),
+      static_cast<int>(cli.get_int_or("stations", 20)),
+  };
+}
+
+mec::Topology make_topology(const Common& common, util::Rng& rng) {
+  mec::TopologyParams params;
+  params.num_stations = common.stations;
+  return mec::generate_topology(params, rng);
+}
+
+int cmd_offline(const util::Cli& cli) {
+  const Common common = common_flags(cli);
+  util::Rng rng(common.seed);
+  const mec::Topology topo = make_topology(common, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = common.requests;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto realized = core::realize_demand_levels(requests, rng);
+  const core::AlgorithmParams params;
+
+  util::Table table({"algorithm", "reward ($)", "rewarded", "admitted",
+                     "avg latency (ms)"});
+  auto report = [&](const std::string& name,
+                    const core::OffloadResult& result) {
+    table.add_row({name, util::format_double(result.total_reward(), 1),
+                   std::to_string(result.num_rewarded()),
+                   std::to_string(result.num_admitted()),
+                   util::format_double(result.average_latency_ms(), 1)});
+  };
+  {
+    util::Rng r(common.seed + 1);
+    report("Appro", core::run_appro(topo, requests, realized, params, r));
+  }
+  {
+    util::Rng r(common.seed + 1);
+    report("Heu", core::run_heu(topo, requests, realized, params, r));
+  }
+  report("Greedy", baselines::run_greedy(topo, requests, realized, params));
+  report("OCORP", baselines::run_ocorp(topo, requests, realized, params));
+  report("HeuKKT", baselines::run_heu_kkt(topo, requests, realized, params));
+  table.print(std::cout, "offline instance, seed " +
+                             std::to_string(common.seed));
+  return 0;
+}
+
+int cmd_online(const util::Cli& cli) {
+  const Common common = common_flags(cli);
+  const int horizon = static_cast<int>(cli.get_int_or("horizon", 600));
+  util::Rng rng(common.seed);
+  const mec::Topology topo = make_topology(common, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = common.requests;
+  wparams.horizon_slots = horizon;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto realized = core::realize_demand_levels(requests, rng);
+  sim::OnlineParams params;
+  params.horizon_slots = horizon;
+  params.collect_detail = true;
+
+  util::Table table({"policy", "reward ($)", "completed", "dropped",
+                     "p95 lat (ms)", "fairness", "mean util"});
+  auto run = [&](sim::OnlinePolicy& policy) {
+    sim::OnlineSimulator simulator(topo, requests, realized, params);
+    const auto m = simulator.run(policy);
+    const auto s = sim::summarize(m);
+    table.add_row({policy.name(), util::format_double(m.total_reward, 1),
+                   std::to_string(m.completed), std::to_string(m.dropped),
+                   util::format_double(s.latency_p95_ms, 1),
+                   util::format_double(s.service_fairness, 3),
+                   util::format_double(s.mean_utilization, 3)});
+  };
+  {
+    sim::DynamicRrPolicy policy(topo, core::AlgorithmParams{},
+                                sim::DynamicRrParams{},
+                                util::Rng(common.seed + 1));
+    run(policy);
+  }
+  {
+    sim::GreedyOnlinePolicy policy(topo, core::AlgorithmParams{});
+    run(policy);
+  }
+  {
+    sim::OcorpOnlinePolicy policy(topo, core::AlgorithmParams{});
+    run(policy);
+  }
+  {
+    sim::HeuKktOnlinePolicy policy(topo, core::AlgorithmParams{});
+    run(policy);
+  }
+  table.print(std::cout, "online horizon " + std::to_string(horizon) +
+                             " slots, seed " + std::to_string(common.seed));
+  return 0;
+}
+
+int cmd_topology(const util::Cli& cli) {
+  const Common common = common_flags(cli);
+  util::Rng rng(common.seed);
+  const mec::Topology topo = make_topology(common, rng);
+  std::cout << "station_id,capacity_mhz,proc_ms_per_unit,x,y\n";
+  for (const mec::BaseStation& bs : topo.stations()) {
+    std::cout << bs.id << ',' << bs.capacity_mhz << ','
+              << bs.proc_ms_per_unit << ',' << bs.x << ',' << bs.y << '\n';
+  }
+  std::cout << "\nlink_a,link_b,delay_ms,bandwidth_mbps\n";
+  for (const mec::Link& link : topo.links()) {
+    std::cout << link.a << ',' << link.b << ',' << link.delay_ms << ','
+              << link.bandwidth_mbps << '\n';
+  }
+  return 0;
+}
+
+int cmd_trace(const util::Cli& cli) {
+  const Common common = common_flags(cli);
+  util::Rng rng(common.seed);
+  mec::TraceParams params;
+  params.duration_s = cli.get_double_or("duration", 10.0);
+  params.frame_kb_mean = cli.get_double_or("frame-kb", 64.0);
+  const auto trace = mec::synthesize_trace(params, rng);
+  trace.write_csv(std::cout);
+  std::cerr << "# " << trace.size() << " frames, "
+            << util::format_double(trace.average_rate_mbps(), 2)
+            << " MB/s average\n";
+  return 0;
+}
+
+int cmd_lp(const util::Cli& cli) {
+  const Common common = common_flags(cli);
+  util::Rng rng(common.seed);
+  const mec::Topology topo = make_topology(common, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = common.requests;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto inst =
+      core::build_slot_lp(topo, requests, core::AlgorithmParams{});
+  lp::write_mps(inst.model, std::cout, "mecar_slot_lp");
+  std::cerr << "# " << inst.model.num_variables() << " columns, "
+            << inst.model.num_constraints() << " rows\n";
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "usage: mecar_cli <offline|online|topology|trace|lp> [flags]\n"
+      "  common flags: --seed=N --requests=N --stations=N\n"
+      "  online:       --horizon=N\n"
+      "  trace:        --duration=SECONDS --frame-kb=KB\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.positional().empty() || cli.has("help")) {
+    usage();
+    return cli.positional().empty() && !cli.has("help") ? 1 : 0;
+  }
+  const std::string& command = cli.positional().front();
+  try {
+    if (command == "offline") return cmd_offline(cli);
+    if (command == "online") return cmd_online(cli);
+    if (command == "topology") return cmd_topology(cli);
+    if (command == "trace") return cmd_trace(cli);
+    if (command == "lp") return cmd_lp(cli);
+  } catch (const std::exception& error) {
+    std::cerr << "mecar_cli: " << error.what() << '\n';
+    return 1;
+  }
+  std::cerr << "mecar_cli: unknown command '" << command << "'\n";
+  usage();
+  return 1;
+}
