@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_smallscale.dir/exact_smallscale.cpp.o"
+  "CMakeFiles/exact_smallscale.dir/exact_smallscale.cpp.o.d"
+  "exact_smallscale"
+  "exact_smallscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_smallscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

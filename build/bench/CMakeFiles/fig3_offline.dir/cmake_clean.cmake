@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_offline.dir/fig3_offline.cpp.o"
+  "CMakeFiles/fig3_offline.dir/fig3_offline.cpp.o.d"
+  "fig3_offline"
+  "fig3_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_online.dir/fig4_online.cpp.o"
+  "CMakeFiles/fig4_online.dir/fig4_online.cpp.o.d"
+  "fig4_online"
+  "fig4_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_stations.dir/fig5_stations.cpp.o"
+  "CMakeFiles/fig5_stations.dir/fig5_stations.cpp.o.d"
+  "fig5_stations"
+  "fig5_stations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_stations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/regret_theorem3.cpp" "bench/CMakeFiles/regret_theorem3.dir/regret_theorem3.cpp.o" "gcc" "bench/CMakeFiles/regret_theorem3.dir/regret_theorem3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mecar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mecar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mecar_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bandit/CMakeFiles/mecar_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecar_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

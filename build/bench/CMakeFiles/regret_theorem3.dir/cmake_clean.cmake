@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regret_theorem3.dir/regret_theorem3.cpp.o"
+  "CMakeFiles/regret_theorem3.dir/regret_theorem3.cpp.o.d"
+  "regret_theorem3"
+  "regret_theorem3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regret_theorem3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

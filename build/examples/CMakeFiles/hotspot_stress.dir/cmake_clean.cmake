@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_stress.dir/hotspot_stress.cpp.o"
+  "CMakeFiles/hotspot_stress.dir/hotspot_stress.cpp.o.d"
+  "hotspot_stress"
+  "hotspot_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bandit/epsilon_greedy.cpp" "src/bandit/CMakeFiles/mecar_bandit.dir/epsilon_greedy.cpp.o" "gcc" "src/bandit/CMakeFiles/mecar_bandit.dir/epsilon_greedy.cpp.o.d"
+  "/root/repo/src/bandit/lipschitz.cpp" "src/bandit/CMakeFiles/mecar_bandit.dir/lipschitz.cpp.o" "gcc" "src/bandit/CMakeFiles/mecar_bandit.dir/lipschitz.cpp.o.d"
+  "/root/repo/src/bandit/regret.cpp" "src/bandit/CMakeFiles/mecar_bandit.dir/regret.cpp.o" "gcc" "src/bandit/CMakeFiles/mecar_bandit.dir/regret.cpp.o.d"
+  "/root/repo/src/bandit/successive_elimination.cpp" "src/bandit/CMakeFiles/mecar_bandit.dir/successive_elimination.cpp.o" "gcc" "src/bandit/CMakeFiles/mecar_bandit.dir/successive_elimination.cpp.o.d"
+  "/root/repo/src/bandit/thompson.cpp" "src/bandit/CMakeFiles/mecar_bandit.dir/thompson.cpp.o" "gcc" "src/bandit/CMakeFiles/mecar_bandit.dir/thompson.cpp.o.d"
+  "/root/repo/src/bandit/ucb1.cpp" "src/bandit/CMakeFiles/mecar_bandit.dir/ucb1.cpp.o" "gcc" "src/bandit/CMakeFiles/mecar_bandit.dir/ucb1.cpp.o.d"
+  "/root/repo/src/bandit/zooming.cpp" "src/bandit/CMakeFiles/mecar_bandit.dir/zooming.cpp.o" "gcc" "src/bandit/CMakeFiles/mecar_bandit.dir/zooming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mecar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

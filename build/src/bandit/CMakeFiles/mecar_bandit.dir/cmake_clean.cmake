@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecar_bandit.dir/epsilon_greedy.cpp.o"
+  "CMakeFiles/mecar_bandit.dir/epsilon_greedy.cpp.o.d"
+  "CMakeFiles/mecar_bandit.dir/lipschitz.cpp.o"
+  "CMakeFiles/mecar_bandit.dir/lipschitz.cpp.o.d"
+  "CMakeFiles/mecar_bandit.dir/regret.cpp.o"
+  "CMakeFiles/mecar_bandit.dir/regret.cpp.o.d"
+  "CMakeFiles/mecar_bandit.dir/successive_elimination.cpp.o"
+  "CMakeFiles/mecar_bandit.dir/successive_elimination.cpp.o.d"
+  "CMakeFiles/mecar_bandit.dir/thompson.cpp.o"
+  "CMakeFiles/mecar_bandit.dir/thompson.cpp.o.d"
+  "CMakeFiles/mecar_bandit.dir/ucb1.cpp.o"
+  "CMakeFiles/mecar_bandit.dir/ucb1.cpp.o.d"
+  "CMakeFiles/mecar_bandit.dir/zooming.cpp.o"
+  "CMakeFiles/mecar_bandit.dir/zooming.cpp.o.d"
+  "libmecar_bandit.a"
+  "libmecar_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecar_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mecar_bandit.
+# This may be replaced when dependencies are built.

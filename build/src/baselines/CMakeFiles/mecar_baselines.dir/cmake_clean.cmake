@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecar_baselines.dir/greedy.cpp.o"
+  "CMakeFiles/mecar_baselines.dir/greedy.cpp.o.d"
+  "CMakeFiles/mecar_baselines.dir/heu_kkt.cpp.o"
+  "CMakeFiles/mecar_baselines.dir/heu_kkt.cpp.o.d"
+  "CMakeFiles/mecar_baselines.dir/ocorp.cpp.o"
+  "CMakeFiles/mecar_baselines.dir/ocorp.cpp.o.d"
+  "libmecar_baselines.a"
+  "libmecar_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecar_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/appro.cpp" "src/core/CMakeFiles/mecar_core.dir/appro.cpp.o" "gcc" "src/core/CMakeFiles/mecar_core.dir/appro.cpp.o.d"
+  "/root/repo/src/core/backhaul.cpp" "src/core/CMakeFiles/mecar_core.dir/backhaul.cpp.o" "gcc" "src/core/CMakeFiles/mecar_core.dir/backhaul.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/core/CMakeFiles/mecar_core.dir/exact.cpp.o" "gcc" "src/core/CMakeFiles/mecar_core.dir/exact.cpp.o.d"
+  "/root/repo/src/core/heu.cpp" "src/core/CMakeFiles/mecar_core.dir/heu.cpp.o" "gcc" "src/core/CMakeFiles/mecar_core.dir/heu.cpp.o.d"
+  "/root/repo/src/core/rounding.cpp" "src/core/CMakeFiles/mecar_core.dir/rounding.cpp.o" "gcc" "src/core/CMakeFiles/mecar_core.dir/rounding.cpp.o.d"
+  "/root/repo/src/core/slot_lp.cpp" "src/core/CMakeFiles/mecar_core.dir/slot_lp.cpp.o" "gcc" "src/core/CMakeFiles/mecar_core.dir/slot_lp.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/mecar_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/mecar_core.dir/types.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/mecar_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/mecar_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/mecar_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecar_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

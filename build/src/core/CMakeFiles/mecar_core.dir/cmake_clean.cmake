@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecar_core.dir/appro.cpp.o"
+  "CMakeFiles/mecar_core.dir/appro.cpp.o.d"
+  "CMakeFiles/mecar_core.dir/backhaul.cpp.o"
+  "CMakeFiles/mecar_core.dir/backhaul.cpp.o.d"
+  "CMakeFiles/mecar_core.dir/exact.cpp.o"
+  "CMakeFiles/mecar_core.dir/exact.cpp.o.d"
+  "CMakeFiles/mecar_core.dir/heu.cpp.o"
+  "CMakeFiles/mecar_core.dir/heu.cpp.o.d"
+  "CMakeFiles/mecar_core.dir/rounding.cpp.o"
+  "CMakeFiles/mecar_core.dir/rounding.cpp.o.d"
+  "CMakeFiles/mecar_core.dir/slot_lp.cpp.o"
+  "CMakeFiles/mecar_core.dir/slot_lp.cpp.o.d"
+  "CMakeFiles/mecar_core.dir/types.cpp.o"
+  "CMakeFiles/mecar_core.dir/types.cpp.o.d"
+  "CMakeFiles/mecar_core.dir/validate.cpp.o"
+  "CMakeFiles/mecar_core.dir/validate.cpp.o.d"
+  "libmecar_core.a"
+  "libmecar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecar_lp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/mecar_lp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/mecar_lp.dir/model.cpp.o"
+  "CMakeFiles/mecar_lp.dir/model.cpp.o.d"
+  "CMakeFiles/mecar_lp.dir/mps.cpp.o"
+  "CMakeFiles/mecar_lp.dir/mps.cpp.o.d"
+  "CMakeFiles/mecar_lp.dir/revised_simplex.cpp.o"
+  "CMakeFiles/mecar_lp.dir/revised_simplex.cpp.o.d"
+  "CMakeFiles/mecar_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mecar_lp.dir/simplex.cpp.o.d"
+  "libmecar_lp.a"
+  "libmecar_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecar_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

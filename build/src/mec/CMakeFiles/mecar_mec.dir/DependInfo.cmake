@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mec/request.cpp" "src/mec/CMakeFiles/mecar_mec.dir/request.cpp.o" "gcc" "src/mec/CMakeFiles/mecar_mec.dir/request.cpp.o.d"
+  "/root/repo/src/mec/topology.cpp" "src/mec/CMakeFiles/mecar_mec.dir/topology.cpp.o" "gcc" "src/mec/CMakeFiles/mecar_mec.dir/topology.cpp.o.d"
+  "/root/repo/src/mec/trace.cpp" "src/mec/CMakeFiles/mecar_mec.dir/trace.cpp.o" "gcc" "src/mec/CMakeFiles/mecar_mec.dir/trace.cpp.o.d"
+  "/root/repo/src/mec/workload.cpp" "src/mec/CMakeFiles/mecar_mec.dir/workload.cpp.o" "gcc" "src/mec/CMakeFiles/mecar_mec.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mecar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

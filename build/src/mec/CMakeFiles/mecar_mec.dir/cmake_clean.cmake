@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecar_mec.dir/request.cpp.o"
+  "CMakeFiles/mecar_mec.dir/request.cpp.o.d"
+  "CMakeFiles/mecar_mec.dir/topology.cpp.o"
+  "CMakeFiles/mecar_mec.dir/topology.cpp.o.d"
+  "CMakeFiles/mecar_mec.dir/trace.cpp.o"
+  "CMakeFiles/mecar_mec.dir/trace.cpp.o.d"
+  "CMakeFiles/mecar_mec.dir/workload.cpp.o"
+  "CMakeFiles/mecar_mec.dir/workload.cpp.o.d"
+  "libmecar_mec.a"
+  "libmecar_mec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecar_mec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dynamic_rr.cpp" "src/sim/CMakeFiles/mecar_sim.dir/dynamic_rr.cpp.o" "gcc" "src/sim/CMakeFiles/mecar_sim.dir/dynamic_rr.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/mecar_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/mecar_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/online_baselines.cpp" "src/sim/CMakeFiles/mecar_sim.dir/online_baselines.cpp.o" "gcc" "src/sim/CMakeFiles/mecar_sim.dir/online_baselines.cpp.o.d"
+  "/root/repo/src/sim/online_sim.cpp" "src/sim/CMakeFiles/mecar_sim.dir/online_sim.cpp.o" "gcc" "src/sim/CMakeFiles/mecar_sim.dir/online_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mecar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bandit/CMakeFiles/mecar_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecar_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mecar_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecar_sim.dir/dynamic_rr.cpp.o"
+  "CMakeFiles/mecar_sim.dir/dynamic_rr.cpp.o.d"
+  "CMakeFiles/mecar_sim.dir/metrics.cpp.o"
+  "CMakeFiles/mecar_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/mecar_sim.dir/online_baselines.cpp.o"
+  "CMakeFiles/mecar_sim.dir/online_baselines.cpp.o.d"
+  "CMakeFiles/mecar_sim.dir/online_sim.cpp.o"
+  "CMakeFiles/mecar_sim.dir/online_sim.cpp.o.d"
+  "libmecar_sim.a"
+  "libmecar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

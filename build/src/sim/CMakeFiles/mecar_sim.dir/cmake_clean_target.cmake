@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmecar_sim.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecar_util.dir/cli.cpp.o"
+  "CMakeFiles/mecar_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mecar_util.dir/log.cpp.o"
+  "CMakeFiles/mecar_util.dir/log.cpp.o.d"
+  "CMakeFiles/mecar_util.dir/rng.cpp.o"
+  "CMakeFiles/mecar_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mecar_util.dir/stats.cpp.o"
+  "CMakeFiles/mecar_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mecar_util.dir/table.cpp.o"
+  "CMakeFiles/mecar_util.dir/table.cpp.o.d"
+  "libmecar_util.a"
+  "libmecar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

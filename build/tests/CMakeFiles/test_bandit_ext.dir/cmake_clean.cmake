@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandit_ext.dir/test_bandit_ext.cpp.o"
+  "CMakeFiles/test_bandit_ext.dir/test_bandit_ext.cpp.o.d"
+  "test_bandit_ext"
+  "test_bandit_ext.pdb"
+  "test_bandit_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandit_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

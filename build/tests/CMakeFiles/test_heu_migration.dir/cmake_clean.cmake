@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heu_migration.dir/test_heu_migration.cpp.o"
+  "CMakeFiles/test_heu_migration.dir/test_heu_migration.cpp.o.d"
+  "test_heu_migration"
+  "test_heu_migration.pdb"
+  "test_heu_migration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heu_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mec.dir/test_mec.cpp.o"
+  "CMakeFiles/test_mec.dir/test_mec.cpp.o.d"
+  "test_mec"
+  "test_mec.pdb"
+  "test_mec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_revised_simplex.dir/test_revised_simplex.cpp.o"
+  "CMakeFiles/test_revised_simplex.dir/test_revised_simplex.cpp.o.d"
+  "test_revised_simplex"
+  "test_revised_simplex.pdb"
+  "test_revised_simplex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_revised_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

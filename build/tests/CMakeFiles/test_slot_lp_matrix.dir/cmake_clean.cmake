@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slot_lp_matrix.dir/test_slot_lp_matrix.cpp.o"
+  "CMakeFiles/test_slot_lp_matrix.dir/test_slot_lp_matrix.cpp.o.d"
+  "test_slot_lp_matrix"
+  "test_slot_lp_matrix.pdb"
+  "test_slot_lp_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slot_lp_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecar_cli.dir/mecar_cli.cpp.o"
+  "CMakeFiles/mecar_cli.dir/mecar_cli.cpp.o.d"
+  "mecar_cli"
+  "mecar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
