@@ -42,6 +42,9 @@ benchx::Instance make_offline(unsigned seed, mec::RewardModel model,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int_or("seeds", 3));
+  // Every ablation block runs its seeds concurrently through sweep_seeds
+  // and reduces the ordered samples serially, so the printed tables are
+  // bit-identical to the old nested serial loops.
 
   // A1: rounding divisor x backfill.
   {
@@ -49,19 +52,28 @@ int main(int argc, char** argv) {
                        "admitted", "LP bound ($)"});
     for (double divisor : {1.0, 2.0, 4.0, 8.0}) {
       for (bool backfill : {false, true}) {
+        struct Sample {
+          double reward, admitted, bound;
+        };
+        const auto samples = benchx::sweep_seeds(
+            benchx::bench_seeds(seeds), [&](unsigned seed) {
+              const auto inst =
+                  make_offline(seed, mec::RewardModel::kIndependent, 1.0);
+              core::AlgorithmParams params;
+              params.rounding_divisor = divisor;
+              params.backfill = backfill;
+              util::Rng rng(seed + 9);
+              const auto res = core::run_appro(inst.topo, inst.requests,
+                                               inst.realized, params, rng);
+              return Sample{res.total_reward(),
+                            static_cast<double>(res.num_admitted()),
+                            res.lp_bound};
+            });
         util::RunningStats reward, admitted, bound;
-        for (unsigned seed : benchx::bench_seeds(seeds)) {
-          const auto inst =
-              make_offline(seed, mec::RewardModel::kIndependent, 1.0);
-          core::AlgorithmParams params;
-          params.rounding_divisor = divisor;
-          params.backfill = backfill;
-          util::Rng rng(seed + 9);
-          const auto res = core::run_appro(inst.topo, inst.requests,
-                                           inst.realized, params, rng);
-          reward.add(res.total_reward());
-          admitted.add(res.num_admitted());
-          bound.add(res.lp_bound);
+        for (const Sample& sample : samples) {
+          reward.add(sample.reward);
+          admitted.add(sample.admitted);
+          bound.add(sample.bound);
         }
         table.add_row({util::format_double(divisor, 0),
                        backfill ? "on" : "off",
@@ -81,20 +93,30 @@ int main(int argc, char** argv) {
                        "Heu/Greedy"});
     for (const auto model : {mec::RewardModel::kIndependent,
                              mec::RewardModel::kProportional}) {
-      util::RunningStats heu, greedy, kkt;
-      for (unsigned seed : benchx::bench_seeds(seeds)) {
-        const auto inst = make_offline(seed, model, 1.0);
-        const core::AlgorithmParams params;
-        util::Rng rng(seed + 9);
-        heu.add(core::run_heu(inst.topo, inst.requests, inst.realized, params,
+      struct Sample {
+        double heu, greedy, kkt;
+      };
+      const auto samples = benchx::sweep_seeds(
+          benchx::bench_seeds(seeds), [&](unsigned seed) {
+            const auto inst = make_offline(seed, model, 1.0);
+            const core::AlgorithmParams params;
+            util::Rng rng(seed + 9);
+            return Sample{
+                core::run_heu(inst.topo, inst.requests, inst.realized, params,
                               rng)
-                    .total_reward());
-        greedy.add(baselines::run_greedy(inst.topo, inst.requests,
-                                         inst.realized, params)
-                       .total_reward());
-        kkt.add(baselines::run_heu_kkt(inst.topo, inst.requests,
+                    .total_reward(),
+                baselines::run_greedy(inst.topo, inst.requests, inst.realized,
+                                      params)
+                    .total_reward(),
+                baselines::run_heu_kkt(inst.topo, inst.requests,
                                        inst.realized, params)
-                    .total_reward());
+                    .total_reward()};
+          });
+      util::RunningStats heu, greedy, kkt;
+      for (const Sample& sample : samples) {
+        heu.add(sample.heu);
+        greedy.add(sample.greedy);
+        kkt.add(sample.kkt);
       }
       table.add_row(
           {model == mec::RewardModel::kIndependent ? "independent (paper)"
@@ -113,18 +135,27 @@ int main(int argc, char** argv) {
     util::Table table(
         {"home skew", "Heu ($)", "Greedy ($)", "Heu/Greedy"});
     for (double skew : {0.0, 0.5, 1.0, 1.5}) {
-      util::RunningStats heu, greedy;
-      for (unsigned seed : benchx::bench_seeds(seeds)) {
-        const auto inst =
-            make_offline(seed, mec::RewardModel::kIndependent, skew);
-        const core::AlgorithmParams params;
-        util::Rng rng(seed + 9);
-        heu.add(core::run_heu(inst.topo, inst.requests, inst.realized, params,
+      struct Sample {
+        double heu, greedy;
+      };
+      const auto samples = benchx::sweep_seeds(
+          benchx::bench_seeds(seeds), [&](unsigned seed) {
+            const auto inst =
+                make_offline(seed, mec::RewardModel::kIndependent, skew);
+            const core::AlgorithmParams params;
+            util::Rng rng(seed + 9);
+            return Sample{
+                core::run_heu(inst.topo, inst.requests, inst.realized, params,
                               rng)
-                    .total_reward());
-        greedy.add(baselines::run_greedy(inst.topo, inst.requests,
-                                         inst.realized, params)
-                       .total_reward());
+                    .total_reward(),
+                baselines::run_greedy(inst.topo, inst.requests, inst.realized,
+                                      params)
+                    .total_reward()};
+          });
+      util::RunningStats heu, greedy;
+      for (const Sample& sample : samples) {
+        heu.add(sample.heu);
+        greedy.add(sample.greedy);
       }
       table.add_row({util::format_double(skew, 1),
                      util::format_double(heu.mean(), 1),
@@ -153,25 +184,32 @@ int main(int argc, char** argv) {
          defaults.threshold_max_mhz, 1},
     };
     for (const auto& variant : variants) {
+      struct Sample {
+        double reward, dropped;
+      };
+      const auto samples = benchx::sweep_seeds(
+          benchx::bench_seeds(seeds), [&](unsigned seed) {
+            benchx::InstanceConfig config;
+            config.num_requests = 300;
+            config.horizon_slots = 600;
+            const auto inst = benchx::make_instance(seed, config);
+            sim::OnlineParams oparams;
+            oparams.horizon_slots = 600;
+            sim::DynamicRrParams dparams;
+            dparams.threshold_min_mhz = variant.lo;
+            dparams.threshold_max_mhz = variant.hi;
+            dparams.kappa = variant.kappa;
+            sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
+                                        dparams, util::Rng(seed + 9));
+            sim::OnlineSimulator simulator(inst.topo, inst.requests,
+                                           inst.realized, oparams);
+            const auto m = simulator.run(policy);
+            return Sample{m.total_reward, static_cast<double>(m.dropped)};
+          });
       util::RunningStats reward, dropped;
-      for (unsigned seed : benchx::bench_seeds(seeds)) {
-        benchx::InstanceConfig config;
-        config.num_requests = 300;
-        config.horizon_slots = 600;
-        const auto inst = benchx::make_instance(seed, config);
-        sim::OnlineParams oparams;
-        oparams.horizon_slots = 600;
-        sim::DynamicRrParams dparams;
-        dparams.threshold_min_mhz = variant.lo;
-        dparams.threshold_max_mhz = variant.hi;
-        dparams.kappa = variant.kappa;
-        sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
-                                    dparams, util::Rng(seed + 9));
-        sim::OnlineSimulator simulator(inst.topo, inst.requests,
-                                       inst.realized, oparams);
-        const auto m = simulator.run(policy);
-        reward.add(m.total_reward);
-        dropped.add(m.dropped);
+      for (const Sample& sample : samples) {
+        reward.add(sample.reward);
+        dropped.add(sample.dropped);
       }
       table.add_row({variant.name, util::format_double(reward.mean(), 1),
                      util::format_double(dropped.mean(), 1)});
@@ -194,23 +232,30 @@ int main(int argc, char** argv) {
         {"zooming (adaptive grid)", sim::ThresholdLearner::kZooming},
     };
     for (const auto& [name, learner] : rules) {
+      struct Sample {
+        double reward, dropped;
+      };
+      const auto samples = benchx::sweep_seeds(
+          benchx::bench_seeds(seeds), [&](unsigned seed) {
+            benchx::InstanceConfig config;
+            config.num_requests = 300;
+            config.horizon_slots = 600;
+            const auto inst = benchx::make_instance(seed, config);
+            sim::OnlineParams oparams;
+            oparams.horizon_slots = 600;
+            sim::DynamicRrParams dparams;
+            dparams.learner = learner;
+            sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
+                                        dparams, util::Rng(seed + 9));
+            sim::OnlineSimulator simulator(inst.topo, inst.requests,
+                                           inst.realized, oparams);
+            const auto m = simulator.run(policy);
+            return Sample{m.total_reward, static_cast<double>(m.dropped)};
+          });
       util::RunningStats reward, dropped;
-      for (unsigned seed : benchx::bench_seeds(seeds)) {
-        benchx::InstanceConfig config;
-        config.num_requests = 300;
-        config.horizon_slots = 600;
-        const auto inst = benchx::make_instance(seed, config);
-        sim::OnlineParams oparams;
-        oparams.horizon_slots = 600;
-        sim::DynamicRrParams dparams;
-        dparams.learner = learner;
-        sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
-                                    dparams, util::Rng(seed + 9));
-        sim::OnlineSimulator simulator(inst.topo, inst.requests,
-                                       inst.realized, oparams);
-        const auto m = simulator.run(policy);
-        reward.add(m.total_reward);
-        dropped.add(m.dropped);
+      for (const Sample& sample : samples) {
+        reward.add(sample.reward);
+        dropped.add(sample.dropped);
       }
       table.add_row({name, util::format_double(reward.mean(), 1),
                      util::format_double(dropped.mean(), 1)});
@@ -225,36 +270,46 @@ int main(int argc, char** argv) {
     util::Table table({"link bw (MB/s)", "blind audited ($)", "voided",
                        "aware audited ($)", "peak link util"});
     for (double bw : {1e9, 120.0, 60.0, 30.0}) {
+      struct Sample {
+        double blind_r, voided, aware_r, util_peak;
+      };
+      const auto samples = benchx::sweep_seeds(
+          benchx::bench_seeds(seeds), [&](unsigned seed) {
+            util::Rng rng(seed);
+            mec::TopologyParams tparams;
+            tparams.link_bandwidth_min_mbps = bw * 0.7;
+            tparams.link_bandwidth_max_mbps = bw * 1.3;
+            const mec::Topology topo = mec::generate_topology(tparams, rng);
+            mec::WorkloadParams wparams;
+            wparams.num_requests = 250;
+            wparams.home_skew = 1.5;
+            const auto requests = mec::generate_requests(wparams, topo, rng);
+            const auto realized = core::realize_demand_levels(requests, rng);
+
+            core::AlgorithmParams blind;
+            util::Rng r1(seed + 9);
+            auto blind_result =
+                core::run_appro(topo, requests, realized, blind, r1);
+            const auto audit =
+                core::apply_backhaul_audit(topo, requests, blind_result);
+
+            core::AlgorithmParams aware = blind;
+            aware.enforce_backhaul = true;
+            util::Rng r2(seed + 9);
+            auto aware_result =
+                core::run_appro(topo, requests, realized, aware, r2);
+            core::apply_backhaul_audit(topo, requests, aware_result);
+            return Sample{blind_result.total_reward(),
+                          static_cast<double>(audit.voided),
+                          aware_result.total_reward(),
+                          audit.peak_link_utilization};
+          });
       util::RunningStats blind_r, voided, aware_r, util_peak;
-      for (unsigned seed : benchx::bench_seeds(seeds)) {
-        util::Rng rng(seed);
-        mec::TopologyParams tparams;
-        tparams.link_bandwidth_min_mbps = bw * 0.7;
-        tparams.link_bandwidth_max_mbps = bw * 1.3;
-        const mec::Topology topo = mec::generate_topology(tparams, rng);
-        mec::WorkloadParams wparams;
-        wparams.num_requests = 250;
-        wparams.home_skew = 1.5;
-        const auto requests = mec::generate_requests(wparams, topo, rng);
-        const auto realized = core::realize_demand_levels(requests, rng);
-
-        core::AlgorithmParams blind;
-        util::Rng r1(seed + 9);
-        auto blind_result =
-            core::run_appro(topo, requests, realized, blind, r1);
-        const auto audit =
-            core::apply_backhaul_audit(topo, requests, blind_result);
-        blind_r.add(blind_result.total_reward());
-        voided.add(audit.voided);
-        util_peak.add(audit.peak_link_utilization);
-
-        core::AlgorithmParams aware = blind;
-        aware.enforce_backhaul = true;
-        util::Rng r2(seed + 9);
-        auto aware_result =
-            core::run_appro(topo, requests, realized, aware, r2);
-        core::apply_backhaul_audit(topo, requests, aware_result);
-        aware_r.add(aware_result.total_reward());
+      for (const Sample& sample : samples) {
+        blind_r.add(sample.blind_r);
+        voided.add(sample.voided);
+        aware_r.add(sample.aware_r);
+        util_peak.add(sample.util_peak);
       }
       table.add_row({bw >= 1e8 ? "unbounded" : util::format_double(bw, 0),
                      util::format_double(blind_r.mean(), 1),

@@ -1,16 +1,20 @@
 // Shared plumbing for the figure-reproduction drivers: instance
-// construction with the paper's section VI-A defaults and seed-averaged
-// series collection. Each driver prints the exact series of one paper
-// figure as an aligned table plus a CSV block.
+// construction with the paper's section VI-A defaults, seed-averaged
+// series collection, and the parallel trial sweep every driver runs its
+// seeds through. Each driver prints the exact series of one paper figure
+// as an aligned table plus a CSV block.
 #pragma once
 
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/types.h"
 #include "mec/topology.h"
 #include "mec/workload.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -82,6 +86,55 @@ inline std::vector<unsigned> bench_seeds(int count) {
     seeds.push_back(7u + 1000u * static_cast<unsigned>(i));
   }
   return seeds;
+}
+
+/// Runs trial(seed) for every seed across the process thread pool
+/// (MECAR_THREADS cores; serial when 1) and returns the results in seed
+/// order. Each trial must derive all randomness from its seed; the caller
+/// reduces the ordered results serially, so the emitted figures are
+/// bit-identical to a serial sweep.
+template <typename Trial>
+auto sweep_seeds(const std::vector<unsigned>& seeds, Trial&& trial)
+    -> std::vector<decltype(trial(0u))> {
+  return util::parallel_map(
+      seeds.size(), [&](std::size_t i) { return trial(seeds[i]); });
+}
+
+/// One serial-vs-parallel timing entry of the BENCH_parallel.json snapshot.
+struct ParallelTiming {
+  std::string name;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  int threads = 1;
+  /// Free-form auxiliary metrics (e.g. pivot counts), emitted verbatim.
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Writes the timing snapshot consumed by CI dashboards. Schema:
+/// {"threads": N, "entries": [{"name", "serial_ms", "parallel_ms",
+/// "speedup", ...extra}]}. Returns false when the file cannot be written.
+inline bool write_parallel_snapshot(const std::string& path,
+                                    const std::vector<ParallelTiming>& rows) {
+  std::ostringstream out;
+  out << "{\n  \"threads\": " << util::default_thread_count()
+      << ",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ParallelTiming& row = rows[i];
+    const double speedup =
+        row.parallel_ms > 0.0 ? row.serial_ms / row.parallel_ms : 0.0;
+    out << "    {\"name\": \"" << row.name << "\", \"threads\": "
+        << row.threads << ", \"serial_ms\": " << row.serial_ms
+        << ", \"parallel_ms\": " << row.parallel_ms
+        << ", \"speedup\": " << speedup;
+    for (const auto& [key, value] : row.extra) {
+      out << ", \"" << key << "\": " << value;
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::ofstream file(path);
+  file << out.str();
+  return file.good();
 }
 
 }  // namespace mecar::benchx

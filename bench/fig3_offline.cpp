@@ -27,56 +27,75 @@ int main(int argc, char** argv) {
   benchx::SeriesCollector latency(algos);
   benchx::SeriesCollector runtime(algos);
 
+  // Seeds run concurrently on the process pool; the figure series (reward,
+  // latency) are deterministic per seed, so the ordered reduction matches
+  // the serial sweep exactly. Fig 3(c)'s runtimes are wall-clock and vary
+  // run to run either way.
+  struct Sample {
+    double reward[5];
+    double latency[5];
+    double runtime[5];
+  };
   for (int num_requests : points) {
     reward.start_point();
     latency.start_point();
     runtime.start_point();
-    for (unsigned seed : benchx::bench_seeds(seeds)) {
-      benchx::InstanceConfig config;
-      config.num_requests = num_requests;
-      const auto inst = benchx::make_instance(seed, config);
-      const core::AlgorithmParams params;
+    const auto samples = benchx::sweep_seeds(
+        benchx::bench_seeds(seeds), [&](unsigned seed) {
+          benchx::InstanceConfig config;
+          config.num_requests = num_requests;
+          const auto inst = benchx::make_instance(seed, config);
+          const core::AlgorithmParams params;
 
-      auto record = [&](const std::string& name,
-                        const core::OffloadResult& res, double ms) {
-        reward.add(name, res.total_reward());
-        latency.add(name, res.average_latency_ms());
-        runtime.add(name, ms);
-      };
-      {
-        util::Rng rng(seed + 1);
-        util::Timer t;
-        const auto res =
-            core::run_appro(inst.topo, inst.requests, inst.realized, params, rng);
-        record("Appro", res, t.elapsed_ms());
-      }
-      {
-        util::Rng rng(seed + 1);
-        util::Timer t;
-        const auto res =
-            core::run_heu(inst.topo, inst.requests, inst.realized, params, rng);
-        record("Heu", res, t.elapsed_ms());
-      }
-      {
-        util::Timer t;
-        record("Greedy",
-               baselines::run_greedy(inst.topo, inst.requests, inst.realized,
-                                     params),
-               t.elapsed_ms());
-      }
-      {
-        util::Timer t;
-        record("OCORP",
-               baselines::run_ocorp(inst.topo, inst.requests, inst.realized,
-                                    params),
-               t.elapsed_ms());
-      }
-      {
-        util::Timer t;
-        record("HeuKKT",
-               baselines::run_heu_kkt(inst.topo, inst.requests, inst.realized,
-                                      params),
-               t.elapsed_ms());
+          Sample sample{};
+          auto record = [&](std::size_t slot, const core::OffloadResult& res,
+                            double ms) {
+            sample.reward[slot] = res.total_reward();
+            sample.latency[slot] = res.average_latency_ms();
+            sample.runtime[slot] = ms;
+          };
+          {
+            util::Rng rng(seed + 1);
+            util::Timer t;
+            const auto res = core::run_appro(inst.topo, inst.requests,
+                                             inst.realized, params, rng);
+            record(0, res, t.elapsed_ms());
+          }
+          {
+            util::Rng rng(seed + 1);
+            util::Timer t;
+            const auto res = core::run_heu(inst.topo, inst.requests,
+                                           inst.realized, params, rng);
+            record(1, res, t.elapsed_ms());
+          }
+          {
+            util::Timer t;
+            record(2,
+                   baselines::run_greedy(inst.topo, inst.requests,
+                                         inst.realized, params),
+                   t.elapsed_ms());
+          }
+          {
+            util::Timer t;
+            record(3,
+                   baselines::run_ocorp(inst.topo, inst.requests,
+                                        inst.realized, params),
+                   t.elapsed_ms());
+          }
+          {
+            util::Timer t;
+            record(4,
+                   baselines::run_heu_kkt(inst.topo, inst.requests,
+                                          inst.realized, params),
+                   t.elapsed_ms());
+          }
+          return sample;
+        });
+    for (const Sample& sample : samples) {
+      for (std::size_t a = 0; a < algos.size(); ++a) {
+        reward.add(algos[a], sample.reward[a]);
+        latency.add(algos[a], sample.latency[a]);
+        runtime.add(algos[a], sample.runtime[a]);
       }
     }
   }

@@ -26,43 +26,61 @@ int main(int argc, char** argv) {
   benchx::SeriesCollector latency(algos);
   benchx::SeriesCollector drops(algos);
 
+  // One trial = one (sweep point, seed) pair; trials are independent and
+  // fully determined by their seed, so the pool runs them concurrently and
+  // the ordered reduction below reproduces the serial output bit for bit.
+  struct Sample {
+    double reward[4];
+    double latency[4];
+    double drops[4];
+  };
   for (int num_requests : points) {
     reward.start_point();
     latency.start_point();
     drops.start_point();
-    for (unsigned seed : benchx::bench_seeds(seeds)) {
-      benchx::InstanceConfig config;
-      config.num_requests = num_requests;
-      config.horizon_slots = horizon;
-      const auto inst = benchx::make_instance(seed, config);
-      sim::OnlineParams params;
-      params.horizon_slots = horizon;
+    const auto samples = benchx::sweep_seeds(
+        benchx::bench_seeds(seeds), [&](unsigned seed) {
+          benchx::InstanceConfig config;
+          config.num_requests = num_requests;
+          config.horizon_slots = horizon;
+          const auto inst = benchx::make_instance(seed, config);
+          sim::OnlineParams params;
+          params.horizon_slots = horizon;
 
-      auto run = [&](const std::string& name, sim::OnlinePolicy& policy) {
-        sim::OnlineSimulator simulator(inst.topo, inst.requests,
-                                       inst.realized, params);
-        const auto m = simulator.run(policy);
-        reward.add(name, m.total_reward);
-        latency.add(name, m.avg_latency_ms);
-        drops.add(name, m.dropped);
-      };
-      {
-        sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
-                                    sim::DynamicRrParams{},
-                                    util::Rng(seed + 1));
-        run("DynamicRR", policy);
-      }
-      {
-        sim::GreedyOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
-        run("Greedy", policy);
-      }
-      {
-        sim::OcorpOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
-        run("OCORP", policy);
-      }
-      {
-        sim::HeuKktOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
-        run("HeuKKT", policy);
+          Sample sample{};
+          auto run = [&](std::size_t slot, sim::OnlinePolicy& policy) {
+            sim::OnlineSimulator simulator(inst.topo, inst.requests,
+                                           inst.realized, params);
+            const auto m = simulator.run(policy);
+            sample.reward[slot] = m.total_reward;
+            sample.latency[slot] = m.avg_latency_ms;
+            sample.drops[slot] = m.dropped;
+          };
+          {
+            sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
+                                        sim::DynamicRrParams{},
+                                        util::Rng(seed + 1));
+            run(0, policy);
+          }
+          {
+            sim::GreedyOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
+            run(1, policy);
+          }
+          {
+            sim::OcorpOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
+            run(2, policy);
+          }
+          {
+            sim::HeuKktOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
+            run(3, policy);
+          }
+          return sample;
+        });
+    for (const Sample& sample : samples) {
+      for (std::size_t a = 0; a < algos.size(); ++a) {
+        reward.add(algos[a], sample.reward[a]);
+        latency.add(algos[a], sample.latency[a]);
+        drops.add(algos[a], sample.drops[a]);
       }
     }
   }

@@ -31,53 +31,69 @@ int main(int argc, char** argv) {
   benchx::SeriesCollector reward(algos);
   benchx::SeriesCollector latency(algos);
 
+  // Seeds run concurrently (see bench_util.h); the ordered reduction keeps
+  // the printed figure bit-identical to the serial sweep. Slot order
+  // follows `algos`: Appro, Heu, DynamicRR, Greedy, OCORP, HeuKKT.
+  struct Sample {
+    double reward[6];
+    double latency[6];
+  };
   for (int num_stations : points) {
     reward.start_point();
     latency.start_point();
-    for (unsigned seed : benchx::bench_seeds(seeds)) {
-      benchx::InstanceConfig config;
-      config.num_requests = 150;
-      config.num_stations = num_stations;
-      const auto inst = benchx::make_instance(seed, config);
-      const core::AlgorithmParams params;
+    const auto samples = benchx::sweep_seeds(
+        benchx::bench_seeds(seeds), [&](unsigned seed) {
+          benchx::InstanceConfig config;
+          config.num_requests = 150;
+          config.num_stations = num_stations;
+          const auto inst = benchx::make_instance(seed, config);
+          const core::AlgorithmParams params;
 
-      auto record = [&](const std::string& name,
-                        const core::OffloadResult& res) {
-        reward.add(name, res.total_reward());
-        latency.add(name, res.average_latency_ms());
-      };
-      {
-        util::Rng rng(seed + 1);
-        record("Appro", core::run_appro(inst.topo, inst.requests,
-                                        inst.realized, params, rng));
-      }
-      {
-        util::Rng rng(seed + 1);
-        record("Heu", core::run_heu(inst.topo, inst.requests, inst.realized,
+          Sample sample{};
+          auto record = [&](std::size_t slot, const core::OffloadResult& res) {
+            sample.reward[slot] = res.total_reward();
+            sample.latency[slot] = res.average_latency_ms();
+          };
+          {
+            util::Rng rng(seed + 1);
+            record(0, core::run_appro(inst.topo, inst.requests, inst.realized,
+                                      params, rng));
+          }
+          {
+            util::Rng rng(seed + 1);
+            record(1, core::run_heu(inst.topo, inst.requests, inst.realized,
                                     params, rng));
-      }
-      record("Greedy", baselines::run_greedy(inst.topo, inst.requests,
-                                             inst.realized, params));
-      record("OCORP", baselines::run_ocorp(inst.topo, inst.requests,
+          }
+          record(3, baselines::run_greedy(inst.topo, inst.requests,
+                                          inst.realized, params));
+          record(4, baselines::run_ocorp(inst.topo, inst.requests,
+                                         inst.realized, params));
+          record(5, baselines::run_heu_kkt(inst.topo, inst.requests,
                                            inst.realized, params));
-      record("HeuKKT", baselines::run_heu_kkt(inst.topo, inst.requests,
-                                              inst.realized, params));
-      {
-        // Online instance on the same topology scale.
-        benchx::InstanceConfig online_config = config;
-        online_config.horizon_slots = 600;
-        const auto online_inst =
-            benchx::make_instance(seed, online_config);
-        sim::OnlineParams oparams;
-        oparams.horizon_slots = 600;
-        sim::DynamicRrPolicy policy(online_inst.topo, core::AlgorithmParams{},
-                                    sim::DynamicRrParams{},
-                                    util::Rng(seed + 1));
-        sim::OnlineSimulator simulator(online_inst.topo, online_inst.requests,
-                                       online_inst.realized, oparams);
-        const auto m = simulator.run(policy);
-        reward.add("DynamicRR", m.total_reward);
-        latency.add("DynamicRR", m.avg_latency_ms);
+          {
+            // Online instance on the same topology scale.
+            benchx::InstanceConfig online_config = config;
+            online_config.horizon_slots = 600;
+            const auto online_inst = benchx::make_instance(seed, online_config);
+            sim::OnlineParams oparams;
+            oparams.horizon_slots = 600;
+            sim::DynamicRrPolicy policy(online_inst.topo,
+                                        core::AlgorithmParams{},
+                                        sim::DynamicRrParams{},
+                                        util::Rng(seed + 1));
+            sim::OnlineSimulator simulator(online_inst.topo,
+                                           online_inst.requests,
+                                           online_inst.realized, oparams);
+            const auto m = simulator.run(policy);
+            sample.reward[2] = m.total_reward;
+            sample.latency[2] = m.avg_latency_ms;
+          }
+          return sample;
+        });
+    for (const Sample& sample : samples) {
+      for (std::size_t a = 0; a < algos.size(); ++a) {
+        reward.add(algos[a], sample.reward[a]);
+        latency.add(algos[a], sample.latency[a]);
       }
     }
   }

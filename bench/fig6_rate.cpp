@@ -24,50 +24,66 @@ int main(int argc, char** argv) {
   benchx::SeriesCollector reward(algos);
   benchx::SeriesCollector latency(algos);
 
+  // Seeds run concurrently (see bench_util.h); the ordered reduction keeps
+  // the printed figure bit-identical to the serial sweep. Slot order
+  // follows `algos`: DynamicRR, Greedy, OCORP, HeuKKT.
+  struct Sample {
+    double reward[4];
+    double latency[4];
+  };
   for (double rate_max : points) {
     reward.start_point();
     latency.start_point();
-    for (unsigned seed : benchx::bench_seeds(seeds)) {
-      benchx::InstanceConfig config;
-      // Smaller rates mean lighter requests; a larger request pool keeps
-      // the network in the contended regime the figure studies.
-      config.num_requests = 350;
-      config.rate_min = 10.0;  // the sweep moves only the maximum
-      config.rate_max = rate_max;
-      config.horizon_slots = 600;
-      const auto inst = benchx::make_instance(seed, config);
-      sim::OnlineParams params;
-      params.horizon_slots = 600;
+    const auto samples = benchx::sweep_seeds(
+        benchx::bench_seeds(seeds), [&](unsigned seed) {
+          benchx::InstanceConfig config;
+          // Smaller rates mean lighter requests; a larger request pool keeps
+          // the network in the contended regime the figure studies.
+          config.num_requests = 350;
+          config.rate_min = 10.0;  // the sweep moves only the maximum
+          config.rate_max = rate_max;
+          config.horizon_slots = 600;
+          const auto inst = benchx::make_instance(seed, config);
+          sim::OnlineParams params;
+          params.horizon_slots = 600;
 
-      auto run = [&](const std::string& name, sim::OnlinePolicy& policy) {
-        sim::OnlineSimulator simulator(inst.topo, inst.requests,
-                                       inst.realized, params);
-        const auto m = simulator.run(policy);
-        reward.add(name, m.total_reward);
-        latency.add(name, m.avg_latency_ms);
-      };
-      {
-        // Scale the threshold range with the demand support, as the
-        // provider would (C_unit * rates).
-        sim::DynamicRrParams dparams;
-        dparams.threshold_min_mhz = 10.0 * core::AlgorithmParams{}.c_unit;
-        dparams.threshold_max_mhz =
-            (rate_max + 5.0) * core::AlgorithmParams{}.c_unit;
-        sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
-                                    dparams, util::Rng(seed + 1));
-        run("DynamicRR", policy);
-      }
-      {
-        sim::GreedyOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
-        run("Greedy", policy);
-      }
-      {
-        sim::OcorpOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
-        run("OCORP", policy);
-      }
-      {
-        sim::HeuKktOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
-        run("HeuKKT", policy);
+          Sample sample{};
+          auto run = [&](std::size_t slot, sim::OnlinePolicy& policy) {
+            sim::OnlineSimulator simulator(inst.topo, inst.requests,
+                                           inst.realized, params);
+            const auto m = simulator.run(policy);
+            sample.reward[slot] = m.total_reward;
+            sample.latency[slot] = m.avg_latency_ms;
+          };
+          {
+            // Scale the threshold range with the demand support, as the
+            // provider would (C_unit * rates).
+            sim::DynamicRrParams dparams;
+            dparams.threshold_min_mhz = 10.0 * core::AlgorithmParams{}.c_unit;
+            dparams.threshold_max_mhz =
+                (rate_max + 5.0) * core::AlgorithmParams{}.c_unit;
+            sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
+                                        dparams, util::Rng(seed + 1));
+            run(0, policy);
+          }
+          {
+            sim::GreedyOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
+            run(1, policy);
+          }
+          {
+            sim::OcorpOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
+            run(2, policy);
+          }
+          {
+            sim::HeuKktOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
+            run(3, policy);
+          }
+          return sample;
+        });
+    for (const Sample& sample : samples) {
+      for (std::size_t a = 0; a < algos.size(); ++a) {
+        reward.add(algos[a], sample.reward[a]);
+        latency.add(algos[a], sample.latency[a]);
       }
     }
   }

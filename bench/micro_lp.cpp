@@ -1,9 +1,12 @@
 // Micro-benchmarks (google-benchmark) for the LP/MIP substrate: simplex
-// solve time vs model size, slot-LP construction, branch-and-bound on
-// knapsack-style binary programs.
+// solve time vs model size, slot-LP construction, warm vs cold solves over
+// a slot sequence, branch-and-bound on knapsack-style binary programs.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "core/slot_lp.h"
+#include "mec/topology.h"
 #include "lp/branch_and_bound.h"
 #include "lp/revised_simplex.h"
 #include "lp/simplex.h"
@@ -97,6 +100,81 @@ void BM_SlotLpSolveRevised(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SlotLpSolveRevised)->Arg(50)->Arg(100)->Arg(150)
+    ->Unit(benchmark::kMillisecond);
+
+/// Slot sequence shared by the warm/cold pair below: one pending batch
+/// whose residual station capacities drift slot to slot WITHOUT crossing a
+/// resource-slot boundary, so every model in the sequence keeps the same
+/// tableau shape — exactly the regime DynamicRR's per-slot LP-PT solves
+/// live in under a saturated queue, and the case the warm start targets.
+std::vector<lp::Model> slot_sequence_models(int num_requests, int slots) {
+  util::Rng rng(7);
+  const mec::Topology topo = mec::generate_topology({}, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = num_requests;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const core::AlgorithmParams params;
+  std::vector<lp::Model> models;
+  for (int t = 0; t < slots; ++t) {
+    core::SlotLpOptions options;
+    std::vector<double> caps;
+    for (const auto& bs : topo.stations()) {
+      // Keep floor(cap / slot_capacity) fixed while the fractional part
+      // sweeps 0.25..0.65 over the sequence: the rhs changes, the shape
+      // does not.
+      const double k =
+          std::floor(bs.capacity_mhz / params.slot_capacity_mhz);
+      caps.push_back((k + 0.25 + 0.1 * static_cast<double>(t % 5)) *
+                     params.slot_capacity_mhz);
+    }
+    options.capacity_override_mhz = std::move(caps);
+    models.push_back(
+        core::build_slot_lp(topo, requests, params, options).model);
+  }
+  return models;
+}
+
+void BM_SlotLpSequenceCold(benchmark::State& state) {
+  const auto models =
+      slot_sequence_models(static_cast<int>(state.range(0)), 8);
+  lp::RevisedSimplexSolver solver;
+  long pivots = 0;
+  long solves = 0;
+  for (auto _ : state) {
+    for (const auto& model : models) {
+      auto result = solver.solve(model);
+      pivots += result.iterations;
+      ++solves;
+      benchmark::DoNotOptimize(result.objective);
+    }
+  }
+  state.counters["pivots_per_slot"] =
+      solves > 0 ? static_cast<double>(pivots) / static_cast<double>(solves)
+                 : 0.0;
+}
+BENCHMARK(BM_SlotLpSequenceCold)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SlotLpSequenceWarm(benchmark::State& state) {
+  const auto models =
+      slot_sequence_models(static_cast<int>(state.range(0)), 8);
+  lp::RevisedSimplexSolver solver;
+  long pivots = 0;
+  long solves = 0;
+  for (auto _ : state) {
+    lp::WarmStartBasis warm;  // cold first slot, warm thereafter
+    for (const auto& model : models) {
+      auto result = solver.solve(model, warm);
+      pivots += result.iterations;
+      ++solves;
+      benchmark::DoNotOptimize(result.objective);
+    }
+  }
+  state.counters["pivots_per_slot"] =
+      solves > 0 ? static_cast<double>(pivots) / static_cast<double>(solves)
+                 : 0.0;
+}
+BENCHMARK(BM_SlotLpSequenceWarm)->Arg(50)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
 void BM_BranchAndBoundKnapsack(benchmark::State& state) {

@@ -38,28 +38,67 @@ double learned_reward(const benchx::Instance& inst, int horizon, int kappa,
   return simulator.run(policy).total_reward;
 }
 
-/// Reward of the best fixed arm, found in hindsight by running each
-/// threshold as a constant policy (kappa = 1 grids centred on each value).
-double best_fixed_reward(const benchx::Instance& inst, int horizon,
-                         int kappa, unsigned seed) {
+/// Reward of one fixed threshold run as a constant policy (a kappa = 1
+/// grid centred on the value) — one arm of the hindsight oracle.
+double fixed_arm_reward(const benchx::Instance& inst, int horizon,
+                        double threshold_mhz, unsigned seed) {
+  sim::OnlineParams params;
+  params.horizon_slots = horizon;
+  sim::DynamicRrParams dparams;
+  dparams.kappa = 1;
+  dparams.threshold_min_mhz = threshold_mhz;
+  dparams.threshold_max_mhz = threshold_mhz;
+  sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{}, dparams,
+                              util::Rng(seed));
+  sim::OnlineSimulator simulator(inst.topo, inst.requests, inst.realized,
+                                 params);
+  return simulator.run(policy).total_reward;
+}
+
+struct RegretPoint {
+  double fixed_mean = 0.0;
+  double learned_mean = 0.0;
+};
+
+/// Evaluates one sweep point: for every seed, the learned DynamicRR run
+/// plus the per-arm hindsight sweep (the best FIXED threshold among the
+/// kappa grid values). All (seed, arm) runs and the learned runs are
+/// independent, so they form one flat task list for the thread pool;
+/// the reduction below walks it in seed order, so means match the serial
+/// nested loops exactly.
+RegretPoint evaluate_point(const std::vector<unsigned>& seeds,
+                           int num_requests, int horizon, int kappa) {
   const sim::DynamicRrParams defaults;
   const bandit::LipschitzGrid grid(defaults.threshold_min_mhz,
                                    defaults.threshold_max_mhz, kappa);
-  double best = 0.0;
-  for (int a = 0; a < grid.num_arms(); ++a) {
-    sim::OnlineParams params;
-    params.horizon_slots = horizon;
-    sim::DynamicRrParams dparams;
-    dparams.kappa = 1;
-    dparams.threshold_min_mhz = grid.value(a);
-    dparams.threshold_max_mhz = grid.value(a);
-    sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{}, dparams,
-                                util::Rng(seed));
-    sim::OnlineSimulator simulator(inst.topo, inst.requests, inst.realized,
-                                   params);
-    best = std::max(best, simulator.run(policy).total_reward);
+  const std::size_t arms = static_cast<std::size_t>(grid.num_arms());
+  // Task layout per seed s: indices [s*(arms+1), s*(arms+1)+arms) are the
+  // fixed-arm runs, index s*(arms+1)+arms is the learned run.
+  const std::size_t per_seed = arms + 1;
+  const auto rewards = util::parallel_map(
+      seeds.size() * per_seed, [&](std::size_t i) {
+        const unsigned seed = seeds[i / per_seed];
+        const std::size_t k = i % per_seed;
+        benchx::InstanceConfig config;
+        config.num_requests = num_requests;
+        config.horizon_slots = horizon;
+        const auto inst = benchx::make_instance(seed, config);
+        if (k < arms) {
+          return fixed_arm_reward(inst, horizon,
+                                  grid.value(static_cast<int>(k)), seed + 1);
+        }
+        return learned_reward(inst, horizon, kappa, seed + 1);
+      });
+  util::RunningStats fixed_stats, learned_stats;
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    double best = 0.0;
+    for (std::size_t k = 0; k < arms; ++k) {
+      best = std::max(best, rewards[s * per_seed + k]);
+    }
+    fixed_stats.add(best);
+    learned_stats.add(rewards[s * per_seed + arms]);
   }
-  return best;
+  return RegretPoint{fixed_stats.mean(), learned_stats.mean()};
 }
 
 }  // namespace
@@ -74,22 +113,14 @@ int main(int argc, char** argv) {
                       "regret ($)", "regret/T"});
   std::vector<double> log_t, log_regret;
   for (int horizon : horizons) {
-    util::RunningStats fixed_stats, learned_stats;
-    for (unsigned seed : benchx::bench_seeds(seeds)) {
-      benchx::InstanceConfig config;
-      // Arrival intensity held constant as T grows.
-      config.num_requests = horizon / 2;
-      config.horizon_slots = horizon;
-      const auto inst = benchx::make_instance(seed, config);
-      fixed_stats.add(best_fixed_reward(inst, horizon, 4, seed + 1));
-      learned_stats.add(learned_reward(inst, horizon, 4, seed + 1));
-    }
+    // Arrival intensity held constant as T grows.
+    const RegretPoint point =
+        evaluate_point(benchx::bench_seeds(seeds), horizon / 2, horizon, 4);
     const double regret =
-        std::max(0.0, fixed_stats.mean() - learned_stats.mean());
+        std::max(0.0, point.fixed_mean - point.learned_mean);
     growth.add_numeric_row(
         std::to_string(horizon),
-        {fixed_stats.mean(), learned_stats.mean(), regret,
-         regret / horizon},
+        {point.fixed_mean, point.learned_mean, regret, regret / horizon},
         2);
     if (regret > 0.0) {
       log_t.push_back(std::log(static_cast<double>(horizon)));
@@ -113,19 +144,12 @@ int main(int argc, char** argv) {
   util::Table ablation(
       {"kappa", "best fixed ($)", "DynamicRR ($)", "regret ($)"});
   for (int kappa : {2, 4, 8, 16}) {
-    util::RunningStats fixed_stats, learned_stats;
-    for (unsigned seed : benchx::bench_seeds(seeds)) {
-      benchx::InstanceConfig config;
-      config.num_requests = 300;
-      config.horizon_slots = horizon;
-      const auto inst = benchx::make_instance(seed, config);
-      fixed_stats.add(best_fixed_reward(inst, horizon, kappa, seed + 1));
-      learned_stats.add(learned_reward(inst, horizon, kappa, seed + 1));
-    }
+    const RegretPoint point =
+        evaluate_point(benchx::bench_seeds(seeds), 300, horizon, kappa);
     ablation.add_numeric_row(
         std::to_string(kappa),
-        {fixed_stats.mean(), learned_stats.mean(),
-         fixed_stats.mean() - learned_stats.mean()},
+        {point.fixed_mean, point.learned_mean,
+         point.fixed_mean - point.learned_mean},
         2);
   }
   ablation.print(std::cout,

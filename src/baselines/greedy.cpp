@@ -52,12 +52,11 @@ core::OffloadResult run_greedy(const mec::Topology& topo,
     near.max_candidate_stations = 3;
     int best_bs = -1;
     double best_latency = 0.0;
-    for (int bs : core::candidate_stations(topo, req, near)) {
-      if (reserved.remaining_mhz(bs) < reserve_mhz) continue;
-      const double lat = mec::placement_latency_ms(topo, req, bs);
-      if (best_bs < 0 || lat < best_latency) {
-        best_bs = bs;
-        best_latency = lat;
+    for (const auto& cand : core::candidate_stations(topo, req, near)) {
+      if (reserved.remaining_mhz(cand.station) < reserve_mhz) continue;
+      if (best_bs < 0 || cand.latency_ms < best_latency) {
+        best_bs = cand.station;
+        best_latency = cand.latency_ms;
       }
     }
     if (best_bs < 0) continue;

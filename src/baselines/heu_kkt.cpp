@@ -90,11 +90,11 @@ core::OffloadResult run_heu_kkt(const mec::Topology& topo,
     const double expected_mhz = req.demand.expected_rate() * params.c_unit;
     int best_bs = -1;
     double best_spare = 0.0;
-    for (int bs : core::candidate_stations(topo, req, neighbourhood)) {
-      const double spare = load.remaining_mhz(bs);
+    for (const auto& cand : core::candidate_stations(topo, req, neighbourhood)) {
+      const double spare = load.remaining_mhz(cand.station);
       if (spare < expected_mhz) continue;
       if (best_bs < 0 || spare > best_spare) {
-        best_bs = bs;
+        best_bs = cand.station;
         best_spare = spare;
       }
     }

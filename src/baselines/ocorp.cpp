@@ -60,15 +60,14 @@ core::OffloadResult run_ocorp(const mec::Topology& topo,
     double best_latency = 0.0;
     core::AlgorithmParams near = params;
     near.max_candidate_stations = kLocalCandidates;
-    for (int bs : core::candidate_stations(topo, req, near)) {
-      const double resid = reserved.remaining_mhz(bs);
+    for (const auto& cand : core::candidate_stations(topo, req, near)) {
+      const double resid = reserved.remaining_mhz(cand.station);
       if (resid < reserve_mhz) continue;
-      const double lat = mec::placement_latency_ms(topo, req, bs);
       if (best_bs < 0 || resid < best_resid ||
-          (resid == best_resid && lat < best_latency)) {
-        best_bs = bs;
+          (resid == best_resid && cand.latency_ms < best_latency)) {
+        best_bs = cand.station;
         best_resid = resid;
-        best_latency = lat;
+        best_latency = cand.latency_ms;
       }
     }
     if (best_bs < 0) continue;

@@ -290,7 +290,8 @@ OffloadResult run_slot_rounding(const mec::Topology& topo,
       int best_bs = -1;
       double best_er = 0.0;
       double best_latency = 0.0;
-      for (int bs : candidate_stations(topo, req, params)) {
+      for (const auto& cand : candidate_stations(topo, req, params)) {
+        const int bs = cand.station;
         if (load.remaining_mhz(bs) < expected_mhz) continue;
         if (!backhaul_ok(j, bs)) continue;
         const double er = req.demand.expected_reward_within(
@@ -298,7 +299,7 @@ OffloadResult run_slot_rounding(const mec::Topology& topo,
         if (er > best_er) {
           best_er = er;
           best_bs = bs;
-          best_latency = mec::placement_latency_ms(topo, req, bs);
+          best_latency = cand.latency_ms;
         }
       }
       if (best_bs < 0) continue;

@@ -6,33 +6,29 @@
 
 namespace mecar::core {
 
-std::vector<int> candidate_stations(const mec::Topology& topo,
-                                    const mec::ARRequest& req,
-                                    const AlgorithmParams& params,
-                                    double waiting_ms) {
-  struct Entry {
-    int station;
-    double latency;
-  };
-  std::vector<Entry> feasible;
+std::vector<CandidateStation> candidate_stations(const mec::Topology& topo,
+                                                 const mec::ARRequest& req,
+                                                 const AlgorithmParams& params,
+                                                 double waiting_ms) {
+  std::vector<CandidateStation> feasible;
   for (int bs = 0; bs < topo.num_stations(); ++bs) {
     const double lat = mec::placement_latency_ms(topo, req, bs);
     if (waiting_ms + lat <= req.latency_budget_ms) {
-      feasible.push_back(Entry{bs, lat});
+      feasible.push_back(CandidateStation{bs, lat});
     }
   }
-  std::sort(feasible.begin(), feasible.end(), [](const Entry& a, const Entry& b) {
-    if (a.latency != b.latency) return a.latency < b.latency;
-    return a.station < b.station;
-  });
+  std::sort(feasible.begin(), feasible.end(),
+            [](const CandidateStation& a, const CandidateStation& b) {
+              if (a.latency_ms != b.latency_ms) {
+                return a.latency_ms < b.latency_ms;
+              }
+              return a.station < b.station;
+            });
   if (params.max_candidate_stations > 0 &&
       static_cast<int>(feasible.size()) > params.max_candidate_stations) {
     feasible.resize(static_cast<std::size_t>(params.max_candidate_stations));
   }
-  std::vector<int> stations;
-  stations.reserve(feasible.size());
-  for (const Entry& e : feasible) stations.push_back(e.station);
-  return stations;
+  return feasible;
 }
 
 SlotLpInstance build_slot_lp(const mec::Topology& topo,
@@ -70,11 +66,15 @@ SlotLpInstance build_slot_lp(const mec::Topology& topo,
   }
   inst.request_columns.resize(requests.size());
 
-  // Columns y_jil with ER_jil objective.
+  // Columns y_jil with ER_jil objective. The candidate list carries the
+  // placement latency it computed for the feasibility filter, so each
+  // (request, station) latency is evaluated exactly once.
   for (std::size_t j = 0; j < requests.size(); ++j) {
     const mec::ARRequest& req = requests[j];
-    for (int bs : candidate_stations(topo, req, params, waiting_of(j))) {
-      const double latency = mec::placement_latency_ms(topo, req, bs);
+    for (const CandidateStation& cand :
+         candidate_stations(topo, req, params, waiting_of(j))) {
+      const int bs = cand.station;
+      const double latency = cand.latency_ms;
       const int L = inst.slots_per_station[static_cast<std::size_t>(bs)];
       for (int l = 0; l < L; ++l) {
         const double rate_cap =
@@ -144,8 +144,9 @@ SlotLpInstance build_ilp_rm(const mec::Topology& topo,
 
   for (std::size_t j = 0; j < requests.size(); ++j) {
     const mec::ARRequest& req = requests[j];
-    for (int bs : candidate_stations(topo, req, params)) {
-      const double latency = mec::placement_latency_ms(topo, req, bs);
+    for (const CandidateStation& cand : candidate_stations(topo, req, params)) {
+      const int bs = cand.station;
+      const double latency = cand.latency_ms;
       // Expected reward restricted to rates the station can hold at all
       // (consistent with Eq. (8) at slot 0).
       const double rate_cap = topo.station(bs).capacity_mhz / params.c_unit;

@@ -74,12 +74,21 @@ SlotLpInstance build_ilp_rm(const mec::Topology& topo,
                             const std::vector<mec::ARRequest>& requests,
                             const AlgorithmParams& params);
 
+/// One feasible placement for a request, with the placement latency that
+/// proved it feasible. Returning the latency alongside the station id lets
+/// callers (the LP builders, the rounding passes, every baseline) reuse it
+/// instead of recomputing placement_latency_ms per (request, station).
+struct CandidateStation {
+  int station = 0;
+  double latency_ms = 0.0;
+};
+
 /// Candidate stations for a request: all stations whose placement latency
 /// (plus `waiting_ms`) meets the budget, nearest-latency first, truncated to
 /// `params.max_candidate_stations` when positive.
-std::vector<int> candidate_stations(const mec::Topology& topo,
-                                    const mec::ARRequest& req,
-                                    const AlgorithmParams& params,
-                                    double waiting_ms = 0.0);
+std::vector<CandidateStation> candidate_stations(const mec::Topology& topo,
+                                                 const mec::ARRequest& req,
+                                                 const AlgorithmParams& params,
+                                                 double waiting_ms = 0.0);
 
 }  // namespace mecar::core

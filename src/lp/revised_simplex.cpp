@@ -19,13 +19,15 @@ class Engine {
     build(model);
   }
 
-  SolveResult run(const Model& model);
+  SolveResult run(const Model& model, WarmStartBasis* warm);
 
  private:
   void build(const Model& model);
   SolveStatus iterate(const std::vector<double>& costs, int& iterations,
                       int max_iterations);
-  void refactorize();
+  bool refactorize();
+  bool adopt_warm_basis(const std::vector<int>& warm);
+  void reset_to_cold_basis(const std::vector<int>& cold_basis);
   void compute_y(const std::vector<double>& costs);
   int price(const std::vector<double>& costs, bool bland) const;
   void column_times_binv(int col, std::vector<double>& w) const;
@@ -44,6 +46,9 @@ class Engine {
   std::vector<double> binv_;  // row-major m x m
   std::vector<double> xb_;
   std::vector<double> y_;  // pricing vector
+  std::vector<double> w_;  // pivot column scratch (B^{-1} a_j)
+  std::vector<double> refac_work_;  // refactorization scratch: B copy
+  std::vector<double> refac_inv_;   // refactorization scratch: -> B^{-1}
   std::vector<int> tab_to_model_;
   std::vector<double> phase2_costs_;
   int pivots_since_refactor_ = 0;
@@ -153,6 +158,7 @@ void Engine::build(const Model& model) {
   }
   xb_ = rhs_;
   y_.assign(static_cast<std::size_t>(m_), 0.0);
+  w_.assign(static_cast<std::size_t>(m_), 0.0);
 
   phase2_costs_.assign(static_cast<std::size_t>(total_cols_), 0.0);
   for (int c = 0; c < n_live; ++c) {
@@ -161,11 +167,15 @@ void Engine::build(const Model& model) {
   }
 }
 
-void Engine::refactorize() {
-  // Gauss-Jordan inversion of the current basis matrix.
+bool Engine::refactorize() {
+  // Gauss-Jordan inversion of the current basis matrix. The scratch
+  // buffers are engine members so repeated refactorizations (and warm
+  // starts) reuse one allocation instead of two fresh m x m vectors each.
   const auto mm = static_cast<std::size_t>(m_);
-  std::vector<double> work(mm * mm, 0.0);   // B
-  std::vector<double> inv(mm * mm, 0.0);    // -> B^{-1}
+  refac_work_.assign(mm * mm, 0.0);
+  refac_inv_.assign(mm * mm, 0.0);
+  std::vector<double>& work = refac_work_;  // B
+  std::vector<double>& inv = refac_inv_;    // -> B^{-1}
   for (int r = 0; r < m_; ++r) inv[static_cast<std::size_t>(r) * mm + r] = 1.0;
   for (int c = 0; c < m_; ++c) {
     for (const Term& t :
@@ -188,7 +198,7 @@ void Engine::refactorize() {
     }
     if (best < 1e-12) {
       util::log_warn() << "revised simplex: singular basis at refactor";
-      return;  // keep the incrementally updated inverse
+      return false;  // keep the incrementally updated inverse
     }
     if (pivot != col) {
       for (int k = 0; k < m_; ++k) {
@@ -216,7 +226,7 @@ void Engine::refactorize() {
       }
     }
   }
-  binv_ = std::move(inv);
+  binv_.swap(refac_inv_);  // no reallocation; old binv_ becomes scratch
   // xb = B^{-1} rhs.
   for (int r = 0; r < m_; ++r) {
     double acc = 0.0;
@@ -227,6 +237,55 @@ void Engine::refactorize() {
     xb_[static_cast<std::size_t>(r)] = acc;
   }
   pivots_since_refactor_ = 0;
+  return true;
+}
+
+void Engine::reset_to_cold_basis(const std::vector<int>& cold_basis) {
+  basis_ = cold_basis;
+  std::fill(in_basis_.begin(), in_basis_.end(), 0);
+  for (int b : basis_) in_basis_[static_cast<std::size_t>(b)] = 1;
+  const auto mm = static_cast<std::size_t>(m_);
+  binv_.assign(mm * mm, 0.0);
+  for (int r = 0; r < m_; ++r) {
+    binv_[static_cast<std::size_t>(r) * mm + static_cast<std::size_t>(r)] =
+        1.0;
+  }
+  xb_ = rhs_;
+  pivots_since_refactor_ = 0;
+}
+
+bool Engine::adopt_warm_basis(const std::vector<int>& warm) {
+  if (static_cast<int>(warm.size()) != m_) return false;
+  // Only structural and slack columns may seed a warm basis: an artificial
+  // would force a phase-1 pass and defeat the point.
+  std::vector<char> seen(static_cast<std::size_t>(art_begin_), 0);
+  for (int b : warm) {
+    if (b < 0 || b >= art_begin_ || seen[static_cast<std::size_t>(b)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(b)] = 1;
+  }
+  const std::vector<int> cold_basis = basis_;
+  basis_ = warm;
+  std::fill(in_basis_.begin(), in_basis_.end(), 0);
+  for (int b : basis_) in_basis_[static_cast<std::size_t>(b)] = 1;
+  bool ok = refactorize();
+  if (ok) {
+    // The adopted basis must still be primal feasible for this model's
+    // rhs; otherwise phase 2 cannot start from it.
+    for (double v : xb_) {
+      if (v < -opt_.feas_tol) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (!ok) {
+    reset_to_cold_basis(cold_basis);
+    return false;
+  }
+  for (double& v : xb_) v = std::max(v, 0.0);
+  return true;
 }
 
 void Engine::compute_y(const std::vector<double>& costs) {
@@ -277,7 +336,7 @@ void Engine::column_times_binv(int col, std::vector<double>& w) const {
 
 SolveStatus Engine::iterate(const std::vector<double>& costs, int& iterations,
                             int max_iterations) {
-  std::vector<double> w(static_cast<std::size_t>(m_));
+  std::vector<double>& w = w_;  // member scratch, reused across phases
   bool bland = false;
   int degenerate_streak = 0;
   while (true) {
@@ -356,7 +415,7 @@ void Engine::drive_out_artificials() {
       }
       if (std::abs(wr) <= 1e-7) continue;
       // Pivot j into row r.
-      std::vector<double> w(static_cast<std::size_t>(m_));
+      std::vector<double>& w = w_;
       column_times_binv(j, w);
       const double p = w[static_cast<std::size_t>(r)];
       if (std::abs(p) <= 1e-9) continue;
@@ -392,13 +451,21 @@ double Engine::basic_value(const std::vector<double>& costs) const {
   return value;
 }
 
-SolveResult Engine::run(const Model& model) {
+SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
   SolveResult result;
   const int max_iterations =
       opt_.max_iterations > 0 ? opt_.max_iterations
                               : 200 * (m_ + total_cols_) + 2000;
 
-  if (art_begin_ < total_cols_) {
+  // Warm start: re-enter at the previous solve's basis when the tableau
+  // kept its shape. An adopted basis is artificial-free and primal
+  // feasible, so phase 1 is provably unnecessary.
+  if (warm != nullptr && !warm->empty() && warm->m == m_ &&
+      warm->total_cols == total_cols_) {
+    result.warm_started = adopt_warm_basis(warm->basis);
+  }
+
+  if (!result.warm_started && art_begin_ < total_cols_) {
     price_limit_ = total_cols_;
     std::vector<double> phase1(static_cast<std::size_t>(total_cols_), 0.0);
     for (int c = art_begin_; c < total_cols_; ++c) {
@@ -421,6 +488,12 @@ SolveResult Engine::run(const Model& model) {
       iterate(phase2_costs_, result.iterations, max_iterations);
   result.status = st;
   if (st != SolveStatus::kOptimal) return result;
+
+  if (warm != nullptr) {
+    warm->m = m_;
+    warm->total_cols = total_cols_;
+    warm->basis = basis_;
+  }
 
   result.x.assign(static_cast<std::size_t>(model.num_variables()), 0.0);
   for (int r = 0; r < m_; ++r) {
@@ -445,7 +518,13 @@ SolveResult Engine::run(const Model& model) {
 
 SolveResult RevisedSimplexSolver::solve(const Model& model) const {
   Engine engine(model, options_);
-  return engine.run(model);
+  return engine.run(model, nullptr);
+}
+
+SolveResult RevisedSimplexSolver::solve(const Model& model,
+                                        WarmStartBasis& warm) const {
+  Engine engine(model, options_);
+  return engine.run(model, &warm);
 }
 
 SolveResult solve_lp(const Model& model) {

@@ -24,7 +24,27 @@ struct RevisedSimplexOptions {
   int stall_threshold = 128;
 };
 
-/// Sparse revised simplex. Stateless between solves.
+/// Optimal basis exported by one solve and fed to the next. The slot LPs of
+/// consecutive simulator slots usually share their shape (same pending
+/// batch, slightly different data), so re-entering the simplex at the
+/// previous optimum takes a handful of pivots instead of a full two-phase
+/// cold start. A mismatch in tableau dimensions — the batch changed — makes
+/// the state unusable and the solve silently falls back to a cold start.
+struct WarmStartBasis {
+  int m = 0;           // tableau rows at export time
+  int total_cols = 0;  // structural + slack + artificial columns
+  std::vector<int> basis;
+
+  bool empty() const noexcept { return basis.empty(); }
+  void clear() {
+    m = 0;
+    total_cols = 0;
+    basis.clear();
+  }
+};
+
+/// Sparse revised simplex. Stateless between solves unless the caller
+/// threads a WarmStartBasis through consecutive calls.
 class RevisedSimplexSolver {
  public:
   explicit RevisedSimplexSolver(RevisedSimplexOptions options = {})
@@ -32,6 +52,14 @@ class RevisedSimplexSolver {
 
   /// Solves the LP relaxation of `model` (integrality flags ignored).
   SolveResult solve(const Model& model) const;
+
+  /// Warm-started solve: seeds the engine from `warm` when its dimensions
+  /// match the model's tableau and the stored basis is still primal
+  /// feasible; otherwise cold-starts. On an optimal exit `warm` is updated
+  /// to this solve's basis, ready for the next slot. The result is the
+  /// same optimum as a cold solve (the warm start changes the path, not
+  /// the destination); `SolveResult::warm_started` reports which path ran.
+  SolveResult solve(const Model& model, WarmStartBasis& warm) const;
 
   const RevisedSimplexOptions& options() const noexcept { return options_; }
 

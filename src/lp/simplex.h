@@ -46,6 +46,9 @@ struct SolveResult {
   /// Values for all model columns, including fixed ones.
   std::vector<double> x;
   int iterations = 0;
+  /// True when the solve was seeded from a caller-provided basis (revised
+  /// simplex warm start) rather than the slack/artificial cold basis.
+  bool warm_started = false;
   bool optimal() const noexcept { return status == SolveStatus::kOptimal; }
 };
 

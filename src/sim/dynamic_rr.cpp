@@ -213,22 +213,33 @@ void DynamicRrPolicy::admit_new(const SlotView& view,
   }
 
   std::vector<int> placement(waiting.size(), -1);
+  std::vector<double> placement_lat(waiting.size(), 0.0);
   const core::SlotLpInstance inst =
       core::build_slot_lp(topo_, batch, alg_, options);
   if (inst.model.num_variables() > 0) {
-    const lp::SolveResult res = lp::solve_lp(inst.model);
+    // Warm start: consecutive slots under a saturated queue rebuild the
+    // same-shaped LP, so the previous slot's optimal basis is a few pivots
+    // from this slot's optimum. On a shape change the solver cold-starts.
+    const lp::SolveResult res =
+        params_.warm_start_lp ? lp_solver_.solve(inst.model, warm_basis_)
+                              : lp::solve_lp(inst.model);
     if (res.optimal()) {
       // Deterministic rounding: request -> station with the largest
       // fractional mass sum_l y_jil; among stations within 50% of the best
       // mass (the LP is often indifferent, ER_jil varies little across
-      // stations) prefer the lowest placement latency.
+      // stations) prefer the lowest placement latency. Latencies come from
+      // the column metadata the builder already computed.
+      std::vector<double> mass(
+          static_cast<std::size_t>(topo_.num_stations()), 0.0);
+      std::vector<double> lat_of(
+          static_cast<std::size_t>(topo_.num_stations()), 0.0);
       for (std::size_t b = 0; b < waiting.size(); ++b) {
-        std::vector<double> mass(
-            static_cast<std::size_t>(topo_.num_stations()), 0.0);
+        std::fill(mass.begin(), mass.end(), 0.0);
         for (int col : inst.request_columns[b]) {
-          mass[static_cast<std::size_t>(
-              inst.vars[static_cast<std::size_t>(col)].station)] +=
+          const core::SlotVar& var = inst.vars[static_cast<std::size_t>(col)];
+          mass[static_cast<std::size_t>(var.station)] +=
               res.x[static_cast<std::size_t>(col)];
+          lat_of[static_cast<std::size_t>(var.station)] = var.latency_ms;
         }
         double best_mass = 0.0;
         for (double m : mass) best_mass = std::max(best_mass, m);
@@ -237,14 +248,14 @@ void DynamicRrPolicy::admit_new(const SlotView& view,
         double best_lat = 0.0;
         for (std::size_t bs = 0; bs < mass.size(); ++bs) {
           if (mass[bs] < 0.5 * best_mass || mass[bs] < 0.25) continue;
-          const double lat = mec::placement_latency_ms(
-              topo_, batch[b], static_cast<int>(bs));
+          const double lat = lat_of[bs];
           if (best_bs < 0 || lat < best_lat) {
             best_bs = static_cast<int>(bs);
             best_lat = lat;
           }
         }
         placement[b] = best_bs;
+        placement_lat[b] = best_lat;
       }
     } else {
       util::log_debug() << "DynamicRR: LP-PT not optimal ("
@@ -263,19 +274,19 @@ void DynamicRrPolicy::admit_new(const SlotView& view,
     // ~3 slots of slack) and may exceed the round-robin quota — its share
     // dips below C^th briefly — as long as real capacity holds.
     const bool last_chance = wait >= view.slot_ms;
-    auto admissible = [&](int bs) {
+    auto admissible = [&](int bs, double latency_ms) {
       return bs >= 0 &&
              (slots_left[static_cast<std::size_t>(bs)] > 0 || last_chance) &&
              residual_mhz[static_cast<std::size_t>(bs)] >= expected_mhz &&
-             wait + mec::placement_latency_ms(topo_, req, bs) <=
-                 req.latency_budget_ms;
+             wait + latency_ms <= req.latency_budget_ms;
     };
     int bs = placement[b];
-    if (!admissible(bs)) {
+    if (!admissible(bs, placement_lat[b])) {
       bs = -1;
-      for (int cand : core::candidate_stations(topo_, req, alg_, wait)) {
-        if (admissible(cand)) {
-          bs = cand;
+      for (const auto& cand :
+           core::candidate_stations(topo_, req, alg_, wait)) {
+        if (admissible(cand.station, cand.latency_ms)) {
+          bs = cand.station;
           break;
         }
       }

@@ -22,6 +22,7 @@
 #include "bandit/lipschitz.h"
 #include "bandit/successive_elimination.h"
 #include "bandit/zooming.h"
+#include "lp/revised_simplex.h"
 #include "sim/online_sim.h"
 #include "util/rng.h"
 
@@ -62,6 +63,11 @@ struct DynamicRrParams {
   double confidence_range = 0.5;
   /// Arm-selection rule (ablations; the paper uses successive elimination).
   ThresholdLearner learner = ThresholdLearner::kSuccessiveElimination;
+  /// Carry the revised-simplex basis of the per-slot LP-PT solve into the
+  /// next slot's solve (cold start on dimension change). The optimum is
+  /// unchanged — only the pivot count drops when consecutive batches keep
+  /// their shape, which is the common case under a saturated queue.
+  bool warm_start_lp = true;
 };
 
 class DynamicRrPolicy final : public OnlinePolicy {
@@ -95,6 +101,9 @@ class DynamicRrPolicy final : public OnlinePolicy {
   core::AlgorithmParams alg_;
   DynamicRrParams params_;
   util::Rng rng_;
+  /// LP-PT solver state carried across slots (warm starts).
+  lp::RevisedSimplexSolver lp_solver_;
+  lp::WarmStartBasis warm_basis_;
   bandit::LipschitzGrid grid_;
   std::unique_ptr<bandit::Bandit> discrete_;  // null when zooming
   std::unique_ptr<bandit::ZoomingBandit> zoom_;

@@ -96,14 +96,13 @@ SlotDecision GreedyOnlinePolicy::decide(const SlotView& view) {
     const double reserve = peak(req);
     int best_bs = -1;
     double best_lat = 0.0;
-    for (int bs :
+    for (const auto& cand :
          core::candidate_stations(topo_, req, near, view.waiting_ms(j))) {
-      if (!view.is_up(bs)) continue;
-      if (reserved.remaining_mhz(bs) < reserve) continue;
-      const double lat = mec::placement_latency_ms(topo_, req, bs);
-      if (best_bs < 0 || lat < best_lat) {
-        best_bs = bs;
-        best_lat = lat;
+      if (!view.is_up(cand.station)) continue;
+      if (reserved.remaining_mhz(cand.station) < reserve) continue;
+      if (best_bs < 0 || cand.latency_ms < best_lat) {
+        best_bs = cand.station;
+        best_lat = cand.latency_ms;
       }
     }
     if (best_bs < 0) continue;
@@ -145,13 +144,13 @@ SlotDecision OcorpOnlinePolicy::decide(const SlotView& view) {
     const double reserve = peak(req);
     int best_bs = -1;
     double best_resid = 0.0;
-    for (int bs :
+    for (const auto& cand :
          core::candidate_stations(topo_, req, near, view.waiting_ms(j))) {
-      if (!view.is_up(bs)) continue;
-      const double resid = reserved.remaining_mhz(bs);
+      if (!view.is_up(cand.station)) continue;
+      const double resid = reserved.remaining_mhz(cand.station);
       if (resid < reserve) continue;
       if (best_bs < 0 || resid < best_resid) {
-        best_bs = bs;
+        best_bs = cand.station;
         best_resid = resid;
       }
     }
@@ -202,13 +201,13 @@ SlotDecision HeuKktOnlinePolicy::decide(const SlotView& view) {
       core::AlgorithmParams neighbourhood = alg_;
       neighbourhood.max_candidate_stations = 6;
       double best_spare = 0.0;
-      for (int bs :
+      for (const auto& cand :
            core::candidate_stations(topo_, req, neighbourhood, wait)) {
-        if (!view.is_up(bs)) continue;
-        const double spare = committed.remaining_mhz(bs);
+        if (!view.is_up(cand.station)) continue;
+        const double spare = committed.remaining_mhz(cand.station);
         if (spare < commit) continue;
         if (chosen < 0 || spare > best_spare) {
-          chosen = bs;
+          chosen = cand.station;
           best_spare = spare;
         }
       }

@@ -1,0 +1,168 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace mecar::util {
+namespace {
+
+/// Set while the current thread executes inside a parallel region; nested
+/// regions run inline instead of re-entering the shared pool.
+thread_local bool t_in_parallel_region = false;
+
+/// Shared state of one parallel_for region.
+struct ForState {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> open_tasks{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+
+  /// Drains indices until exhausted or a body failed. Returns the
+  /// exception the calling thread itself hit, if any.
+  void drain() {
+    const bool outer = !t_in_parallel_region;
+    t_in_parallel_region = true;
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (outer) t_in_parallel_region = false;
+  }
+
+  void task_done() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (--open_tasks == 0) done_cv.notify_all();
+  }
+};
+
+}  // namespace
+
+int default_thread_count() {
+  if (const char* env = std::getenv("MECAR_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  num_threads_ = threads > 0 ? threads : default_thread_count();
+  queue_bound_ = 4 * static_cast<std::size_t>(num_threads_) + 16;
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // single-thread fallback: run inline
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_cv_.wait(lock, [this] { return stop_ || queue_.size() < queue_bound_; });
+    if (stop_) return;
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+bool ThreadPool::pop_task(std::function<void()>& task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  task = std::move(queue_.front());
+  queue_.pop_front();
+  space_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  std::function<void()> task;
+  while (pop_task(task)) {
+    task();
+    task = nullptr;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Serial fast paths: tiny regions, single-thread pools, and nested calls
+  // (a pool task waiting on pool tasks would deadlock).
+  if (n == 1 || workers_.empty() || t_in_parallel_region) {
+    const bool outer = !t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+    } catch (...) {
+      if (outer) t_in_parallel_region = false;
+      throw;
+    }
+    if (outer) t_in_parallel_region = false;
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->body = &body;
+  const std::size_t helpers =
+      std::min(workers_.size(), n > 1 ? n - 1 : std::size_t{0});
+  state->open_tasks = static_cast<int>(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([state] {
+      state->drain();
+      state->task_done();
+    });
+  }
+  // The calling thread works too; `drain` hands out indices atomically so
+  // no index runs twice.
+  state->drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock, [&] { return state->open_tasks == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  default_pool().parallel_for(n, body);
+}
+
+}  // namespace mecar::util

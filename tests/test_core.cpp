@@ -97,11 +97,14 @@ TEST(CandidateStations, FiltersByLatencyBudget) {
   req.latency_budget_ms = 5.0;
   auto c = candidate_stations(topo, req, params);
   ASSERT_EQ(c.size(), 1u);
-  EXPECT_EQ(c[0], 0);
+  EXPECT_EQ(c[0].station, 0);
+  EXPECT_DOUBLE_EQ(c[0].latency_ms,
+                   mec::placement_latency_ms(topo, req, c[0].station));
   req.latency_budget_ms = 200.0;
   c = candidate_stations(topo, req, params);
   EXPECT_EQ(c.size(), 2u);
-  EXPECT_EQ(c[0], 0);  // nearest first
+  EXPECT_EQ(c[0].station, 0);  // nearest first
+  EXPECT_LE(c[0].latency_ms, c[1].latency_ms);
 }
 
 TEST(CandidateStations, WaitingTimeShrinksTheSet) {

@@ -156,6 +156,102 @@ TEST_P(SlotLpAgreement, SameObjectiveOnPaperInstances) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SlotLpAgreement, ::testing::Range(1u, 9u));
 
+// Warm starts: the slot sequence mirrors DynamicRR's per-slot LP-PT
+// solves — same tableau shape, slightly different capacities each slot.
+std::vector<Model> warm_slot_sequence(int num_requests, int slots,
+                                      unsigned seed) {
+  util::Rng rng(seed);
+  mec::TopologyParams tparams;
+  tparams.num_stations = 10;
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = num_requests;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const core::AlgorithmParams params;
+  std::vector<Model> models;
+  for (int t = 0; t < slots; ++t) {
+    core::SlotLpOptions options;
+    std::vector<double> caps;
+    for (const auto& bs : topo.stations()) {
+      // Keep floor(cap / slot_capacity) fixed so the tableau shape is
+      // stable across the sequence; only the rhs drifts.
+      const double k =
+          std::floor(bs.capacity_mhz / params.slot_capacity_mhz);
+      caps.push_back((k + 0.25 + 0.1 * static_cast<double>(t % 5)) *
+                     params.slot_capacity_mhz);
+    }
+    options.capacity_override_mhz = std::move(caps);
+    models.push_back(
+        core::build_slot_lp(topo, requests, params, options).model);
+  }
+  return models;
+}
+
+TEST(WarmStart, SameObjectiveAsColdOnSlotSequence) {
+  const auto models = warm_slot_sequence(40, 6, 11);
+  RevisedSimplexSolver solver;
+  WarmStartBasis warm;
+  for (std::size_t t = 0; t < models.size(); ++t) {
+    const auto cold = solver.solve(models[t]);
+    const auto warmed = solver.solve(models[t], warm);
+    ASSERT_TRUE(cold.optimal());
+    ASSERT_TRUE(warmed.optimal());
+    // The warm start changes the pivot path, never the optimum.
+    EXPECT_NEAR(cold.objective, warmed.objective, 1e-9)
+        << "slot " << t;
+    EXPECT_LE(models[t].max_violation(warmed.x), 1e-6);
+  }
+}
+
+TEST(WarmStart, EngagesAndReducesPivotsAcrossSlots) {
+  const auto models = warm_slot_sequence(40, 6, 11);
+  RevisedSimplexSolver solver;
+  WarmStartBasis warm;
+  long cold_pivots = 0;
+  long warm_pivots = 0;
+  int warm_adoptions = 0;
+  for (std::size_t t = 0; t < models.size(); ++t) {
+    const auto cold = solver.solve(models[t]);
+    const auto warmed = solver.solve(models[t], warm);
+    ASSERT_TRUE(warmed.optimal());
+    cold_pivots += cold.iterations;
+    warm_pivots += warmed.iterations;
+    if (t == 0) {
+      // Nothing to reuse yet.
+      EXPECT_FALSE(warmed.warm_started);
+    } else if (warmed.warm_started) {
+      ++warm_adoptions;
+    }
+  }
+  EXPECT_GT(warm_adoptions, 0)
+      << "the basis never carried over on a shape-stable sequence";
+  EXPECT_LT(warm_pivots, cold_pivots)
+      << "warm starts should strictly reduce total pivots";
+}
+
+TEST(WarmStart, ColdFallbackOnDimensionChange) {
+  const auto models = warm_slot_sequence(40, 1, 11);
+  RevisedSimplexSolver solver;
+  WarmStartBasis warm;
+  ASSERT_TRUE(solver.solve(models[0], warm).optimal());
+  ASSERT_FALSE(warm.empty());
+
+  // A structurally different LP: the stale basis must be ignored, the
+  // solve must cold-start and still reach its optimum.
+  Model other;
+  const int x = other.add_variable("x", 3.0);
+  const int y = other.add_variable("y", 5.0);
+  other.add_constraint("c1", Sense::kLe, 4.0, {{x, 1.0}});
+  other.add_constraint("c2", Sense::kLe, 12.0, {{y, 2.0}});
+  other.add_constraint("c3", Sense::kLe, 18.0, {{x, 3.0}, {y, 2.0}});
+  const auto res = solver.solve(other, warm);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_FALSE(res.warm_started);
+  EXPECT_NEAR(res.objective, 36.0, kTol);
+  // The export now reflects the new model, ready for its own sequence.
+  EXPECT_EQ(warm.total_cols, other.num_variables() + 3);
+}
+
 TEST(SolveLpFrontend, PicksAnEngineAndSolves) {
   Model small;
   const int x = small.add_variable("x", 1.0, 2.0);

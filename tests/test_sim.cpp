@@ -77,6 +77,32 @@ TEST(Waterfill, EdgeCases) {
   EXPECT_THROW(waterfill(10.0, {-1.0}), std::invalid_argument);
 }
 
+TEST(Waterfill, ZeroCapacityGivesAllZeros) {
+  const auto alloc = waterfill(0.0, {100.0, 250.0, 75.0});
+  ASSERT_EQ(alloc.size(), 3u);
+  for (double a : alloc) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(Waterfill, AllZeroDemandsGetNothing) {
+  const auto alloc = waterfill(1000.0, {0.0, 0.0, 0.0});
+  ASSERT_EQ(alloc.size(), 3u);
+  for (double a : alloc) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(Waterfill, SingleSaturatingDemandGetsWholeCapacity) {
+  const auto alloc = waterfill(100.0, {250.0});
+  ASSERT_EQ(alloc.size(), 1u);
+  EXPECT_NEAR(alloc[0], 100.0, 1e-9);
+}
+
+TEST(Waterfill, EvenSplitWhenNoDemandSaturates) {
+  // Every demand exceeds the fair share, so nobody caps out and the split
+  // is exactly even regardless of how lopsided the demands are.
+  const auto alloc = waterfill(400.0, {900.0, 800.0, 700.0, 600.0});
+  ASSERT_EQ(alloc.size(), 4u);
+  for (double a : alloc) EXPECT_NEAR(a, 100.0, 1e-9);
+}
+
 TEST(Waterfill, ConservesCapacityUnderOverload) {
   util::Rng rng(5);
   for (int trial = 0; trial < 50; ++trial) {
