@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/parse.h"
+
 namespace mecar::lp {
 namespace {
 
@@ -105,6 +107,14 @@ void write_mps(const Model& model, std::ostream& os,
 Model read_mps(std::istream& is) {
   enum class Section { kNone, kRows, kColumns, kRhs, kBounds, kDone };
   Section section = Section::kNone;
+  int line_no = 0;
+  // Strict numeric field: the whole token must parse (no trailing junk).
+  const auto numeric = [&line_no](const std::string& tok,
+                                  const char* field) -> double {
+    if (const auto v = util::parse_double(tok)) return *v;
+    throw MpsParseError(line_no, std::string("bad ") + field + " value '" +
+                                     tok + "'");
+  };
   Model model;
   std::map<std::string, int> row_ids;        // name -> constraint index
   std::map<std::string, Sense> row_sense;    // staged before creation
@@ -121,6 +131,7 @@ Model read_mps(std::istream& is) {
 
   std::string line;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     if (line[0] == '*') continue;  // comment (incl. OBJSENSE)
     const auto toks = tokens(line);
@@ -133,15 +144,16 @@ Model read_mps(std::istream& is) {
       if (head == "RHS") { section = Section::kRhs; continue; }
       if (head == "BOUNDS") { section = Section::kBounds; continue; }
       if (head == "RANGES") {
-        throw std::invalid_argument("read_mps: RANGES not supported");
+        throw MpsParseError(line_no, "RANGES not supported");
       }
       if (head == "ENDATA") { section = Section::kDone; break; }
-      throw std::invalid_argument("read_mps: unknown section " + head);
+      throw MpsParseError(line_no, "unknown section " + head);
     }
     switch (section) {
       case Section::kRows: {
         if (toks.size() != 2) {
-          throw std::invalid_argument("read_mps: malformed ROWS line");
+          throw MpsParseError(line_no,
+                              "malformed ROWS line (want 'SENSE NAME')");
         }
         if (toks[0] == "N") {
           objective_row = toks[1];
@@ -151,7 +163,7 @@ Model read_mps(std::istream& is) {
                                                 : Sense::kEq;
           row_order.push_back(toks[1]);
         } else {
-          throw std::invalid_argument("read_mps: bad row sense " + toks[0]);
+          throw MpsParseError(line_no, "bad row sense " + toks[0]);
         }
         break;
       }
@@ -161,7 +173,8 @@ Model read_mps(std::istream& is) {
           break;
         }
         if (toks.size() < 3 || toks.size() % 2 == 0) {
-          throw std::invalid_argument("read_mps: malformed COLUMNS line");
+          throw MpsParseError(
+              line_no, "malformed COLUMNS line (want 'COL ROW VAL ...')");
         }
         const std::string& col = toks[0];
         if (!col_ids.contains(col)) {
@@ -171,52 +184,47 @@ Model read_mps(std::istream& is) {
         }
         for (std::size_t k = 1; k + 1 < toks.size(); k += 2) {
           const std::string& row = toks[k];
-          double value = 0.0;
-          try {
-            value = std::stod(toks[k + 1]);
-          } catch (const std::exception&) {
-            throw std::invalid_argument("read_mps: bad coefficient " +
-                                        toks[k + 1]);
-          }
+          const double value = numeric(toks[k + 1], "coefficient");
           if (row == objective_row) {
             objective[col] += value;
           } else if (row_sense.contains(row)) {
             matrix[row][col] += value;
           } else {
-            throw std::invalid_argument("read_mps: unknown row " + row);
+            throw MpsParseError(line_no, "unknown row " + row);
           }
         }
         break;
       }
       case Section::kRhs: {
         if (toks.size() < 3 || toks.size() % 2 == 0) {
-          throw std::invalid_argument("read_mps: malformed RHS line");
+          throw MpsParseError(line_no,
+                              "malformed RHS line (want 'SET ROW VAL ...')");
         }
         for (std::size_t k = 1; k + 1 < toks.size(); k += 2) {
-          rhs[toks[k]] = std::stod(toks[k + 1]);
+          rhs[toks[k]] = numeric(toks[k + 1], "RHS");
         }
         break;
       }
       case Section::kBounds: {
         if (toks.size() < 3) {
-          throw std::invalid_argument("read_mps: malformed BOUNDS line");
+          throw MpsParseError(line_no, "malformed BOUNDS line");
         }
         if (toks[0] == "UP") {
           if (toks.size() != 4) {
-            throw std::invalid_argument("read_mps: malformed UP bound");
+            throw MpsParseError(line_no,
+                                "malformed UP bound (want 'UP SET COL VAL')");
           }
-          uppers[toks[2]] = std::stod(toks[3]);
+          uppers[toks[2]] = numeric(toks[3], "upper bound");
         } else if (toks[0] == "BV") {
           integral[toks[2]] = true;
           uppers[toks[2]] = 1.0;
         } else {
-          throw std::invalid_argument("read_mps: unsupported bound " +
-                                      toks[0]);
+          throw MpsParseError(line_no, "unsupported bound " + toks[0]);
         }
         break;
       }
       default:
-        throw std::invalid_argument("read_mps: data before a section");
+        throw MpsParseError(line_no, "data before a section");
     }
   }
 

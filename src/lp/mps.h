@@ -9,11 +9,27 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "lp/model.h"
 
 namespace mecar::lp {
+
+/// Structured MPS import failure: the 1-based line number of the offending
+/// record plus a message naming the bad field. Derives from
+/// std::invalid_argument so existing catch sites keep working.
+class MpsParseError : public std::invalid_argument {
+ public:
+  MpsParseError(int line, const std::string& what_arg)
+      : std::invalid_argument("read_mps: line " + std::to_string(line) +
+                              ": " + what_arg),
+        line_(line) {}
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
 
 /// Writes `model` as free MPS. Variable/constraint names are sanitized
 /// (spaces -> underscores); integral variables go into an INTORG/INTEND
@@ -23,7 +39,9 @@ void write_mps(const Model& model, std::ostream& os,
 
 /// Parses the subset written by write_mps (objective sense comment, N/L/G/E
 /// rows, COLUMNS with integer markers, RHS, UP/BV bounds). Throws
-/// std::invalid_argument on malformed input or unsupported records.
+/// MpsParseError (carrying the offending line number and naming the bad
+/// field) on malformed input or unsupported records; never lets a raw
+/// conversion exception escape.
 Model read_mps(std::istream& is);
 
 }  // namespace mecar::lp

@@ -1,0 +1,80 @@
+#include "mec/topology_overlay.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mecar::mec {
+
+namespace {
+/// Floor on browned-out capacity: keeps the effective Topology
+/// constructible (it rejects non-positive capacities) while making the
+/// station useless for any real placement.
+constexpr double kMinCapacityScale = 1e-9;
+}  // namespace
+
+bool TopologyPerturbation::identity() const noexcept {
+  const auto all_one = [](const std::vector<double>& v) {
+    return std::all_of(v.begin(), v.end(), [](double s) { return s == 1.0; });
+  };
+  return all_one(capacity_scale) && all_one(link_delay_scale) &&
+         std::all_of(link_down.begin(), link_down.end(),
+                     [](char d) { return d == 0; });
+}
+
+TopologyOverlay::TopologyOverlay(const Topology& base)
+    : base_(base), effective_(base) {}
+
+bool TopologyOverlay::apply(const TopologyPerturbation& pert) {
+  const auto stations = static_cast<std::size_t>(base_.num_stations());
+  const auto links = base_.links().size();
+  if (!pert.capacity_scale.empty() && pert.capacity_scale.size() != stations) {
+    throw std::invalid_argument("TopologyOverlay: capacity_scale size");
+  }
+  if (!pert.link_down.empty() && pert.link_down.size() != links) {
+    throw std::invalid_argument("TopologyOverlay: link_down size");
+  }
+  if (!pert.link_delay_scale.empty() &&
+      pert.link_delay_scale.size() != links) {
+    throw std::invalid_argument("TopologyOverlay: link_delay_scale size");
+  }
+  for (double s : pert.capacity_scale) {
+    if (s < 0.0 || s > 1.0) {
+      throw std::invalid_argument(
+          "TopologyOverlay: capacity scale outside [0, 1]");
+    }
+  }
+  for (double s : pert.link_delay_scale) {
+    if (s < 1.0) {
+      throw std::invalid_argument("TopologyOverlay: link delay scale < 1");
+    }
+  }
+  if (pert == active_) return false;
+  active_ = pert;
+  rebuild();
+  return true;
+}
+
+bool TopologyOverlay::reset() { return apply(TopologyPerturbation{}); }
+
+void TopologyOverlay::rebuild() {
+  std::vector<BaseStation> stations = base_.stations();
+  if (!active_.capacity_scale.empty()) {
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      stations[i].capacity_mhz *=
+          std::max(kMinCapacityScale, active_.capacity_scale[i]);
+    }
+  }
+  std::vector<Link> links = base_.links();
+  for (std::size_t li = 0; li < links.size(); ++li) {
+    if (!active_.link_down.empty() && active_.link_down[li] != 0) {
+      links[li].delay_ms = std::numeric_limits<double>::infinity();
+    } else if (!active_.link_delay_scale.empty()) {
+      links[li].delay_ms *= active_.link_delay_scale[li];
+    }
+  }
+  effective_ = Topology(std::move(stations), std::move(links));
+  ++epochs_;
+}
+
+}  // namespace mecar::mec

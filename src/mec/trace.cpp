@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parse.h"
+
 namespace mecar::mec {
 
 FrameTrace::FrameTrace(std::vector<FrameRecord> frames)
@@ -52,7 +54,9 @@ FrameTrace FrameTrace::read_csv(std::istream& is) {
   std::vector<FrameRecord> frames;
   std::string line;
   bool first = true;
+  int line_no = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     if (first) {
       first = false;
@@ -60,14 +64,26 @@ FrameTrace FrameTrace::read_csv(std::istream& is) {
     }
     const auto comma = line.find(',');
     if (comma == std::string::npos) {
-      throw std::invalid_argument("FrameTrace: malformed CSV row: " + line);
+      throw TraceParseError(line_no, "expected 'timestamp_ms,size_kb', got '" +
+                                         line + "'");
+    }
+    if (line.find(',', comma + 1) != std::string::npos) {
+      throw TraceParseError(line_no,
+                            "expected exactly 2 fields, got '" + line + "'");
     }
     FrameRecord record;
-    try {
-      record.timestamp_ms = std::stod(line.substr(0, comma));
-      record.size_kb = std::stod(line.substr(comma + 1));
-    } catch (const std::exception&) {
-      throw std::invalid_argument("FrameTrace: malformed CSV row: " + line);
+    const std::string ts_tok = line.substr(0, comma);
+    const std::string kb_tok = line.substr(comma + 1);
+    if (const auto ts = util::parse_double(ts_tok)) {
+      record.timestamp_ms = *ts;
+    } else {
+      throw TraceParseError(line_no,
+                            "bad timestamp_ms value '" + ts_tok + "'");
+    }
+    if (const auto kb = util::parse_double(kb_tok)) {
+      record.size_kb = *kb;
+    } else {
+      throw TraceParseError(line_no, "bad size_kb value '" + kb_tok + "'");
     }
     frames.push_back(record);
   }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,21 @@
 #include "util/rng.h"
 
 namespace mecar::mec {
+
+/// Structured CSV import failure: the 1-based line number of the offending
+/// row plus a message naming the malformed field. Derives from
+/// std::invalid_argument so pre-existing catch sites keep working.
+class TraceParseError : public std::invalid_argument {
+ public:
+  TraceParseError(int line, const std::string& what_arg)
+      : std::invalid_argument("FrameTrace: line " + std::to_string(line) +
+                              ": " + what_arg),
+        line_(line) {}
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
 
 /// One captured video frame of an AR session.
 struct FrameRecord {
@@ -47,8 +63,10 @@ class FrameTrace {
 
   /// Writes `timestamp_ms,size_kb` lines with a header.
   void write_csv(std::ostream& os) const;
-  /// Parses the CSV format produced by write_csv. Throws on malformed
-  /// rows or non-monotonic timestamps.
+  /// Parses the CSV format produced by write_csv. Throws TraceParseError
+  /// (with the offending 1-based line number and field name) on malformed
+  /// rows, and std::invalid_argument on non-monotonic timestamps or
+  /// negative sizes.
   static FrameTrace read_csv(std::istream& is);
 
  private:

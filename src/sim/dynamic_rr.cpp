@@ -104,19 +104,25 @@ SlotDecision DynamicRrPolicy::decide(const SlotView& view) {
 
   if (view.pending.empty()) return decision;
 
+  // Under faults the simulator publishes the degraded (overlay) topology
+  // through the view; fault-free runs pass the construction-time topology
+  // (same object), so behaviour is bit-identical.
+  const mec::Topology& topo = view.topo != nullptr ? *view.topo : topo_;
+
   // 2. Per-station round-robin floor: with threshold C^th, a station of
   // capacity C holds at most floor(C / C^th) concurrent streams so that
   // every stream's share stays >= C^th. Older residents have priority;
   // the newest are preempted (paused) when the realized mix overflows.
-  std::vector<int> allowed(static_cast<std::size_t>(topo_.num_stations()));
-  for (int bs = 0; bs < topo_.num_stations(); ++bs) {
+  // Brownout-scaled capacities shrink the quota automatically.
+  std::vector<int> allowed(static_cast<std::size_t>(topo.num_stations()));
+  for (int bs = 0; bs < topo.num_stations(); ++bs) {
     allowed[static_cast<std::size_t>(bs)] = std::max(
-        1, static_cast<int>(std::floor(topo_.station(bs).capacity_mhz /
+        1, static_cast<int>(std::floor(topo.station(bs).capacity_mhz /
                                        last_threshold_)));
   }
 
   std::vector<std::vector<int>> residents(
-      static_cast<std::size_t>(topo_.num_stations()));
+      static_cast<std::size_t>(topo.num_stations()));
   std::vector<int> waiting;
   std::vector<int> displaced;  // outage victims needing re-placement
   for (int j : view.pending) {
@@ -138,8 +144,8 @@ SlotDecision DynamicRrPolicy::decide(const SlotView& view) {
   // newcomers take the quota slots residents left free.
   std::vector<int> slots_left = allowed;
   std::vector<double> residual_mhz(
-      static_cast<std::size_t>(topo_.num_stations()));
-  for (int bs = 0; bs < topo_.num_stations(); ++bs) {
+      static_cast<std::size_t>(topo.num_stations()));
+  for (int bs = 0; bs < topo.num_stations(); ++bs) {
     const auto& ids = residents[static_cast<std::size_t>(bs)];
     double used = 0.0;
     for (int j : ids) {
@@ -150,33 +156,21 @@ SlotDecision DynamicRrPolicy::decide(const SlotView& view) {
         0, allowed[static_cast<std::size_t>(bs)] -
                static_cast<int>(ids.size()));
     residual_mhz[static_cast<std::size_t>(bs)] =
-        std::max(0.0, topo_.station(bs).capacity_mhz - used);
+        std::max(0.0, topo.station(bs).capacity_mhz - used);
     if (!view.is_up(bs)) {
       slots_left[static_cast<std::size_t>(bs)] = 0;
       residual_mhz[static_cast<std::size_t>(bs)] = 0.0;
     }
   }
 
-  // 2b. Re-place streams displaced by station outages: their realized
-  // demand is known; nearest station with quota and capacity wins.
-  for (int j : displaced) {
-    const RequestState& st = (*view.states)[static_cast<std::size_t>(j)];
-    const mec::ARRequest& req = (*view.requests)[static_cast<std::size_t>(j)];
-    for (int bs : topo_.stations_by_distance(req.home_station)) {
-      if (!view.is_up(bs)) continue;
-      if (slots_left[static_cast<std::size_t>(bs)] <= 0) continue;
-      if (residual_mhz[static_cast<std::size_t>(bs)] < st.demand_mhz) continue;
-      --slots_left[static_cast<std::size_t>(bs)];
-      residual_mhz[static_cast<std::size_t>(bs)] -= st.demand_mhz;
-      decision.active.push_back({j, bs});
-      break;
-    }
-  }
-
   // 3. New admissions: the waiting queue enters the LP-PT batch highest
   // expected-reward density first — under saturation the LP cannot see the
   // whole queue, so the batch pre-selection must already favour the
-  // requests the reward-maximizing LP would pick.
+  // requests the reward-maximizing LP would pick. Displaced streams (their
+  // serving station died or the backhaul to it partitioned) join the same
+  // batch ahead of newcomers: their demand is realized, their reward is
+  // already partially earned, and re-placing them through the LP lets the
+  // batch trade them off against admissions coherently.
   auto density = [&](int j) {
     const auto& demand = (*view.requests)[static_cast<std::size_t>(j)].demand;
     return demand.expected_reward() / std::max(1e-9, demand.expected_rate());
@@ -187,39 +181,71 @@ SlotDecision DynamicRrPolicy::decide(const SlotView& view) {
     if (da != db) return da > db;
     return a < b;
   });
-  if (static_cast<int>(waiting.size()) > params_.max_batch) {
-    waiting.resize(static_cast<std::size_t>(params_.max_batch));
+  const int waiting_cap =
+      std::max(0, params_.max_batch - static_cast<int>(displaced.size()));
+  if (static_cast<int>(waiting.size()) > waiting_cap) {
+    waiting.resize(static_cast<std::size_t>(waiting_cap));
   }
-  if (!waiting.empty()) {
-    admit_new(view, waiting, slots_left, residual_mhz, decision);
+  if (!waiting.empty() || !displaced.empty()) {
+    admit_new(topo, view, waiting, displaced, slots_left, residual_mhz,
+              decision);
   }
   return decision;
 }
 
-void DynamicRrPolicy::admit_new(const SlotView& view,
+void DynamicRrPolicy::admit_new(const mec::Topology& topo,
+                                const SlotView& view,
                                 const std::vector<int>& waiting,
+                                const std::vector<int>& displaced,
                                 std::vector<int>& slots_left,
                                 std::vector<double>& residual_mhz,
                                 SlotDecision& decision) {
+  // Batch layout: displaced streams first (re-placement has priority over
+  // admission — their reward is partially sunk), then the waiting queue.
+  const std::size_t num_displaced = displaced.size();
+  std::vector<int> ids = displaced;
+  ids.insert(ids.end(), waiting.begin(), waiting.end());
+
   std::vector<mec::ARRequest> batch;
-  batch.reserve(waiting.size());
+  batch.reserve(ids.size());
   core::SlotLpOptions options;
   options.share_cap_mhz = last_threshold_;
   options.capacity_override_mhz = residual_mhz;
-  options.waiting_ms_per_request.reserve(waiting.size());
-  for (int j : waiting) {
-    batch.push_back((*view.requests)[static_cast<std::size_t>(j)]);
-    options.waiting_ms_per_request.push_back(view.waiting_ms(j));
+  options.waiting_ms_per_request.reserve(ids.size());
+  for (std::size_t b = 0; b < ids.size(); ++b) {
+    const int j = ids[b];
+    const mec::ARRequest& req = (*view.requests)[static_cast<std::size_t>(j)];
+    if (b < num_displaced) {
+      // A displaced stream's rate realized at first service, so the LP sees
+      // a degenerate single-level distribution at the known demand.
+      // Re-placement is not re-admission: the experienced latency locked in
+      // at b_j, so the budget constraint must not re-apply — an effectively
+      // unbounded budget keeps every reachable station a candidate while
+      // partitioned stations stay excluded by their infinite delay.
+      const RequestState& st = (*view.states)[static_cast<std::size_t>(j)];
+      mec::ARRequest ghost = req;
+      ghost.demand = mec::RateRewardDist(
+          {{st.demand_mhz / std::max(1e-12, alg_.c_unit), 1.0,
+            req.demand.level(st.realized_level).reward}});
+      ghost.latency_budget_ms = 1e9;
+      batch.push_back(std::move(ghost));
+      options.waiting_ms_per_request.push_back(0.0);
+      ++degradation_.displaced_seen;
+    } else {
+      batch.push_back(req);
+      options.waiting_ms_per_request.push_back(view.waiting_ms(j));
+    }
   }
 
-  std::vector<int> placement(waiting.size(), -1);
-  std::vector<double> placement_lat(waiting.size(), 0.0);
+  std::vector<int> placement(ids.size(), -1);
+  std::vector<double> placement_lat(ids.size(), 0.0);
   const core::SlotLpInstance inst =
-      core::build_slot_lp(topo_, batch, alg_, options);
+      core::build_slot_lp(topo, batch, alg_, options);
   if (inst.model.num_variables() > 0) {
     // Warm start: consecutive slots under a saturated queue rebuild the
     // same-shaped LP, so the previous slot's optimal basis is a few pivots
     // from this slot's optimum. On a shape change the solver cold-starts.
+    ++degradation_.lp_solves;
     const lp::SolveResult res =
         params_.warm_start_lp ? lp_solver_.solve(inst.model, warm_basis_)
                               : lp::solve_lp(inst.model);
@@ -230,10 +256,10 @@ void DynamicRrPolicy::admit_new(const SlotView& view,
       // stations) prefer the lowest placement latency. Latencies come from
       // the column metadata the builder already computed.
       std::vector<double> mass(
-          static_cast<std::size_t>(topo_.num_stations()), 0.0);
+          static_cast<std::size_t>(topo.num_stations()), 0.0);
       std::vector<double> lat_of(
-          static_cast<std::size_t>(topo_.num_stations()), 0.0);
-      for (std::size_t b = 0; b < waiting.size(); ++b) {
+          static_cast<std::size_t>(topo.num_stations()), 0.0);
+      for (std::size_t b = 0; b < ids.size(); ++b) {
         std::fill(mass.begin(), mass.end(), 0.0);
         for (int col : inst.request_columns[b]) {
           const core::SlotVar& var = inst.vars[static_cast<std::size_t>(col)];
@@ -258,43 +284,79 @@ void DynamicRrPolicy::admit_new(const SlotView& view,
         placement_lat[b] = best_lat;
       }
     } else {
+      // Graceful-degradation contract: a non-optimal LP (infeasible model
+      // under post-fault capacities, iteration limit, ...) must never turn
+      // into an empty assignment — every batch entry falls through to the
+      // per-request greedy path below.
+      ++degradation_.lp_fallbacks;
       util::log_debug() << "DynamicRR: LP-PT not optimal ("
                         << lp::to_string(res.status) << "), greedy fallback";
     }
   }
 
-  for (std::size_t b = 0; b < waiting.size(); ++b) {
-    const int j = waiting[b];
+  for (std::size_t b = 0; b < ids.size(); ++b) {
+    const int j = ids[b];
+    const bool is_displaced = b < num_displaced;
     const mec::ARRequest& req = (*view.requests)[static_cast<std::size_t>(j)];
-    const double expected_mhz = req.demand.expected_rate() * alg_.c_unit;
-    const double wait = view.waiting_ms(j);
+    const RequestState& st = (*view.states)[static_cast<std::size_t>(j)];
+    const double need_mhz = is_displaced
+                                ? st.demand_mhz
+                                : req.demand.expected_rate() * alg_.c_unit;
+    const double wait = is_displaced ? 0.0 : view.waiting_ms(j);
     // Starvation rescue (the point of the MAB threshold per section VI-B:
     // "avoid the starvation of AR requests"): a request that has already
     // waited a slot is heading toward its deadline (the budget leaves only
     // ~3 slots of slack) and may exceed the round-robin quota — its share
-    // dips below C^th briefly — as long as real capacity holds.
-    const bool last_chance = wait >= view.slot_ms;
+    // dips below C^th briefly — as long as real capacity holds. Displaced
+    // streams always get the exemption: their session is in flight and its
+    // quota slot was consumed at admission.
+    const bool last_chance = is_displaced || wait >= view.slot_ms;
     auto admissible = [&](int bs, double latency_ms) {
-      return bs >= 0 &&
+      return bs >= 0 && view.is_up(bs) &&
              (slots_left[static_cast<std::size_t>(bs)] > 0 || last_chance) &&
-             residual_mhz[static_cast<std::size_t>(bs)] >= expected_mhz &&
-             wait + latency_ms <= req.latency_budget_ms;
+             residual_mhz[static_cast<std::size_t>(bs)] >= need_mhz &&
+             (is_displaced || wait + latency_ms <= req.latency_budget_ms);
     };
     int bs = placement[b];
+    bool via_lp = bs >= 0;
     if (!admissible(bs, placement_lat[b])) {
+      via_lp = false;
       bs = -1;
-      for (const auto& cand :
-           core::candidate_stations(topo_, req, alg_, wait)) {
-        if (admissible(cand.station, cand.latency_ms)) {
-          bs = cand.station;
-          break;
+      if (is_displaced) {
+        // Greedy nearest-fit failover over the effective topology; stations
+        // the user can no longer reach (partition => infinite delay) are
+        // skipped.
+        for (int cand : topo.stations_by_distance(req.home_station)) {
+          if (!std::isfinite(
+                  topo.transmission_delay_ms(req.home_station, cand))) {
+            continue;
+          }
+          if (admissible(cand, 0.0)) {
+            bs = cand;
+            break;
+          }
+        }
+      } else {
+        for (const auto& cand :
+             core::candidate_stations(topo, req, alg_, wait)) {
+          if (admissible(cand.station, cand.latency_ms)) {
+            bs = cand.station;
+            break;
+          }
         }
       }
     }
     if (bs < 0) continue;  // stays pending; may be admitted a later slot
     --slots_left[static_cast<std::size_t>(bs)];
-    residual_mhz[static_cast<std::size_t>(bs)] -= expected_mhz;
+    residual_mhz[static_cast<std::size_t>(bs)] -= need_mhz;
     decision.active.push_back({j, bs});
+    if (is_displaced) {
+      if (via_lp) {
+        ++degradation_.displaced_replaced_lp;
+      } else {
+        ++degradation_.displaced_replaced_greedy;
+      }
+    }
   }
 }
 

@@ -70,6 +70,24 @@ struct DynamicRrParams {
   bool warm_start_lp = true;
 };
 
+/// Graceful-degradation accounting of one DynamicRrPolicy instance: how
+/// often the slot LP actually drove placement, how often a non-optimal LP
+/// status forced the greedy fallback (the failover contract: a failed LP
+/// must never turn into an empty assignment), and how displaced streams
+/// were recovered.
+struct DegradationStats {
+  long long lp_solves = 0;
+  /// LP returned kInfeasible/kIterationLimit/...: the whole batch fell
+  /// back to per-request greedy placement.
+  long long lp_fallbacks = 0;
+  /// Displaced streams that entered the slot LP for re-placement.
+  long long displaced_seen = 0;
+  /// ... and were re-placed through the LP's fractional support.
+  long long displaced_replaced_lp = 0;
+  /// ... and were re-placed by the greedy nearest-fit failover.
+  long long displaced_replaced_greedy = 0;
+};
+
 class DynamicRrPolicy final : public OnlinePolicy {
  public:
   DynamicRrPolicy(const mec::Topology& topo, core::AlgorithmParams alg,
@@ -85,10 +103,17 @@ class DynamicRrPolicy final : public OnlinePolicy {
   const bandit::LipschitzGrid& grid() const noexcept { return grid_; }
   const bandit::SuccessiveElimination& bandit() const;
   double last_threshold_mhz() const noexcept { return last_threshold_; }
+  const DegradationStats& degradation_stats() const noexcept {
+    return degradation_;
+  }
 
  private:
-  /// Places a batch of newly arrived requests via LP-PT + rounding.
-  void admit_new(const SlotView& view, const std::vector<int>& waiting,
+  /// Places a batch of newly arrived requests — plus displaced streams
+  /// needing re-placement — via LP-PT + rounding, falling back to greedy
+  /// placement per request when the LP is not optimal.
+  void admit_new(const mec::Topology& topo, const SlotView& view,
+                 const std::vector<int>& waiting,
+                 const std::vector<int>& displaced,
                  std::vector<int>& slots_left,
                  std::vector<double>& residual_mhz, SlotDecision& decision);
 
@@ -113,6 +138,7 @@ class DynamicRrPolicy final : public OnlinePolicy {
   double adaptive_scale_ = 0.0;
   int window_pos_ = 0;
   double window_reward_ = 0.0;
+  DegradationStats degradation_;
 };
 
 }  // namespace mecar::sim

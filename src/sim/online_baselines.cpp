@@ -1,6 +1,7 @@
 #include "sim/online_baselines.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/slot_lp.h"
 
@@ -28,8 +29,11 @@ core::StationLoad reservations(const mec::Topology& topo, const SlotView& view,
 }
 
 /// Activates every resident unfinished stream (non-preemptive policies)
-/// and re-places streams displaced by station outages: nearest available
-/// station with reservation room for the policy's estimate.
+/// and re-places streams displaced by station outages or backhaul
+/// partitions: nearest available station with reservation room for the
+/// policy's estimate. On the effective (degraded) topology, stations the
+/// user can no longer reach have an infinite backhaul delay and are
+/// skipped — the shared failover contract of every baseline.
 template <typename EstimateFn>
 void activate_residents(const mec::Topology& topo, const SlotView& view,
                         core::StationLoad& reserved, EstimateFn estimate,
@@ -45,6 +49,9 @@ void activate_residents(const mec::Topology& topo, const SlotView& view,
     const double reserve = estimate(req);
     for (int bs : topo.stations_by_distance(req.home_station)) {
       if (!view.is_up(bs)) continue;
+      if (!std::isfinite(topo.transmission_delay_ms(req.home_station, bs))) {
+        continue;
+      }
       if (reserved.remaining_mhz(bs) < reserve) continue;
       reserved.occupy(bs, reserve);
       decision.active.push_back({j, bs});
@@ -71,11 +78,12 @@ GreedyOnlinePolicy::GreedyOnlinePolicy(const mec::Topology& topo,
 
 SlotDecision GreedyOnlinePolicy::decide(const SlotView& view) {
   SlotDecision decision;
+  const mec::Topology& topo = view.topo != nullptr ? *view.topo : topo_;
   auto peak = [&](const mec::ARRequest& r) {
     return r.demand.max_rate() * alg_.c_unit;
   };
-  core::StationLoad reserved = reservations(topo_, view, peak);
-  activate_residents(topo_, view, reserved, peak, decision);
+  core::StationLoad reserved = reservations(topo, view, peak);
+  activate_residents(topo, view, reserved, peak, decision);
 
   std::vector<int> waiting = waiting_requests(view);
   auto execution_time = [&](int j) {
@@ -97,7 +105,7 @@ SlotDecision GreedyOnlinePolicy::decide(const SlotView& view) {
     int best_bs = -1;
     double best_lat = 0.0;
     for (const auto& cand :
-         core::candidate_stations(topo_, req, near, view.waiting_ms(j))) {
+         core::candidate_stations(topo, req, near, view.waiting_ms(j))) {
       if (!view.is_up(cand.station)) continue;
       if (reserved.remaining_mhz(cand.station) < reserve) continue;
       if (best_bs < 0 || cand.latency_ms < best_lat) {
@@ -118,11 +126,12 @@ OcorpOnlinePolicy::OcorpOnlinePolicy(const mec::Topology& topo,
 
 SlotDecision OcorpOnlinePolicy::decide(const SlotView& view) {
   SlotDecision decision;
+  const mec::Topology& topo = view.topo != nullptr ? *view.topo : topo_;
   auto peak = [&](const mec::ARRequest& r) {
     return r.demand.max_rate() * alg_.c_unit;
   };
-  core::StationLoad reserved = reservations(topo_, view, peak);
-  activate_residents(topo_, view, reserved, peak, decision);
+  core::StationLoad reserved = reservations(topo, view, peak);
+  activate_residents(topo, view, reserved, peak, decision);
 
   std::vector<int> waiting = waiting_requests(view);
   std::sort(waiting.begin(), waiting.end(), [&](int a, int b) {
@@ -145,7 +154,7 @@ SlotDecision OcorpOnlinePolicy::decide(const SlotView& view) {
     int best_bs = -1;
     double best_resid = 0.0;
     for (const auto& cand :
-         core::candidate_stations(topo_, req, near, view.waiting_ms(j))) {
+         core::candidate_stations(topo, req, near, view.waiting_ms(j))) {
       if (!view.is_up(cand.station)) continue;
       const double resid = reserved.remaining_mhz(cand.station);
       if (resid < reserve) continue;
@@ -167,11 +176,12 @@ HeuKktOnlinePolicy::HeuKktOnlinePolicy(const mec::Topology& topo,
 
 SlotDecision HeuKktOnlinePolicy::decide(const SlotView& view) {
   SlotDecision decision;
+  const mec::Topology& topo = view.topo != nullptr ? *view.topo : topo_;
   auto mean = [&](const mec::ARRequest& r) {
     return r.demand.expected_rate() * alg_.c_unit;
   };
-  core::StationLoad committed = reservations(topo_, view, mean);
-  activate_residents(topo_, view, committed, mean, decision);
+  core::StationLoad committed = reservations(topo, view, mean);
+  activate_residents(topo, view, committed, mean, decision);
 
   std::vector<int> waiting = waiting_requests(view);
   // KKT water-filling admits the smallest expected demands first.
@@ -191,7 +201,7 @@ SlotDecision HeuKktOnlinePolicy::decide(const SlotView& view) {
     const int home = req.home_station;
     int chosen = -1;
     if (view.is_up(home) && committed.remaining_mhz(home) >= commit &&
-        wait + mec::placement_latency_ms(topo_, req, home) <=
+        wait + mec::placement_latency_ms(topo, req, home) <=
             req.latency_budget_ms) {
       chosen = home;
     } else {
@@ -202,7 +212,7 @@ SlotDecision HeuKktOnlinePolicy::decide(const SlotView& view) {
       neighbourhood.max_candidate_stations = 6;
       double best_spare = 0.0;
       for (const auto& cand :
-           core::candidate_stations(topo_, req, neighbourhood, wait)) {
+           core::candidate_stations(topo, req, neighbourhood, wait)) {
         if (!view.is_up(cand.station)) continue;
         const double spare = committed.remaining_mhz(cand.station);
         if (spare < commit) continue;

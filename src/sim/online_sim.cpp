@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
+#include "mec/topology_overlay.h"
 #include "util/log.h"
 
 namespace mecar::sim {
@@ -94,11 +96,76 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
   // independent and repeatable.
   std::vector<mec::ARRequest> requests = requests_;
   std::vector<double> min_latency = min_latency_ms_;
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  // Fault machinery. The legacy `outages` list merges into the plan; when
+  // the merged plan is empty the whole chaos path is skipped and the run
+  // is bit-identical to the pre-fault-engine simulator.
+  FaultPlan plan = params_.faults;
+  plan.station_outages.insert(plan.station_outages.end(),
+                              params_.outages.begin(),
+                              params_.outages.end());
+  const bool chaos = !plan.empty();
+  if (chaos) plan.validate(topo_);
+  std::optional<mec::TopologyOverlay> overlay;
+  if (chaos) overlay.emplace(topo_);
+  // The network every placement decision sees this slot: the base topology
+  // when healthy, the overlay's effective topology under faults.
+  const mec::Topology* active = &topo_;
 
   std::vector<RequestState> states(requests.size());
   OnlineMetrics metrics;
   metrics.per_slot_reward.assign(
       static_cast<std::size_t>(params_.horizon_slots), 0.0);
+
+  // Fault attribution state (see DropCause): per request, the minimal
+  // placement latency over live stations of the *faulted* network, the
+  // number of slots in which only faults blocked a budget-feasible
+  // placement, whether it was ever fully cut off, and — for displaced
+  // streams — the slot the displacement happened.
+  std::vector<double> eff_min = min_latency;
+  std::vector<int> fault_blocked(requests.size(), 0);
+  std::vector<char> cut_off(requests.size(), 0);
+  std::vector<int> displaced_at(requests.size(), -1);
+  double recovery_slots_total = 0.0;
+  std::vector<char> up(static_cast<std::size_t>(topo_.num_stations()), 1);
+  std::vector<char> prev_up;
+
+  const auto eff_min_of = [&](const mec::ARRequest& req) {
+    double best = kInf;
+    for (int bs = 0; bs < topo_.num_stations(); ++bs) {
+      if (up[static_cast<std::size_t>(bs)] == 0) continue;
+      best = std::min(best, mec::placement_latency_ms(*active, req, bs));
+    }
+    return best;
+  };
+  const auto drop_cause_of = [&](std::size_t j) {
+    if (!chaos) return DropCause::kStarvation;
+    if (cut_off[j] != 0) return DropCause::kPartition;
+    if (fault_blocked[j] > 0) return DropCause::kFault;
+    return DropCause::kStarvation;
+  };
+  const auto account_drop = [&](std::size_t j) {
+    const DropCause cause = drop_cause_of(j);
+    states[j].drop_cause = cause;
+    switch (cause) {
+      case DropCause::kStarvation:
+        ++metrics.resilience.dropped_starvation;
+        break;
+      case DropCause::kFault:
+        ++metrics.resilience.dropped_fault;
+        break;
+      case DropCause::kPartition:
+        ++metrics.resilience.dropped_partition;
+        break;
+      case DropCause::kNone:
+        break;
+    }
+    if (cause == DropCause::kFault || cause == DropCause::kPartition) {
+      metrics.resilience.fault_dropped_expected_reward +=
+          requests[j].demand.expected_reward();
+    }
+  };
 
   for (int t = 0; t < params_.horizon_slots; ++t) {
     // Mobility: re-attach moved users (before drop checks, so a move into
@@ -119,22 +186,45 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
         best = std::min(best, mec::placement_latency_ms(topo_, req, bs));
       }
       min_latency[static_cast<std::size_t>(move.request_index)] = best;
-    }
-    // 0. Outage bookkeeping: availability map + displacement of resident
-    // streams on failed stations (progress kept, placement lost).
-    std::vector<char> up(static_cast<std::size_t>(topo_.num_stations()), 1);
-    for (const StationOutage& outage : params_.outages) {
-      if (outage.station >= 0 && outage.station < topo_.num_stations() &&
-          t >= outage.from_slot && t < outage.until_slot) {
-        up[static_cast<std::size_t>(outage.station)] = 0;
+      if (chaos) {
+        eff_min[static_cast<std::size_t>(move.request_index)] =
+            eff_min_of(req);
       }
     }
-    for (auto& st : states) {
-      if (st.phase == Phase::kServed && st.station >= 0 &&
-          up[static_cast<std::size_t>(st.station)] == 0) {
-        st.station = -1;  // displaced; policy must re-place
-        ++metrics.displaced;
+    // 0. Fault bookkeeping: project the plan onto this slot, swap the
+    // overlay epoch when the fault set changed, and displace resident
+    // streams whose station died or whose user the backhaul cut off
+    // (progress kept, placement lost).
+    if (chaos) {
+      FaultSnapshot snap = plan.snapshot(topo_, t);
+      up = std::move(snap.station_up);
+      const bool rebuilt = overlay->apply(snap.perturbation);
+      active = &overlay->effective();
+      if (rebuilt || up != prev_up) {
+        // New fault epoch: live-station reachability changed, so the
+        // faulted minimum latencies must be re-derived.
+        for (std::size_t j = 0; j < requests.size(); ++j) {
+          eff_min[j] = eff_min_of(requests[j]);
+        }
       }
+      prev_up = up;
+    }
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      RequestState& st = states[j];
+      if (st.phase != Phase::kServed || st.station < 0) continue;
+      const bool station_down = up[static_cast<std::size_t>(st.station)] == 0;
+      const bool unreachable =
+          chaos && !std::isfinite(active->transmission_delay_ms(
+                        requests[j].home_station, st.station));
+      if (!station_down && !unreachable) continue;
+      st.station = -1;  // displaced; policy must re-place
+      ++metrics.displaced;
+      if (station_down) {
+        ++metrics.resilience.displaced_outage;
+      } else {
+        ++metrics.resilience.displaced_partition;
+      }
+      if (displaced_at[j] < 0) displaced_at[j] = t;
     }
 
     // 1. Arrivals and starvation drops.
@@ -142,7 +232,7 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
     view.slot = t;
     view.slot_ms = params_.slot_ms;
     view.station_up = up;
-    view.topo = &topo_;
+    view.topo = active;
     view.requests = &requests;
     view.states = &states;
     double dropped_expected = 0.0;
@@ -153,10 +243,20 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
       if (req.arrival_slot == t) ++metrics.arrived;
       if (st.phase == Phase::kWaiting) {
         const double wait_ms = (t - req.arrival_slot) * params_.slot_ms;
+        // The drop rule is the OPTIMISTIC bound (healthy-network minimum
+        // latency): a fault may clear before the budget runs out, so a
+        // request is only declared dead once waiting alone kills it.
         if (wait_ms + min_latency[j] > req.latency_budget_ms) {
           st.phase = Phase::kDropped;  // starved: deadline unmeetable
           dropped_expected += req.demand.expected_reward();
+          account_drop(j);
           continue;
+        }
+        if (chaos && wait_ms + eff_min[j] > req.latency_budget_ms) {
+          // This slot, only the faults stand between the request and a
+          // budget-feasible placement — the evidence drop attribution uses.
+          ++fault_blocked[j];
+          if (!std::isfinite(eff_min[j])) cut_off[j] = 1;
         }
         view.pending.push_back(static_cast<int>(j));
       } else if (st.phase == Phase::kServed) {
@@ -190,7 +290,7 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
         }
         const double wait_ms = (t - req.arrival_slot) * params_.slot_ms;
         const double lat =
-            wait_ms + mec::placement_latency_ms(topo_, req, act.station);
+            wait_ms + mec::placement_latency_ms(*active, req, act.station);
         if (lat > req.latency_budget_ms) {
           util::log_debug() << "policy " << policy.name()
                             << " placed request " << req.id
@@ -212,7 +312,16 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
           throw std::out_of_range("OnlineSimulator: bad re-placement station");
         }
         if (up[static_cast<std::size_t>(act.station)] == 0) continue;
+        if (chaos && !std::isfinite(active->transmission_delay_ms(
+                         req.home_station, act.station))) {
+          continue;  // re-placed across a partition; refuse
+        }
         st.station = act.station;
+        if (displaced_at[j] >= 0) {
+          ++metrics.resilience.recovered;
+          recovery_slots_total += t - displaced_at[j];
+          displaced_at[j] = -1;
+        }
       }
       st.active_this_slot = true;
     }
@@ -238,8 +347,10 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
             std::min(states[j].demand_mhz,
                      states[j].work_total - states[j].work_done));
       }
+      // Capacity comes from the effective topology: a brownout shrinks the
+      // pool every resident stream water-fills from.
       const auto alloc =
-          waterfill(topo_.station(bs).capacity_mhz, demands);
+          waterfill(active->station(bs).capacity_mhz, demands);
       for (std::size_t k = 0; k < ids.size(); ++k) {
         RequestState& st = states[ids[k]];
         st.work_done += alloc[k];
@@ -287,15 +398,22 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
         break;
       case Phase::kWaiting:
         ++metrics.dropped;  // never scheduled within the horizon
+        account_drop(j);
         break;
       case Phase::kServed:
         ++metrics.unfinished;
+        if (states[j].station < 0) ++metrics.resilience.unrecovered;
         break;
     }
   }
   if (metrics.completed > 0) {
     metrics.avg_latency_ms = latency_total / metrics.completed;
   }
+  if (metrics.resilience.recovered > 0) {
+    metrics.resilience.mean_recovery_slots =
+        recovery_slots_total / metrics.resilience.recovered;
+  }
+  if (overlay) metrics.resilience.fault_epochs = overlay->epochs();
   return metrics;
 }
 

@@ -22,17 +22,9 @@
 #include "core/types.h"
 #include "mec/request.h"
 #include "mec/topology.h"
+#include "sim/fault_plan.h"
 
 namespace mecar::sim {
-
-/// A base-station outage: the station serves nothing in slots
-/// [from_slot, until_slot); resident streams are displaced (they keep
-/// their progress but must be re-placed by the policy).
-struct StationOutage {
-  int station = 0;
-  int from_slot = 0;
-  int until_slot = 0;
-};
 
 /// A user movement: at `slot`, the user of `request_index` re-attaches to
 /// `new_home`. Waiting requests see their placement feasibility change; a
@@ -50,8 +42,12 @@ struct OnlineParams {
   /// Slot length: 0.05 s (section VI-A).
   double slot_ms = 50.0;
   core::AlgorithmParams alg;
-  /// Failure injection (empty = no outages).
+  /// Failure injection (empty = no outages). Kept as the simple legacy
+  /// interface; merged into `faults` at run time.
   std::vector<StationOutage> outages;
+  /// Full fault scenario: brownouts, link outages/degradations, scripted
+  /// or chaos-generated (see sim/fault_plan.h).
+  FaultPlan faults;
   /// User mobility (empty = static users).
   std::vector<MobilityEvent> mobility;
   /// Record detailed series (per-slot utilization, latency samples,
@@ -67,6 +63,18 @@ enum class Phase {
   kDropped,    // deadline unmeetable before first scheduling
 };
 
+/// Why a request was dropped (see DESIGN.md "Fault model"). Attribution
+/// rule: a drop is fault-caused when the request spent at least one slot in
+/// which only the active faults prevented a budget-feasible placement, and
+/// partition-caused when it was at some point completely cut off from every
+/// live station. Everything else is plain starvation (capacity contention).
+enum class DropCause {
+  kNone,        // not dropped
+  kStarvation,  // contention: the policy never found room in time
+  kFault,       // degraded network pushed every placement out of budget
+  kPartition,   // no live station reachable at all
+};
+
 /// Mutable per-request simulation state (read-only for policies).
 struct RequestState {
   Phase phase = Phase::kWaiting;
@@ -79,6 +87,7 @@ struct RequestState {
   double latency_ms = 0.0;      // waiting + placement latency, set at b_j
   double reward = 0.0;          // collected at completion
   bool active_this_slot = false;
+  DropCause drop_cause = DropCause::kNone;
 };
 
 /// What a policy observes each slot.
@@ -136,6 +145,31 @@ class OnlinePolicy {
   virtual std::string name() const = 0;
 };
 
+/// Fault-attributed accounting of one run (all zero when the fault plan is
+/// empty, except dropped_starvation which is always maintained).
+struct ResilienceReport {
+  /// Topology-overlay rebuilds — fault epochs entered, including the
+  /// return-to-healthy epoch after a fault clears.
+  int fault_epochs = 0;
+  /// Stream displacements by cause: the serving station died vs the
+  /// backhaul no longer connects the user to its service instance.
+  int displaced_outage = 0;
+  int displaced_partition = 0;
+  /// Displaced streams the policy re-placed, and the mean slots from
+  /// displacement to re-placement (0 = same-slot failover).
+  int recovered = 0;
+  double mean_recovery_slots = 0.0;
+  /// Displaced streams still unplaced when the horizon ended.
+  int unrecovered = 0;
+  /// Drop-cause breakdown (sums to OnlineMetrics::dropped).
+  int dropped_starvation = 0;
+  int dropped_fault = 0;
+  int dropped_partition = 0;
+  /// Expected reward of fault- and partition-caused drops — the demand the
+  /// faults destroyed outright, independent of any policy choice.
+  double fault_dropped_expected_reward = 0.0;
+};
+
 /// Aggregate metrics of one simulation run.
 struct OnlineMetrics {
   double total_reward = 0.0;
@@ -143,8 +177,10 @@ struct OnlineMetrics {
   int completed = 0;
   int dropped = 0;
   int unfinished = 0;  // still streaming when the horizon ended
-  int displaced = 0;   // stream-displacement events from station outages
+  int displaced = 0;   // stream-displacement events (outages + partitions)
   int handovers = 0;   // mobility events applied
+  /// Fault-attributed accounting (drop causes, recovery times, epochs).
+  ResilienceReport resilience;
   /// Mean experienced latency (waiting + placement) over completed requests.
   double avg_latency_ms = 0.0;
   std::vector<double> per_slot_reward;

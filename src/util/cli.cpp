@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/parse.h"
+
 namespace mecar::util {
 
 Cli::Cli(int argc, const char* const* argv) {
@@ -41,23 +43,19 @@ std::int64_t Cli::get_int_or(const std::string& key,
                              std::int64_t fallback) const {
   const auto v = get(key);
   if (!v || v->empty()) return fallback;
-  try {
-    return std::stoll(*v);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + key + " expects an integer, got '" +
-                                *v + "'");
-  }
+  // Strict: the whole value must be an integer — "12abs" used to silently
+  // truncate to 12 under std::stoll.
+  if (const auto parsed = parse_int(*v)) return *parsed;
+  throw std::invalid_argument("flag --" + key + " expects an integer, got '" +
+                              *v + "'");
 }
 
 double Cli::get_double_or(const std::string& key, double fallback) const {
   const auto v = get(key);
   if (!v || v->empty()) return fallback;
-  try {
-    return std::stod(*v);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + key + " expects a number, got '" +
-                                *v + "'");
-  }
+  if (const auto parsed = parse_double(*v)) return *parsed;
+  throw std::invalid_argument("flag --" + key + " expects a number, got '" +
+                              *v + "'");
 }
 
 bool Cli::get_bool_or(const std::string& key, bool fallback) const {

@@ -1,0 +1,30 @@
+#include "util/parse.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace mecar::util {
+
+std::optional<double> parse_double(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<std::int64_t> parse_int(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+}  // namespace mecar::util

@@ -1,0 +1,27 @@
+// Strict, locale-independent numeric token parsing shared by every text
+// reader in the tree (CSV traces, MPS files, CLI flags, fault scenarios).
+//
+// Unlike raw std::stod/std::stoll, a token parses only when it is ENTIRELY
+// a number: trailing junk ("3.5x", "12abc") is rejected instead of being
+// silently truncated, and out-of-range magnitudes fail instead of throwing.
+// Callers turn the nullopt into a diagnostic that names the field and the
+// offending token — no raw std::invalid_argument ever escapes a reader.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mecar::util {
+
+/// Parses `token` as a double. The whole token must be consumed; empty
+/// tokens, trailing junk, and out-of-range values yield nullopt. "inf" and
+/// "nan" parse (some writers emit them for unbounded quantities).
+std::optional<double> parse_double(const std::string& token);
+
+/// Parses `token` as a base-10 signed integer. The whole token must be
+/// consumed; empty tokens, trailing junk (including a fractional part),
+/// and out-of-range values yield nullopt.
+std::optional<std::int64_t> parse_int(const std::string& token);
+
+}  // namespace mecar::util

@@ -126,6 +126,95 @@ TEST(FailureInjection, DisplacementPreservesProgress) {
   }
 }
 
+TEST(FailureInjection, OverlappingOutagesDisplaceOnlyOnce) {
+  // Two overlapping windows keep station 0 down continuously over [2, 15);
+  // the resident stream is displaced exactly once, not once per event.
+  const mec::Topology topo = two_stations();
+  std::vector<mec::ARRequest> requests{stream(0, 50.0, 0, 6)};
+  OnlineParams params;
+  params.horizon_slots = 30;
+  params.outages = {{0, 2, 10}, {0, 5, 15}};
+  OnlineSimulator sim(topo, requests, {0}, params);
+  Station0Policy policy;
+  const auto m = sim.run(policy);
+  EXPECT_EQ(m.displaced, 1);
+  EXPECT_EQ(m.resilience.displaced_outage, 1);
+  EXPECT_EQ(m.completed, 1);
+  EXPECT_DOUBLE_EQ(m.total_reward, 500.0);
+}
+
+TEST(FailureInjection, ZeroLengthOutageWindowIsANoop) {
+  // An empty window [5, 5) never activates: the run matches the fault-free
+  // run slot for slot even though the chaos path is engaged.
+  const mec::Topology topo = two_stations();
+  std::vector<mec::ARRequest> requests{stream(0, 50.0, 0, 4)};
+  const auto run = [&](std::vector<StationOutage> outages) {
+    OnlineParams params;
+    params.horizon_slots = 20;
+    params.outages = std::move(outages);
+    OnlineSimulator sim(topo, requests, {0}, params);
+    Station0Policy policy;
+    return sim.run(policy);
+  };
+  const auto healthy = run({});
+  const auto noop = run({{0, 5, 5}});
+  EXPECT_EQ(noop.displaced, 0);
+  EXPECT_EQ(noop.completed, 1);
+  EXPECT_EQ(noop.resilience.fault_epochs, 0);
+  EXPECT_EQ(noop.per_slot_reward, healthy.per_slot_reward);
+}
+
+TEST(FailureInjection, OutageFromSlotZeroDelaysButDoesNotDisplace) {
+  // The station is already down when the request arrives: placements are
+  // refused until slot 3, then it is placed normally — nothing was ever
+  // resident, so nothing is displaced and accounting stays consistent.
+  const mec::Topology topo = two_stations();
+  std::vector<mec::ARRequest> requests{stream(0, 50.0, 0, 4)};
+  OnlineParams params;
+  params.horizon_slots = 20;
+  params.outages = {{0, 0, 3}};
+  OnlineSimulator sim(topo, requests, {0}, params);
+  Station0Policy policy;
+  const auto m = sim.run(policy);
+  EXPECT_EQ(m.arrived, 1);
+  EXPECT_EQ(m.displaced, 0);
+  EXPECT_EQ(m.completed, 1);
+  EXPECT_EQ(m.completed + m.dropped + m.unfinished, m.arrived);
+  // Waiting through the outage is charged as experienced latency.
+  EXPECT_GE(m.avg_latency_ms, 3 * params.slot_ms);
+}
+
+TEST(FailureInjection, HomeStationOutageDoesNotDisplaceWaitingRequest) {
+  // Only RESIDENT streams are displaced. A waiting request whose home
+  // station dies simply gets placed elsewhere (home is the radio
+  // attachment, not a compute placement).
+  const mec::Topology topo = two_stations();
+  std::vector<mec::ARRequest> requests{stream(0, 50.0, 0, 4)};
+  OnlineParams params;
+  params.horizon_slots = 20;
+  params.outages = {{0, 0, 20}};  // home station down the whole horizon
+
+  class RemotePolicy final : public OnlinePolicy {
+   public:
+    SlotDecision decide(const SlotView& view) override {
+      SlotDecision d;
+      for (int j : view.pending) {
+        const RequestState& st = (*view.states)[static_cast<std::size_t>(j)];
+        d.active.push_back({j, st.phase == Phase::kServed ? st.station : 1});
+      }
+      return d;
+    }
+    std::string name() const override { return "Remote"; }
+  };
+
+  OnlineSimulator sim(topo, requests, {0}, params);
+  RemotePolicy policy;
+  const auto m = sim.run(policy);
+  EXPECT_EQ(m.displaced, 0);
+  EXPECT_EQ(m.completed, 1);
+  EXPECT_DOUBLE_EQ(m.total_reward, 500.0);
+}
+
 // End-to-end: every real policy survives a mid-horizon outage of the two
 // hottest stations without crashing, keeps all invariants, and completes a
 // sensible number of sessions.

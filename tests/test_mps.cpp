@@ -121,6 +121,46 @@ TEST(Mps, ReaderRejectsMalformedInput) {
   }
 }
 
+TEST(Mps, ParseErrorsCarryLineNumbersAndFieldNames) {
+  const auto failure = [](const std::string& text) {
+    std::stringstream ss(text);
+    try {
+      read_mps(ss);
+    } catch (const MpsParseError& e) {
+      return std::make_pair(e.line(), std::string(e.what()));
+    }
+    return std::make_pair(-1, std::string());
+  };
+  {
+    // Trailing junk in a coefficient: rejected, not truncated to 1.0.
+    const auto [line, what] =
+        failure("ROWS\n N  OBJ\n L  c\nCOLUMNS\n    x  c  1.0junk\n");
+    EXPECT_EQ(line, 5);
+    EXPECT_NE(what.find("read_mps: line 5"), std::string::npos);
+    EXPECT_NE(what.find("coefficient"), std::string::npos);
+    EXPECT_NE(what.find("1.0junk"), std::string::npos);
+  }
+  {
+    const auto [line, what] = failure(
+        "ROWS\n N  OBJ\n L  c\nCOLUMNS\n    x  c  1.0\n"
+        "RHS\n    RHS1  c  4q\n");
+    EXPECT_EQ(line, 7);
+    EXPECT_NE(what.find("RHS"), std::string::npos);
+  }
+  {
+    const auto [line, what] = failure(
+        "ROWS\n N  OBJ\n L  c\nCOLUMNS\n    x  c  1.0\n"
+        "BOUNDS\n UP BND1  x  high\n");
+    EXPECT_EQ(line, 7);
+    EXPECT_NE(what.find("upper bound"), std::string::npos);
+  }
+  {
+    const auto [line, what] = failure("FROBNICATE\n");
+    EXPECT_EQ(line, 1);
+    EXPECT_NE(what.find("unknown section"), std::string::npos);
+  }
+}
+
 TEST(Mps, NamesWithSpacesAreSanitized) {
   Model m;
   m.add_variable("my var", 1.0, 2.0);

@@ -55,6 +55,38 @@ TEST(FrameTrace, CsvRejectsMalformedRows) {
   EXPECT_THROW(FrameTrace::read_csv(ss2), std::invalid_argument);
 }
 
+TEST(FrameTrace, CsvParseErrorsCarryLineNumbersAndFieldNames) {
+  const auto failure = [](const std::string& text) {
+    std::stringstream ss(text);
+    try {
+      FrameTrace::read_csv(ss);
+    } catch (const TraceParseError& e) {
+      return std::make_pair(e.line(), std::string(e.what()));
+    }
+    return std::make_pair(-1, std::string());
+  };
+  {
+    // The bad row is named by its 1-based line number (header included).
+    const auto [line, what] =
+        failure("timestamp_ms,size_kb\n0.0,64\n5.0,junk\n");
+    EXPECT_EQ(line, 3);
+    EXPECT_NE(what.find("FrameTrace: line 3"), std::string::npos);
+    EXPECT_NE(what.find("size_kb"), std::string::npos);
+    EXPECT_NE(what.find("junk"), std::string::npos);
+  }
+  {
+    // Trailing junk on a numeric field is rejected, not truncated.
+    const auto [line, what] = failure("0.0x,64\n");
+    EXPECT_EQ(line, 1);
+    EXPECT_NE(what.find("timestamp_ms"), std::string::npos);
+  }
+  {
+    const auto [line, what] = failure("0.0,64\n1.0,64,99\n");
+    EXPECT_EQ(line, 2);
+    EXPECT_NE(what.find("2 fields"), std::string::npos);
+  }
+}
+
 TEST(SynthesizeTrace, MatchesBraudAggregates) {
   util::Rng rng(5);
   TraceParams params;  // 64 KB frames at 90-120 fps

@@ -8,6 +8,7 @@
 
 #include "util/cli.h"
 #include "util/log.h"
+#include "util/parse.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -307,6 +308,40 @@ TEST(Cli, FallbacksWhenAbsent) {
   EXPECT_FALSE(cli.has("x"));
   EXPECT_FALSE(cli.get("x").has_value());
   EXPECT_EQ(cli.get_or("name", "dflt"), "dflt");
+}
+
+TEST(Parse, DoubleConsumesTheWholeToken) {
+  EXPECT_EQ(parse_double("2.5"), 2.5);
+  EXPECT_EQ(parse_double("-1e3"), -1000.0);
+  EXPECT_TRUE(parse_double("inf").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("3.5x").has_value());  // trailing junk
+  EXPECT_FALSE(parse_double("x3.5").has_value());
+  EXPECT_FALSE(parse_double("1e999").has_value());  // overflow
+}
+
+TEST(Parse, IntRejectsTrailingJunkFractionsAndOverflow) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("12abs").has_value());  // stoll would yield 12
+  EXPECT_FALSE(parse_int("3.5").has_value());
+  EXPECT_FALSE(parse_int("99999999999999999999").has_value());
+}
+
+TEST(Cli, TrailingJunkIsNotSilentlyTruncated) {
+  const char* argv[] = {"prog", "--n=12abs", "--rate=3.5x"};
+  Cli cli(3, argv);
+  EXPECT_THROW(cli.get_int_or("n", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_double_or("rate", 0.0), std::invalid_argument);
+  try {
+    cli.get_int_or("n", 0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The diagnostic names the flag and the offending value.
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("12abs"), std::string::npos);
+  }
 }
 
 TEST(Cli, RejectsMalformedNumbers) {

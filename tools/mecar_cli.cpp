@@ -1,16 +1,20 @@
 // mecar command-line front-end.
 //
 // Subcommands:
-//   offline    run the offline algorithms on a generated instance
-//   online     run the online policies over a slotted horizon
-//   topology   generate a topology and print its stations/links as CSV
-//   trace      synthesize a frame-level AR session trace as CSV
-//   lp         dump the slot-indexed LP of an instance in MPS format
+//   offline     run the offline algorithms on a generated instance
+//   online      run the online policies over a slotted horizon
+//   resilience  run the online policies under an injected fault scenario
+//               (scripted --plan=FILE or seeded --chaos=INTENSITY) and
+//               print the resilience metrics per policy
+//   topology    generate a topology and print its stations/links as CSV
+//   trace       synthesize a frame-level AR session trace as CSV
+//   lp          dump the slot-indexed LP of an instance in MPS format
 //
 // Common flags: --seed=N --requests=N --stations=N. Subcommand-specific
 // flags are listed by `mecar_cli <subcommand> --help`.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "baselines/greedy.h"
 #include "baselines/heu_kkt.h"
@@ -23,6 +27,7 @@
 #include "mec/trace.h"
 #include "mec/workload.h"
 #include "sim/dynamic_rr.h"
+#include "sim/fault_plan.h"
 #include "sim/metrics.h"
 #include "sim/online_baselines.h"
 #include "util/cli.h"
@@ -136,6 +141,97 @@ int cmd_online(const util::Cli& cli) {
   return 0;
 }
 
+int cmd_resilience(const util::Cli& cli) {
+  const Common common = common_flags(cli);
+  const int horizon = static_cast<int>(cli.get_int_or("horizon", 600));
+  util::Rng rng(common.seed);
+  const mec::Topology topo = make_topology(common, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = common.requests;
+  wparams.horizon_slots = horizon;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto realized = core::realize_demand_levels(requests, rng);
+
+  // Fault scenario: a versioned script (--plan=FILE) or a seeded chaos
+  // draw (--chaos=INTENSITY). --emit-plan prints the active plan in the
+  // scenario format so a chaos draw can be saved and replayed.
+  sim::FaultPlan plan;
+  if (const auto path = cli.get("plan"); path && !path->empty()) {
+    std::ifstream file(*path);
+    if (!file) {
+      std::cerr << "mecar_cli: cannot open fault plan '" << *path << "'\n";
+      return 1;
+    }
+    plan = sim::read_fault_plan(file);
+  } else {
+    sim::ChaosParams chaos;
+    chaos.intensity = cli.get_double_or("chaos", 0.5);
+    util::Rng chaos_rng(static_cast<unsigned>(common.seed) * 2654435761u +
+                        17u);
+    plan = sim::generate_chaos(topo, chaos, horizon, chaos_rng);
+  }
+  plan.validate(topo);
+  if (cli.has("emit-plan")) {
+    sim::write_fault_plan(plan, std::cout);
+    std::cout << '\n';
+  }
+
+  sim::OnlineParams params;
+  params.horizon_slots = horizon;
+  util::Table table({"policy", "reward ($)", "retention", "displaced",
+                     "recovered", "mean rec (slots)", "drop starve",
+                     "drop fault", "drop cut"});
+  auto run = [&](sim::OnlinePolicy& healthy, sim::OnlinePolicy& policy) {
+    sim::OnlineSimulator ref_sim(topo, requests, realized, params);
+    const auto ref = ref_sim.run(healthy);
+    sim::OnlineParams faulted = params;
+    faulted.faults = plan;
+    sim::OnlineSimulator simulator(topo, requests, realized, faulted);
+    const auto m = simulator.run(policy);
+    const auto& rs = m.resilience;
+    table.add_row(
+        {policy.name(), util::format_double(m.total_reward, 1),
+         util::format_double(ref.total_reward > 0.0
+                                 ? m.total_reward / ref.total_reward
+                                 : 1.0,
+                             3),
+         std::to_string(m.displaced), std::to_string(rs.recovered),
+         util::format_double(rs.mean_recovery_slots, 2),
+         std::to_string(rs.dropped_starvation),
+         std::to_string(rs.dropped_fault),
+         std::to_string(rs.dropped_partition)});
+  };
+  {
+    sim::DynamicRrPolicy healthy(topo, core::AlgorithmParams{},
+                                 sim::DynamicRrParams{},
+                                 util::Rng(common.seed + 1));
+    sim::DynamicRrPolicy policy(topo, core::AlgorithmParams{},
+                                sim::DynamicRrParams{},
+                                util::Rng(common.seed + 1));
+    run(healthy, policy);
+  }
+  {
+    sim::GreedyOnlinePolicy healthy(topo, core::AlgorithmParams{});
+    sim::GreedyOnlinePolicy policy(topo, core::AlgorithmParams{});
+    run(healthy, policy);
+  }
+  {
+    sim::OcorpOnlinePolicy healthy(topo, core::AlgorithmParams{});
+    sim::OcorpOnlinePolicy policy(topo, core::AlgorithmParams{});
+    run(healthy, policy);
+  }
+  {
+    sim::HeuKktOnlinePolicy healthy(topo, core::AlgorithmParams{});
+    sim::HeuKktOnlinePolicy policy(topo, core::AlgorithmParams{});
+    run(healthy, policy);
+  }
+  table.print(std::cout, "resilience, " + std::to_string(plan.num_events()) +
+                             " fault events, horizon " +
+                             std::to_string(horizon) + " slots, seed " +
+                             std::to_string(common.seed));
+  return 0;
+}
+
 int cmd_topology(const util::Cli& cli) {
   const Common common = common_flags(cli);
   util::Rng rng(common.seed);
@@ -184,9 +280,12 @@ int cmd_lp(const util::Cli& cli) {
 
 void usage() {
   std::cout <<
-      "usage: mecar_cli <offline|online|topology|trace|lp> [flags]\n"
+      "usage: mecar_cli <offline|online|resilience|topology|trace|lp> "
+      "[flags]\n"
       "  common flags: --seed=N --requests=N --stations=N\n"
       "  online:       --horizon=N\n"
+      "  resilience:   --horizon=N --plan=FILE | --chaos=INTENSITY "
+      "[--emit-plan]\n"
       "  trace:        --duration=SECONDS --frame-kb=KB\n";
 }
 
@@ -202,6 +301,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "offline") return cmd_offline(cli);
     if (command == "online") return cmd_online(cli);
+    if (command == "resilience") return cmd_resilience(cli);
     if (command == "topology") return cmd_topology(cli);
     if (command == "trace") return cmd_trace(cli);
     if (command == "lp") return cmd_lp(cli);
