@@ -4,37 +4,50 @@
 //   A3  user-attachment skew: uniform vs Zipf hotspots
 //   A4  DynamicRR arm-selection rule: successive elimination vs fixed arms
 //       at the range endpoints (learning value)
+//   A5  DynamicRR learner ablation (UCB1, epsilon-greedy, Thompson, zooming)
+//   A6  backhaul bandwidth extension (bandwidth-blind vs -aware Appro)
+//
+// Every block is a small axis-less scenario over the engine; the engine
+// fans each block's seeds out over the thread pool and reduces in seed
+// order, so the printed tables are bit-identical to the old serial loops.
 //
 //   ./bench/ablations [--seeds=3]
 #include <iostream>
+#include <utility>
 
-#include "baselines/greedy.h"
-#include "baselines/heu_kkt.h"
-#include "bench/bench_util.h"
-#include "core/appro.h"
-#include "core/backhaul.h"
-#include "core/heu.h"
-#include "sim/dynamic_rr.h"
-#include "sim/online_sim.h"
+#include "exp/runner.h"
 #include "util/cli.h"
-#include "util/stats.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace mecar;
 
-benchx::Instance make_offline(unsigned seed, mec::RewardModel model,
-                              double skew) {
-  util::Rng rng(seed);
-  mec::Topology topo = mec::generate_topology({}, rng);
-  mec::WorkloadParams wparams;
-  wparams.num_requests = 250;
-  wparams.reward_model = model;
-  wparams.home_skew = skew;
-  auto requests = mec::generate_requests(wparams, topo, rng);
-  auto realized = core::realize_demand_levels(requests, rng);
-  return {std::move(topo), std::move(requests), std::move(realized)};
+exp::Report run_spec(exp::ScenarioSpec spec, int seeds) {
+  exp::Runner runner(std::move(spec));
+  runner.set_seeds(seeds);
+  return runner.run();
+}
+
+/// The shared offline ablation base: |R| = 250, legacy seed offset 9.
+exp::ScenarioSpec offline_base(const std::string& name) {
+  exp::ScenarioSpec spec;
+  spec.name = name;
+  spec.axis = exp::SweepAxis::kNone;
+  spec.base.num_requests = 250;
+  spec.policy_seed_offset = 9;
+  return spec;
+}
+
+/// The shared online ablation base: |R| = 300 on a 600-slot horizon.
+exp::ScenarioSpec online_base(const std::string& name) {
+  exp::ScenarioSpec spec;
+  spec.name = name;
+  spec.axis = exp::SweepAxis::kNone;
+  spec.base.num_requests = 300;
+  spec.horizon = 600;
+  spec.policy_seed_offset = 9;
+  return spec;
 }
 
 }  // namespace
@@ -42,9 +55,6 @@ benchx::Instance make_offline(unsigned seed, mec::RewardModel model,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int_or("seeds", 3));
-  // Every ablation block runs its seeds concurrently through sweep_seeds
-  // and reduces the ordered samples serially, so the printed tables are
-  // bit-identical to the old nested serial loops.
 
   // A1: rounding divisor x backfill.
   {
@@ -52,34 +62,17 @@ int main(int argc, char** argv) {
                        "admitted", "LP bound ($)"});
     for (double divisor : {1.0, 2.0, 4.0, 8.0}) {
       for (bool backfill : {false, true}) {
-        struct Sample {
-          double reward, admitted, bound;
-        };
-        const auto samples = benchx::sweep_seeds(
-            benchx::bench_seeds(seeds), [&](unsigned seed) {
-              const auto inst =
-                  make_offline(seed, mec::RewardModel::kIndependent, 1.0);
-              core::AlgorithmParams params;
-              params.rounding_divisor = divisor;
-              params.backfill = backfill;
-              util::Rng rng(seed + 9);
-              const auto res = core::run_appro(inst.topo, inst.requests,
-                                               inst.realized, params, rng);
-              return Sample{res.total_reward(),
-                            static_cast<double>(res.num_admitted()),
-                            res.lp_bound};
-            });
-        util::RunningStats reward, admitted, bound;
-        for (const Sample& sample : samples) {
-          reward.add(sample.reward);
-          admitted.add(sample.admitted);
-          bound.add(sample.bound);
-        }
-        table.add_row({util::format_double(divisor, 0),
-                       backfill ? "on" : "off",
-                       util::format_double(reward.mean(), 1),
-                       util::format_double(admitted.mean(), 1),
-                       util::format_double(bound.mean(), 1)});
+        exp::ScenarioSpec spec = offline_base("ablation_a1");
+        spec.alg.rounding_divisor = divisor;
+        spec.alg.backfill = backfill;
+        spec.policies = {{"Appro", "Appro"}};
+        spec.metrics = {"reward", "admitted", "lp_bound"};
+        const exp::Report report = run_spec(std::move(spec), seeds);
+        table.add_row(
+            {util::format_double(divisor, 0), backfill ? "on" : "off",
+             util::format_double(report.mean("reward", "Appro", 0), 1),
+             util::format_double(report.mean("admitted", "Appro", 0), 1),
+             util::format_double(report.mean("lp_bound", "Appro", 0), 1)});
       }
     }
     table.print(std::cout, "A1: Appro rounding divisor x backfill");
@@ -93,38 +86,21 @@ int main(int argc, char** argv) {
                        "Heu/Greedy"});
     for (const auto model : {mec::RewardModel::kIndependent,
                              mec::RewardModel::kProportional}) {
-      struct Sample {
-        double heu, greedy, kkt;
-      };
-      const auto samples = benchx::sweep_seeds(
-          benchx::bench_seeds(seeds), [&](unsigned seed) {
-            const auto inst = make_offline(seed, model, 1.0);
-            const core::AlgorithmParams params;
-            util::Rng rng(seed + 9);
-            return Sample{
-                core::run_heu(inst.topo, inst.requests, inst.realized, params,
-                              rng)
-                    .total_reward(),
-                baselines::run_greedy(inst.topo, inst.requests, inst.realized,
-                                      params)
-                    .total_reward(),
-                baselines::run_heu_kkt(inst.topo, inst.requests,
-                                       inst.realized, params)
-                    .total_reward()};
-          });
-      util::RunningStats heu, greedy, kkt;
-      for (const Sample& sample : samples) {
-        heu.add(sample.heu);
-        greedy.add(sample.greedy);
-        kkt.add(sample.kkt);
-      }
+      exp::ScenarioSpec spec = offline_base("ablation_a2");
+      spec.base.reward_model = model;
+      spec.policies = {{"Heu", "Heu"},
+                       {"offline:Greedy", "Greedy"},
+                       {"offline:HeuKKT", "HeuKKT"}};
+      spec.metrics = {"reward"};
+      const exp::Report report = run_spec(std::move(spec), seeds);
+      const double heu = report.mean("reward", "Heu", 0);
+      const double greedy = report.mean("reward", "Greedy", 0);
       table.add_row(
           {model == mec::RewardModel::kIndependent ? "independent (paper)"
                                                    : "proportional",
-           util::format_double(heu.mean(), 1),
-           util::format_double(greedy.mean(), 1),
-           util::format_double(kkt.mean(), 1),
-           util::format_double(heu.mean() / greedy.mean(), 2)});
+           util::format_double(heu, 1), util::format_double(greedy, 1),
+           util::format_double(report.mean("reward", "HeuKKT", 0), 1),
+           util::format_double(heu / greedy, 2)});
     }
     table.print(std::cout, "A2: demand-independent vs proportional rewards");
     std::cout << '\n';
@@ -135,32 +111,17 @@ int main(int argc, char** argv) {
     util::Table table(
         {"home skew", "Heu ($)", "Greedy ($)", "Heu/Greedy"});
     for (double skew : {0.0, 0.5, 1.0, 1.5}) {
-      struct Sample {
-        double heu, greedy;
-      };
-      const auto samples = benchx::sweep_seeds(
-          benchx::bench_seeds(seeds), [&](unsigned seed) {
-            const auto inst =
-                make_offline(seed, mec::RewardModel::kIndependent, skew);
-            const core::AlgorithmParams params;
-            util::Rng rng(seed + 9);
-            return Sample{
-                core::run_heu(inst.topo, inst.requests, inst.realized, params,
-                              rng)
-                    .total_reward(),
-                baselines::run_greedy(inst.topo, inst.requests, inst.realized,
-                                      params)
-                    .total_reward()};
-          });
-      util::RunningStats heu, greedy;
-      for (const Sample& sample : samples) {
-        heu.add(sample.heu);
-        greedy.add(sample.greedy);
-      }
+      exp::ScenarioSpec spec = offline_base("ablation_a3");
+      spec.base.home_skew = skew;
+      spec.policies = {{"Heu", "Heu"}, {"offline:Greedy", "Greedy"}};
+      spec.metrics = {"reward"};
+      const exp::Report report = run_spec(std::move(spec), seeds);
+      const double heu = report.mean("reward", "Heu", 0);
+      const double greedy = report.mean("reward", "Greedy", 0);
       table.add_row({util::format_double(skew, 1),
-                     util::format_double(heu.mean(), 1),
-                     util::format_double(greedy.mean(), 1),
-                     util::format_double(heu.mean() / greedy.mean(), 2)});
+                     util::format_double(heu, 1),
+                     util::format_double(greedy, 1),
+                     util::format_double(heu / greedy, 2)});
     }
     table.print(std::cout, "A3: global vs local strategies under hotspots");
     std::cout << '\n';
@@ -168,51 +129,18 @@ int main(int argc, char** argv) {
 
   // A4: learning value — DynamicRR vs the fixed endpoints of its range.
   {
+    exp::ScenarioSpec spec = online_base("ablation_a4");
+    spec.policies = {{"DynamicRR", "DynamicRR (learned)"},
+                     {"DynamicRR-fixed-min", "fixed min threshold"},
+                     {"DynamicRR-fixed-max", "fixed max threshold"}};
+    spec.metrics = {"reward", "drops"};
+    const exp::Report report = run_spec(std::move(spec), seeds);
     util::Table table({"policy", "total reward ($)", "dropped"});
-    struct Variant {
-      std::string name;
-      double lo, hi;
-      int kappa;
-    };
-    const sim::DynamicRrParams defaults;
-    const std::vector<Variant> variants{
-        {"DynamicRR (learned)", defaults.threshold_min_mhz,
-         defaults.threshold_max_mhz, defaults.kappa},
-        {"fixed min threshold", defaults.threshold_min_mhz,
-         defaults.threshold_min_mhz, 1},
-        {"fixed max threshold", defaults.threshold_max_mhz,
-         defaults.threshold_max_mhz, 1},
-    };
-    for (const auto& variant : variants) {
-      struct Sample {
-        double reward, dropped;
-      };
-      const auto samples = benchx::sweep_seeds(
-          benchx::bench_seeds(seeds), [&](unsigned seed) {
-            benchx::InstanceConfig config;
-            config.num_requests = 300;
-            config.horizon_slots = 600;
-            const auto inst = benchx::make_instance(seed, config);
-            sim::OnlineParams oparams;
-            oparams.horizon_slots = 600;
-            sim::DynamicRrParams dparams;
-            dparams.threshold_min_mhz = variant.lo;
-            dparams.threshold_max_mhz = variant.hi;
-            dparams.kappa = variant.kappa;
-            sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
-                                        dparams, util::Rng(seed + 9));
-            sim::OnlineSimulator simulator(inst.topo, inst.requests,
-                                           inst.realized, oparams);
-            const auto m = simulator.run(policy);
-            return Sample{m.total_reward, static_cast<double>(m.dropped)};
-          });
-      util::RunningStats reward, dropped;
-      for (const Sample& sample : samples) {
-        reward.add(sample.reward);
-        dropped.add(sample.dropped);
-      }
-      table.add_row({variant.name, util::format_double(reward.mean(), 1),
-                     util::format_double(dropped.mean(), 1)});
+    for (const std::string& policy : report.policies()) {
+      table.add_row(
+          {policy,
+           util::format_double(report.mean("reward", policy, 0), 1),
+           util::format_double(report.mean("drops", policy, 0), 1)});
     }
     table.print(std::cout, "A4: learned threshold vs fixed endpoints");
     std::cout << '\n';
@@ -222,43 +150,21 @@ int main(int argc, char** argv) {
   // UCB1, epsilon-greedy, Thompson sampling, and the zooming algorithm
   // (adaptive discretization of the Lipschitz interval).
   {
+    exp::ScenarioSpec spec = online_base("ablation_a5");
+    spec.policies = {
+        {"DynamicRR", "successive elimination (paper)"},
+        {"DynamicRR-ucb1", "UCB1"},
+        {"DynamicRR-epsilon", "epsilon-greedy"},
+        {"DynamicRR-thompson", "Thompson sampling"},
+        {"DynamicRR-zooming", "zooming (adaptive grid)"}};
+    spec.metrics = {"reward", "drops"};
+    const exp::Report report = run_spec(std::move(spec), seeds);
     util::Table table({"learner", "total reward ($)", "dropped"});
-    const std::vector<std::pair<std::string, sim::ThresholdLearner>> rules{
-        {"successive elimination (paper)",
-         sim::ThresholdLearner::kSuccessiveElimination},
-        {"UCB1", sim::ThresholdLearner::kUcb1},
-        {"epsilon-greedy", sim::ThresholdLearner::kEpsilonGreedy},
-        {"Thompson sampling", sim::ThresholdLearner::kThompson},
-        {"zooming (adaptive grid)", sim::ThresholdLearner::kZooming},
-    };
-    for (const auto& [name, learner] : rules) {
-      struct Sample {
-        double reward, dropped;
-      };
-      const auto samples = benchx::sweep_seeds(
-          benchx::bench_seeds(seeds), [&](unsigned seed) {
-            benchx::InstanceConfig config;
-            config.num_requests = 300;
-            config.horizon_slots = 600;
-            const auto inst = benchx::make_instance(seed, config);
-            sim::OnlineParams oparams;
-            oparams.horizon_slots = 600;
-            sim::DynamicRrParams dparams;
-            dparams.learner = learner;
-            sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
-                                        dparams, util::Rng(seed + 9));
-            sim::OnlineSimulator simulator(inst.topo, inst.requests,
-                                           inst.realized, oparams);
-            const auto m = simulator.run(policy);
-            return Sample{m.total_reward, static_cast<double>(m.dropped)};
-          });
-      util::RunningStats reward, dropped;
-      for (const Sample& sample : samples) {
-        reward.add(sample.reward);
-        dropped.add(sample.dropped);
-      }
-      table.add_row({name, util::format_double(reward.mean(), 1),
-                     util::format_double(dropped.mean(), 1)});
+    for (const std::string& policy : report.policies()) {
+      table.add_row(
+          {policy,
+           util::format_double(report.mean("reward", policy, 0), 1),
+           util::format_double(report.mean("drops", policy, 0), 1)});
     }
     table.print(std::cout, "A5: DynamicRR arm-selection rule");
     std::cout << '\n';
@@ -270,52 +176,21 @@ int main(int argc, char** argv) {
     util::Table table({"link bw (MB/s)", "blind audited ($)", "voided",
                        "aware audited ($)", "peak link util"});
     for (double bw : {1e9, 120.0, 60.0, 30.0}) {
-      struct Sample {
-        double blind_r, voided, aware_r, util_peak;
-      };
-      const auto samples = benchx::sweep_seeds(
-          benchx::bench_seeds(seeds), [&](unsigned seed) {
-            util::Rng rng(seed);
-            mec::TopologyParams tparams;
-            tparams.link_bandwidth_min_mbps = bw * 0.7;
-            tparams.link_bandwidth_max_mbps = bw * 1.3;
-            const mec::Topology topo = mec::generate_topology(tparams, rng);
-            mec::WorkloadParams wparams;
-            wparams.num_requests = 250;
-            wparams.home_skew = 1.5;
-            const auto requests = mec::generate_requests(wparams, topo, rng);
-            const auto realized = core::realize_demand_levels(requests, rng);
-
-            core::AlgorithmParams blind;
-            util::Rng r1(seed + 9);
-            auto blind_result =
-                core::run_appro(topo, requests, realized, blind, r1);
-            const auto audit =
-                core::apply_backhaul_audit(topo, requests, blind_result);
-
-            core::AlgorithmParams aware = blind;
-            aware.enforce_backhaul = true;
-            util::Rng r2(seed + 9);
-            auto aware_result =
-                core::run_appro(topo, requests, realized, aware, r2);
-            core::apply_backhaul_audit(topo, requests, aware_result);
-            return Sample{blind_result.total_reward(),
-                          static_cast<double>(audit.voided),
-                          aware_result.total_reward(),
-                          audit.peak_link_utilization};
-          });
-      util::RunningStats blind_r, voided, aware_r, util_peak;
-      for (const Sample& sample : samples) {
-        blind_r.add(sample.blind_r);
-        voided.add(sample.voided);
-        aware_r.add(sample.aware_r);
-        util_peak.add(sample.util_peak);
-      }
-      table.add_row({bw >= 1e8 ? "unbounded" : util::format_double(bw, 0),
-                     util::format_double(blind_r.mean(), 1),
-                     util::format_double(voided.mean(), 1),
-                     util::format_double(aware_r.mean(), 1),
-                     util::format_double(util_peak.mean(), 2)});
+      exp::ScenarioSpec spec = offline_base("ablation_a6");
+      spec.base.home_skew = 1.5;
+      spec.base.link_bandwidth_min_mbps = bw * 0.7;
+      spec.base.link_bandwidth_max_mbps = bw * 1.3;
+      spec.backhaul_audit = true;
+      spec.policies = {{"Appro", "blind"}, {"Appro-backhaul", "aware"}};
+      spec.metrics = {"reward", "voided", "peak_link_util"};
+      const exp::Report report = run_spec(std::move(spec), seeds);
+      table.add_row(
+          {bw >= 1e8 ? "unbounded" : util::format_double(bw, 0),
+           util::format_double(report.mean("reward", "blind", 0), 1),
+           util::format_double(report.mean("voided", "blind", 0), 1),
+           util::format_double(report.mean("reward", "aware", 0), 1),
+           util::format_double(report.mean("peak_link_util", "blind", 0),
+                               2)});
     }
     table.print(std::cout,
                 "A6: backhaul bandwidth extension (blind vs aware Appro)");

@@ -1,104 +1,28 @@
-// Shared plumbing for the figure-reproduction drivers: instance
-// construction with the paper's section VI-A defaults, seed-averaged
-// series collection, and the parallel trial sweep every driver runs its
-// seeds through. Each driver prints the exact series of one paper figure
-// as an aligned table plus a CSV block.
+// Shared plumbing for the micro benches. Instance construction, the seed
+// schedule, the parallel seed sweep, and series collection now live in the
+// scenario engine (src/exp/); this header re-exports them under the
+// historical benchx names and keeps only the serial-vs-parallel timing
+// snapshot used by micro_parallel.
 #pragma once
 
 #include <fstream>
-#include <map>
-#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "core/types.h"
-#include "mec/topology.h"
-#include "mec/workload.h"
+#include "exp/instance.h"
+#include "exp/report.h"
+#include "util/json_writer.h"
 #include "util/parallel.h"
-#include "util/rng.h"
-#include "util/stats.h"
 
 namespace mecar::benchx {
 
-/// One simulation instance: network + workload + pre-drawn realizations
-/// (common random numbers across all algorithms under comparison).
-struct Instance {
-  mec::Topology topo;
-  std::vector<mec::ARRequest> requests;
-  std::vector<std::size_t> realized;
-};
-
-struct InstanceConfig {
-  int num_requests = 150;
-  int num_stations = 20;
-  double rate_min = 30.0;
-  double rate_max = 50.0;
-  int horizon_slots = 0;  // 0 = offline
-};
-
-inline Instance make_instance(unsigned seed, const InstanceConfig& config) {
-  util::Rng rng(seed);
-  mec::TopologyParams tparams;
-  tparams.num_stations = config.num_stations;
-  mec::Topology topo = mec::generate_topology(tparams, rng);
-  mec::WorkloadParams wparams;
-  wparams.num_requests = config.num_requests;
-  wparams.rate_min = config.rate_min;
-  wparams.rate_max = config.rate_max;
-  wparams.horizon_slots = config.horizon_slots;
-  auto requests = mec::generate_requests(wparams, topo, rng);
-  auto realized = core::realize_demand_levels(requests, rng);
-  return Instance{std::move(topo), std::move(requests), std::move(realized)};
-}
-
-/// Accumulates named series over sweep points: series["Appro"] is the
-/// vector of y-values, one per sweep point, averaged over seeds.
-class SeriesCollector {
- public:
-  explicit SeriesCollector(std::vector<std::string> names) {
-    for (auto& name : names) series_[std::move(name)];
-  }
-
-  /// Starts a new sweep point (call once per x value).
-  void start_point() {
-    for (auto& [name, values] : series_) {
-      values.emplace_back();
-    }
-  }
-
-  /// Adds one seed's sample at the current sweep point.
-  void add(const std::string& name, double value) {
-    series_.at(name).back().add(value);
-  }
-
-  double mean_at(const std::string& name, std::size_t point) const {
-    return series_.at(name).at(point).mean();
-  }
-
- private:
-  std::map<std::string, std::vector<util::RunningStats>> series_;
-};
-
-/// Default seeds a bench averages over (override with --seeds=N).
-inline std::vector<unsigned> bench_seeds(int count) {
-  std::vector<unsigned> seeds;
-  for (int i = 0; i < count; ++i) {
-    seeds.push_back(7u + 1000u * static_cast<unsigned>(i));
-  }
-  return seeds;
-}
-
-/// Runs trial(seed) for every seed across the process thread pool
-/// (MECAR_THREADS cores; serial when 1) and returns the results in seed
-/// order. Each trial must derive all randomness from its seed; the caller
-/// reduces the ordered results serially, so the emitted figures are
-/// bit-identical to a serial sweep.
-template <typename Trial>
-auto sweep_seeds(const std::vector<unsigned>& seeds, Trial&& trial)
-    -> std::vector<decltype(trial(0u))> {
-  return util::parallel_map(
-      seeds.size(), [&](std::size_t i) { return trial(seeds[i]); });
-}
+using Instance = exp::Instance;
+using InstanceConfig = exp::InstanceConfig;
+using SeriesCollector = exp::SeriesCollector;
+using exp::bench_seeds;
+using exp::make_instance;
+using exp::sweep_seeds;
 
 /// One serial-vs-parallel timing entry of the BENCH_parallel.json snapshot.
 struct ParallelTiming {
@@ -111,29 +35,31 @@ struct ParallelTiming {
 };
 
 /// Writes the timing snapshot consumed by CI dashboards. Schema:
-/// {"threads": N, "entries": [{"name", "serial_ms", "parallel_ms",
-/// "speedup", ...extra}]}. Returns false when the file cannot be written.
+/// {"threads": N, "entries": [{"name", "threads", "serial_ms",
+/// "parallel_ms", "speedup", ...extra}]}. Returns false when the file
+/// cannot be written.
 inline bool write_parallel_snapshot(const std::string& path,
                                     const std::vector<ParallelTiming>& rows) {
-  std::ostringstream out;
-  out << "{\n  \"threads\": " << util::default_thread_count()
-      << ",\n  \"entries\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const ParallelTiming& row = rows[i];
+  std::ofstream file(path);
+  util::JsonWriter w(file);
+  w.begin_object();
+  w.field("threads", util::default_thread_count());
+  w.key("entries").begin_array();
+  for (const ParallelTiming& row : rows) {
     const double speedup =
         row.parallel_ms > 0.0 ? row.serial_ms / row.parallel_ms : 0.0;
-    out << "    {\"name\": \"" << row.name << "\", \"threads\": "
-        << row.threads << ", \"serial_ms\": " << row.serial_ms
-        << ", \"parallel_ms\": " << row.parallel_ms
-        << ", \"speedup\": " << speedup;
-    for (const auto& [key, value] : row.extra) {
-      out << ", \"" << key << "\": " << value;
-    }
-    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    w.begin_object();
+    w.field("name", row.name);
+    w.field("threads", row.threads);
+    w.field("serial_ms", row.serial_ms);
+    w.field("parallel_ms", row.parallel_ms);
+    w.field("speedup", speedup);
+    for (const auto& [key, value] : row.extra) w.field(key, value);
+    w.end_object();
   }
-  out << "  ]\n}\n";
-  std::ofstream file(path);
-  file << out.str();
+  w.end_array();
+  w.end_object();
+  w.done();
   return file.good();
 }
 

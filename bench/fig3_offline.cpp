@@ -2,137 +2,62 @@
 // HeuKKT over |R| in {100, 150, 200, 250, 300}.
 //   (a) total reward   (b) average request latency   (c) running time
 //
-//   ./bench/fig3_offline [--seeds=3] [--points=100,150,200,250,300]
+// A thin spec over the scenario engine (see scenarios/fig3_offline.scenario
+// for the equivalent `mecar_cli experiment` input).
+//
+//   ./bench/fig3_offline [--seeds=3]
 #include <iostream>
 
-#include "baselines/greedy.h"
-#include "baselines/heu_kkt.h"
-#include "baselines/ocorp.h"
-#include "bench/bench_util.h"
-#include "core/appro.h"
-#include "core/heu.h"
+#include "exp/runner.h"
 #include "util/cli.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace mecar;
   const util::Cli cli(argc, argv);
-  const int seeds = static_cast<int>(cli.get_int_or("seeds", 3));
-  const std::vector<int> points{100, 150, 200, 250, 300};
-  const std::vector<std::string> algos{"Appro", "Heu", "Greedy", "OCORP",
-                                       "HeuKKT"};
 
-  benchx::SeriesCollector reward(algos);
-  benchx::SeriesCollector latency(algos);
-  benchx::SeriesCollector runtime(algos);
+  exp::ScenarioSpec spec;
+  spec.name = "fig3_offline";
+  spec.axis = exp::SweepAxis::kRequests;
+  spec.points = {100, 150, 200, 250, 300};
+  spec.horizon = 0;
+  spec.policies = {{"Appro", "Appro"},
+                   {"Heu", "Heu"},
+                   {"offline:Greedy", "Greedy"},
+                   {"offline:OCORP", "OCORP"},
+                   {"offline:HeuKKT", "HeuKKT"}};
+  spec.metrics = {"reward", "latency", "runtime_ms"};
 
-  // Seeds run concurrently on the process pool; the figure series (reward,
-  // latency) are deterministic per seed, so the ordered reduction matches
-  // the serial sweep exactly. Fig 3(c)'s runtimes are wall-clock and vary
-  // run to run either way.
-  struct Sample {
-    double reward[5];
-    double latency[5];
-    double runtime[5];
-  };
-  for (int num_requests : points) {
-    reward.start_point();
-    latency.start_point();
-    runtime.start_point();
-    const auto samples = benchx::sweep_seeds(
-        benchx::bench_seeds(seeds), [&](unsigned seed) {
-          benchx::InstanceConfig config;
-          config.num_requests = num_requests;
-          const auto inst = benchx::make_instance(seed, config);
-          const core::AlgorithmParams params;
+  exp::Runner runner(std::move(spec));
+  runner.set_seeds(static_cast<int>(cli.get_int_or("seeds", 3)));
+  const exp::Report report = runner.run();
 
-          Sample sample{};
-          auto record = [&](std::size_t slot, const core::OffloadResult& res,
-                            double ms) {
-            sample.reward[slot] = res.total_reward();
-            sample.latency[slot] = res.average_latency_ms();
-            sample.runtime[slot] = ms;
-          };
-          {
-            util::Rng rng(seed + 1);
-            util::Timer t;
-            const auto res = core::run_appro(inst.topo, inst.requests,
-                                             inst.realized, params, rng);
-            record(0, res, t.elapsed_ms());
-          }
-          {
-            util::Rng rng(seed + 1);
-            util::Timer t;
-            const auto res = core::run_heu(inst.topo, inst.requests,
-                                           inst.realized, params, rng);
-            record(1, res, t.elapsed_ms());
-          }
-          {
-            util::Timer t;
-            record(2,
-                   baselines::run_greedy(inst.topo, inst.requests,
-                                         inst.realized, params),
-                   t.elapsed_ms());
-          }
-          {
-            util::Timer t;
-            record(3,
-                   baselines::run_ocorp(inst.topo, inst.requests,
-                                        inst.realized, params),
-                   t.elapsed_ms());
-          }
-          {
-            util::Timer t;
-            record(4,
-                   baselines::run_heu_kkt(inst.topo, inst.requests,
-                                          inst.realized, params),
-                   t.elapsed_ms());
-          }
-          return sample;
-        });
-    for (const Sample& sample : samples) {
-      for (std::size_t a = 0; a < algos.size(); ++a) {
-        reward.add(algos[a], sample.reward[a]);
-        latency.add(algos[a], sample.latency[a]);
-        runtime.add(algos[a], sample.runtime[a]);
-      }
-    }
-  }
-
-  auto emit = [&](const std::string& title, const benchx::SeriesCollector& s,
-                  int precision) {
-    std::vector<std::string> header{"|R|"};
-    header.insert(header.end(), algos.begin(), algos.end());
-    util::Table table(header);
-    for (std::size_t p = 0; p < points.size(); ++p) {
-      std::vector<double> row;
-      for (const auto& a : algos) row.push_back(s.mean_at(a, p));
-      table.add_numeric_row(std::to_string(points[p]), row, precision);
-    }
-    table.print(std::cout, title);
-    std::cout << '\n';
-  };
-
-  emit("Fig 3(a): total reward ($) vs number of requests", reward, 1);
-  emit("Fig 3(b): average latency (ms) vs number of requests", latency, 2);
-  emit("Fig 3(c): running time (ms) vs number of requests", runtime, 2);
+  report.print_metric_table(
+      std::cout, "Fig 3(a): total reward ($) vs number of requests", "reward",
+      1);
+  report.print_metric_table(
+      std::cout, "Fig 3(b): average latency (ms) vs number of requests",
+      "latency", 2);
+  report.print_metric_table(
+      std::cout, "Fig 3(c): running time (ms) vs number of requests",
+      "runtime_ms", 2);
 
   // Headline check (section VI-B / abstract): Appro and Heu vs HeuKKT at
   // the largest request count.
-  const std::size_t last = points.size() - 1;
-  const double kkt = reward.mean_at("HeuKKT", last);
+  const std::size_t last = report.num_points() - 1;
+  const double kkt = report.mean("reward", "HeuKKT", last);
   std::cout << "headline: Appro/HeuKKT = "
-            << util::format_double(reward.mean_at("Appro", last) / kkt, 3)
+            << util::format_double(report.mean("reward", "Appro", last) / kkt,
+                                   3)
             << " (paper ~1.09), Heu/HeuKKT = "
-            << util::format_double(reward.mean_at("Heu", last) / kkt, 3)
+            << util::format_double(report.mean("reward", "Heu", last) / kkt, 3)
             << " (paper ~1.17), Heu/Greedy = "
-            << util::format_double(reward.mean_at("Heu", last) /
-                                       reward.mean_at("Greedy", last),
+            << util::format_double(report.mean("reward", "Heu", last) /
+                                       report.mean("reward", "Greedy", last),
                                    3)
             << " (paper ~2.01), Heu/OCORP = "
-            << util::format_double(reward.mean_at("Heu", last) /
-                                       reward.mean_at("OCORP", last),
+            << util::format_double(report.mean("reward", "Heu", last) /
+                                       report.mean("reward", "OCORP", last),
                                    3)
             << " (paper ~1.61)\n";
   return 0;

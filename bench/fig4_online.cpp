@@ -2,115 +2,54 @@
 // HeuKKT over |R| in {100, 150, 200, 250, 300} on a 600-slot horizon.
 //   (a) total reward   (b) average request latency
 //
+// A thin spec over the scenario engine (see scenarios/fig4_online.scenario
+// for the equivalent `mecar_cli experiment` input).
+//
 //   ./bench/fig4_online [--seeds=3] [--horizon=600]
 #include <iostream>
-#include <memory>
 
-#include "bench/bench_util.h"
-#include "sim/dynamic_rr.h"
-#include "sim/online_baselines.h"
-#include "sim/online_sim.h"
+#include "exp/runner.h"
 #include "util/cli.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace mecar;
   const util::Cli cli(argc, argv);
-  const int seeds = static_cast<int>(cli.get_int_or("seeds", 3));
-  const int horizon = static_cast<int>(cli.get_int_or("horizon", 600));
-  const std::vector<int> points{100, 150, 200, 250, 300};
-  const std::vector<std::string> algos{"DynamicRR", "Greedy", "OCORP",
-                                       "HeuKKT"};
 
-  benchx::SeriesCollector reward(algos);
-  benchx::SeriesCollector latency(algos);
-  benchx::SeriesCollector drops(algos);
+  exp::ScenarioSpec spec;
+  spec.name = "fig4_online";
+  spec.axis = exp::SweepAxis::kRequests;
+  spec.points = {100, 150, 200, 250, 300};
+  spec.horizon = 600;
+  spec.policies = {{"DynamicRR", "DynamicRR"},
+                   {"online:Greedy", "Greedy"},
+                   {"online:OCORP", "OCORP"},
+                   {"online:HeuKKT", "HeuKKT"}};
+  spec.metrics = {"reward", "latency", "drops"};
 
-  // One trial = one (sweep point, seed) pair; trials are independent and
-  // fully determined by their seed, so the pool runs them concurrently and
-  // the ordered reduction below reproduces the serial output bit for bit.
-  struct Sample {
-    double reward[4];
-    double latency[4];
-    double drops[4];
-  };
-  for (int num_requests : points) {
-    reward.start_point();
-    latency.start_point();
-    drops.start_point();
-    const auto samples = benchx::sweep_seeds(
-        benchx::bench_seeds(seeds), [&](unsigned seed) {
-          benchx::InstanceConfig config;
-          config.num_requests = num_requests;
-          config.horizon_slots = horizon;
-          const auto inst = benchx::make_instance(seed, config);
-          sim::OnlineParams params;
-          params.horizon_slots = horizon;
+  exp::Runner runner(std::move(spec));
+  runner.set_seeds(static_cast<int>(cli.get_int_or("seeds", 3)));
+  runner.set_horizon(static_cast<int>(cli.get_int_or("horizon", 600)));
+  const exp::Report report = runner.run();
 
-          Sample sample{};
-          auto run = [&](std::size_t slot, sim::OnlinePolicy& policy) {
-            sim::OnlineSimulator simulator(inst.topo, inst.requests,
-                                           inst.realized, params);
-            const auto m = simulator.run(policy);
-            sample.reward[slot] = m.total_reward;
-            sample.latency[slot] = m.avg_latency_ms;
-            sample.drops[slot] = m.dropped;
-          };
-          {
-            sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
-                                        sim::DynamicRrParams{},
-                                        util::Rng(seed + 1));
-            run(0, policy);
-          }
-          {
-            sim::GreedyOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
-            run(1, policy);
-          }
-          {
-            sim::OcorpOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
-            run(2, policy);
-          }
-          {
-            sim::HeuKktOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
-            run(3, policy);
-          }
-          return sample;
-        });
-    for (const Sample& sample : samples) {
-      for (std::size_t a = 0; a < algos.size(); ++a) {
-        reward.add(algos[a], sample.reward[a]);
-        latency.add(algos[a], sample.latency[a]);
-        drops.add(algos[a], sample.drops[a]);
-      }
-    }
-  }
+  report.print_metric_table(
+      std::cout, "Fig 4(a): total reward ($) vs number of requests", "reward",
+      1);
+  report.print_metric_table(
+      std::cout, "Fig 4(b): average latency (ms) vs number of requests",
+      "latency", 2);
+  report.print_metric_table(
+      std::cout, "Fig 4(+): starved requests vs number of requests", "drops",
+      1);
 
-  auto emit = [&](const std::string& title, const benchx::SeriesCollector& s,
-                  int precision) {
-    std::vector<std::string> header{"|R|"};
-    header.insert(header.end(), algos.begin(), algos.end());
-    util::Table table(header);
-    for (std::size_t p = 0; p < points.size(); ++p) {
-      std::vector<double> row;
-      for (const auto& a : algos) row.push_back(s.mean_at(a, p));
-      table.add_numeric_row(std::to_string(points[p]), row, precision);
-    }
-    table.print(std::cout, title);
-    std::cout << '\n';
-  };
-
-  emit("Fig 4(a): total reward ($) vs number of requests", reward, 1);
-  emit("Fig 4(b): average latency (ms) vs number of requests", latency, 2);
-  emit("Fig 4(+): starved requests vs number of requests", drops, 1);
-
-  const std::size_t last = points.size() - 1;
+  const std::size_t last = report.num_points() - 1;
   std::cout << "headline: DynamicRR/HeuKKT = "
-            << util::format_double(reward.mean_at("DynamicRR", last) /
-                                       reward.mean_at("HeuKKT", last),
+            << util::format_double(report.mean("reward", "DynamicRR", last) /
+                                       report.mean("reward", "HeuKKT", last),
                                    3)
             << " (paper: DynamicRR above HeuKKT), DynamicRR/OCORP = "
-            << util::format_double(reward.mean_at("DynamicRR", last) /
-                                       reward.mean_at("OCORP", last),
+            << util::format_double(report.mean("reward", "DynamicRR", last) /
+                                       report.mean("reward", "OCORP", last),
                                    3)
             << '\n';
   return 0;

@@ -4,117 +4,44 @@
 //
 // Offline algorithms run on the offline instance; DynamicRR runs the
 // 600-slot online instance on the same topology (as in the paper, the
-// figure overlays offline and online algorithms).
+// figure overlays offline and online algorithms). A thin spec over the
+// scenario engine (see scenarios/fig5_stations.scenario).
 //
 //   ./bench/fig5_stations [--seeds=3]
 #include <iostream>
 
-#include "baselines/greedy.h"
-#include "baselines/heu_kkt.h"
-#include "baselines/ocorp.h"
-#include "bench/bench_util.h"
-#include "core/appro.h"
-#include "core/heu.h"
-#include "sim/dynamic_rr.h"
-#include "sim/online_sim.h"
+#include "exp/runner.h"
 #include "util/cli.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace mecar;
   const util::Cli cli(argc, argv);
-  const int seeds = static_cast<int>(cli.get_int_or("seeds", 3));
-  const std::vector<int> points{10, 20, 30, 40, 50};
-  const std::vector<std::string> algos{"Appro",  "Heu",   "DynamicRR",
-                                       "Greedy", "OCORP", "HeuKKT"};
 
-  benchx::SeriesCollector reward(algos);
-  benchx::SeriesCollector latency(algos);
+  exp::ScenarioSpec spec;
+  spec.name = "fig5_stations";
+  spec.axis = exp::SweepAxis::kStations;
+  spec.points = {10, 20, 30, 40, 50};
+  spec.horizon = 600;
+  spec.base.num_requests = 150;
+  spec.policies = {{"Appro", "Appro"},
+                   {"Heu", "Heu"},
+                   {"DynamicRR", "DynamicRR"},
+                   {"offline:Greedy", "Greedy"},
+                   {"offline:OCORP", "OCORP"},
+                   {"offline:HeuKKT", "HeuKKT"}};
+  spec.metrics = {"reward", "latency"};
 
-  // Seeds run concurrently (see bench_util.h); the ordered reduction keeps
-  // the printed figure bit-identical to the serial sweep. Slot order
-  // follows `algos`: Appro, Heu, DynamicRR, Greedy, OCORP, HeuKKT.
-  struct Sample {
-    double reward[6];
-    double latency[6];
-  };
-  for (int num_stations : points) {
-    reward.start_point();
-    latency.start_point();
-    const auto samples = benchx::sweep_seeds(
-        benchx::bench_seeds(seeds), [&](unsigned seed) {
-          benchx::InstanceConfig config;
-          config.num_requests = 150;
-          config.num_stations = num_stations;
-          const auto inst = benchx::make_instance(seed, config);
-          const core::AlgorithmParams params;
+  exp::Runner runner(std::move(spec));
+  runner.set_seeds(static_cast<int>(cli.get_int_or("seeds", 3)));
+  const exp::Report report = runner.run();
 
-          Sample sample{};
-          auto record = [&](std::size_t slot, const core::OffloadResult& res) {
-            sample.reward[slot] = res.total_reward();
-            sample.latency[slot] = res.average_latency_ms();
-          };
-          {
-            util::Rng rng(seed + 1);
-            record(0, core::run_appro(inst.topo, inst.requests, inst.realized,
-                                      params, rng));
-          }
-          {
-            util::Rng rng(seed + 1);
-            record(1, core::run_heu(inst.topo, inst.requests, inst.realized,
-                                    params, rng));
-          }
-          record(3, baselines::run_greedy(inst.topo, inst.requests,
-                                          inst.realized, params));
-          record(4, baselines::run_ocorp(inst.topo, inst.requests,
-                                         inst.realized, params));
-          record(5, baselines::run_heu_kkt(inst.topo, inst.requests,
-                                           inst.realized, params));
-          {
-            // Online instance on the same topology scale.
-            benchx::InstanceConfig online_config = config;
-            online_config.horizon_slots = 600;
-            const auto online_inst = benchx::make_instance(seed, online_config);
-            sim::OnlineParams oparams;
-            oparams.horizon_slots = 600;
-            sim::DynamicRrPolicy policy(online_inst.topo,
-                                        core::AlgorithmParams{},
-                                        sim::DynamicRrParams{},
-                                        util::Rng(seed + 1));
-            sim::OnlineSimulator simulator(online_inst.topo,
-                                           online_inst.requests,
-                                           online_inst.realized, oparams);
-            const auto m = simulator.run(policy);
-            sample.reward[2] = m.total_reward;
-            sample.latency[2] = m.avg_latency_ms;
-          }
-          return sample;
-        });
-    for (const Sample& sample : samples) {
-      for (std::size_t a = 0; a < algos.size(); ++a) {
-        reward.add(algos[a], sample.reward[a]);
-        latency.add(algos[a], sample.latency[a]);
-      }
-    }
-  }
-
-  auto emit = [&](const std::string& title, const benchx::SeriesCollector& s,
-                  int precision) {
-    std::vector<std::string> header{"|BS|"};
-    header.insert(header.end(), algos.begin(), algos.end());
-    util::Table table(header);
-    for (std::size_t p = 0; p < points.size(); ++p) {
-      std::vector<double> row;
-      for (const auto& a : algos) row.push_back(s.mean_at(a, p));
-      table.add_numeric_row(std::to_string(points[p]), row, precision);
-    }
-    table.print(std::cout, title);
-    std::cout << '\n';
-  };
-
-  emit("Fig 5(a): total reward ($) vs number of base stations", reward, 1);
-  emit("Fig 5(b): average latency (ms) vs number of base stations", latency,
-       2);
+  report.print_metric_table(
+      std::cout, "Fig 5(a): total reward ($) vs number of base stations",
+      "reward", 1);
+  report.print_metric_table(
+      std::cout, "Fig 5(b): average latency (ms) vs number of base stations",
+      "latency", 2);
 
   std::cout << "shape: reward should grow with |BS| (more capacity), latency "
                "should fall (closer placements)\n";

@@ -3,108 +3,48 @@
 // (|R| = 150, 600-slot horizon).
 //   (a) total reward   (b) average request latency
 //
+// A thin spec over the scenario engine (see scenarios/fig6_rate.scenario).
+// DynamicRR's threshold range scales with the demand support per sweep
+// point, as the provider would (C_unit * rates).
+//
 //   ./bench/fig6_rate [--seeds=3]
 #include <iostream>
 
-#include "bench/bench_util.h"
-#include "sim/dynamic_rr.h"
-#include "sim/online_baselines.h"
-#include "sim/online_sim.h"
+#include "exp/runner.h"
 #include "util/cli.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace mecar;
   const util::Cli cli(argc, argv);
-  const int seeds = static_cast<int>(cli.get_int_or("seeds", 3));
-  const std::vector<double> points{15.0, 20.0, 25.0, 30.0, 35.0};
-  const std::vector<std::string> algos{"DynamicRR", "Greedy", "OCORP",
-                                       "HeuKKT"};
 
-  benchx::SeriesCollector reward(algos);
-  benchx::SeriesCollector latency(algos);
+  exp::ScenarioSpec spec;
+  spec.name = "fig6_rate";
+  spec.axis = exp::SweepAxis::kRateMax;
+  spec.points = {15.0, 20.0, 25.0, 30.0, 35.0};
+  spec.horizon = 600;
+  // Smaller rates mean lighter requests; a larger request pool keeps the
+  // network in the contended regime the figure studies.
+  spec.base.num_requests = 350;
+  spec.base.rate_min = 10.0;  // the sweep moves only the maximum
+  spec.scale_thresholds = true;
+  spec.threshold_headroom = 5.0;
+  spec.policies = {{"DynamicRR", "DynamicRR"},
+                   {"online:Greedy", "Greedy"},
+                   {"online:OCORP", "OCORP"},
+                   {"online:HeuKKT", "HeuKKT"}};
+  spec.metrics = {"reward", "latency"};
 
-  // Seeds run concurrently (see bench_util.h); the ordered reduction keeps
-  // the printed figure bit-identical to the serial sweep. Slot order
-  // follows `algos`: DynamicRR, Greedy, OCORP, HeuKKT.
-  struct Sample {
-    double reward[4];
-    double latency[4];
-  };
-  for (double rate_max : points) {
-    reward.start_point();
-    latency.start_point();
-    const auto samples = benchx::sweep_seeds(
-        benchx::bench_seeds(seeds), [&](unsigned seed) {
-          benchx::InstanceConfig config;
-          // Smaller rates mean lighter requests; a larger request pool keeps
-          // the network in the contended regime the figure studies.
-          config.num_requests = 350;
-          config.rate_min = 10.0;  // the sweep moves only the maximum
-          config.rate_max = rate_max;
-          config.horizon_slots = 600;
-          const auto inst = benchx::make_instance(seed, config);
-          sim::OnlineParams params;
-          params.horizon_slots = 600;
+  exp::Runner runner(std::move(spec));
+  runner.set_seeds(static_cast<int>(cli.get_int_or("seeds", 3)));
+  const exp::Report report = runner.run();
 
-          Sample sample{};
-          auto run = [&](std::size_t slot, sim::OnlinePolicy& policy) {
-            sim::OnlineSimulator simulator(inst.topo, inst.requests,
-                                           inst.realized, params);
-            const auto m = simulator.run(policy);
-            sample.reward[slot] = m.total_reward;
-            sample.latency[slot] = m.avg_latency_ms;
-          };
-          {
-            // Scale the threshold range with the demand support, as the
-            // provider would (C_unit * rates).
-            sim::DynamicRrParams dparams;
-            dparams.threshold_min_mhz = 10.0 * core::AlgorithmParams{}.c_unit;
-            dparams.threshold_max_mhz =
-                (rate_max + 5.0) * core::AlgorithmParams{}.c_unit;
-            sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{},
-                                        dparams, util::Rng(seed + 1));
-            run(0, policy);
-          }
-          {
-            sim::GreedyOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
-            run(1, policy);
-          }
-          {
-            sim::OcorpOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
-            run(2, policy);
-          }
-          {
-            sim::HeuKktOnlinePolicy policy(inst.topo, core::AlgorithmParams{});
-            run(3, policy);
-          }
-          return sample;
-        });
-    for (const Sample& sample : samples) {
-      for (std::size_t a = 0; a < algos.size(); ++a) {
-        reward.add(algos[a], sample.reward[a]);
-        latency.add(algos[a], sample.latency[a]);
-      }
-    }
-  }
-
-  auto emit = [&](const std::string& title, const benchx::SeriesCollector& s,
-                  int precision) {
-    std::vector<std::string> header{"max rate (MB/s)"};
-    header.insert(header.end(), algos.begin(), algos.end());
-    util::Table table(header);
-    for (std::size_t p = 0; p < points.size(); ++p) {
-      std::vector<double> row;
-      for (const auto& a : algos) row.push_back(s.mean_at(a, p));
-      table.add_numeric_row(util::format_double(points[p], 0), row,
-                            precision);
-    }
-    table.print(std::cout, title);
-    std::cout << '\n';
-  };
-
-  emit("Fig 6(a): total reward ($) vs maximum data rate", reward, 1);
-  emit("Fig 6(b): average latency (ms) vs maximum data rate", latency, 2);
+  report.print_metric_table(std::cout,
+                            "Fig 6(a): total reward ($) vs maximum data rate",
+                            "reward", 1);
+  report.print_metric_table(
+      std::cout, "Fig 6(b): average latency (ms) vs maximum data rate",
+      "latency", 2);
 
   std::cout << "shape: reward and latency should both grow with the maximum "
                "data rate\n";

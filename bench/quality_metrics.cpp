@@ -2,81 +2,50 @@
 // online policies compare on tail latency, service fairness (Jain index
 // over per-stream service ratios), and network utilization?
 //
+// A single axis-less scenario with collect_detail on (see
+// scenarios/quality_metrics.scenario); the transposed policy table comes
+// straight from the report.
+//
 //   ./bench/quality_metrics [--seeds=3] [--requests=250]
 #include <iostream>
+#include <string>
 
-#include "bench/bench_util.h"
-#include "sim/dynamic_rr.h"
-#include "sim/metrics.h"
-#include "sim/online_baselines.h"
+#include "exp/runner.h"
 #include "util/cli.h"
-#include "util/stats.h"
-#include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace mecar;
   const util::Cli cli(argc, argv);
-  const int seeds = static_cast<int>(cli.get_int_or("seeds", 3));
   const int num_requests = static_cast<int>(cli.get_int_or("requests", 250));
-  const int horizon = 600;
 
-  util::Table table({"policy", "reward ($)", "p50 lat (ms)", "p95 lat (ms)",
-                     "fairness (Jain)", "mean util", "peak util"});
+  exp::ScenarioSpec spec;
+  spec.name = "quality_metrics";
+  spec.axis = exp::SweepAxis::kNone;
+  spec.horizon = 600;
+  spec.base.num_requests = num_requests;
+  spec.collect_detail = true;
+  spec.policies = {{"DynamicRR", "DynamicRR"},
+                   {"online:Greedy", "Greedy"},
+                   {"online:OCORP", "OCORP"},
+                   {"online:HeuKKT", "HeuKKT"}};
+  spec.metrics = {"reward",   "latency_p50", "latency_p95",
+                  "fairness", "mean_util",   "peak_util"};
 
-  struct Acc {
-    util::RunningStats reward, p50, p95, fair, mean_util, peak_util;
-  };
-  auto run_policy = [&](const std::string& name, auto make_policy) {
-    Acc acc;
-    for (unsigned seed : benchx::bench_seeds(seeds)) {
-      benchx::InstanceConfig config;
-      config.num_requests = num_requests;
-      config.horizon_slots = horizon;
-      const auto inst = benchx::make_instance(seed, config);
-      sim::OnlineParams params;
-      params.horizon_slots = horizon;
-      params.collect_detail = true;
-      auto policy = make_policy(inst.topo, seed);
-      sim::OnlineSimulator simulator(inst.topo, inst.requests, inst.realized,
-                                     params);
-      const auto m = simulator.run(*policy);
-      const auto s = sim::summarize(m);
-      acc.reward.add(m.total_reward);
-      acc.p50.add(s.latency_p50_ms);
-      acc.p95.add(s.latency_p95_ms);
-      acc.fair.add(s.service_fairness);
-      acc.mean_util.add(s.mean_utilization);
-      acc.peak_util.add(s.peak_utilization);
-    }
-    table.add_row({name, util::format_double(acc.reward.mean(), 1),
-                   util::format_double(acc.p50.mean(), 1),
-                   util::format_double(acc.p95.mean(), 1),
-                   util::format_double(acc.fair.mean(), 3),
-                   util::format_double(acc.mean_util.mean(), 3),
-                   util::format_double(acc.peak_util.mean(), 3)});
-  };
+  exp::Runner runner(std::move(spec));
+  runner.set_seeds(static_cast<int>(cli.get_int_or("seeds", 3)));
+  const exp::Report report = runner.run();
 
-  run_policy("DynamicRR", [&](const mec::Topology& topo, unsigned seed) {
-    return std::make_unique<sim::DynamicRrPolicy>(
-        topo, core::AlgorithmParams{}, sim::DynamicRrParams{},
-        util::Rng(seed + 1));
-  });
-  run_policy("Greedy", [&](const mec::Topology& topo, unsigned) {
-    return std::make_unique<sim::GreedyOnlinePolicy>(topo,
-                                                     core::AlgorithmParams{});
-  });
-  run_policy("OCORP", [&](const mec::Topology& topo, unsigned) {
-    return std::make_unique<sim::OcorpOnlinePolicy>(topo,
-                                                    core::AlgorithmParams{});
-  });
-  run_policy("HeuKKT", [&](const mec::Topology& topo, unsigned) {
-    return std::make_unique<sim::HeuKktOnlinePolicy>(topo,
-                                                     core::AlgorithmParams{});
-  });
-
-  table.print(std::cout, "service quality at |R| = " +
-                             std::to_string(num_requests) +
-                             " over a 30 s horizon");
+  report.print_policy_table(
+      std::cout,
+      "service quality at |R| = " + std::to_string(num_requests) +
+          " over a 30 s horizon",
+      "policy",
+      {{"reward", "reward ($)", 1},
+       {"latency_p50", "p50 lat (ms)", 1},
+       {"latency_p95", "p95 lat (ms)", 1},
+       {"fairness", "fairness (Jain)", 3},
+       {"mean_util", "mean util", 3},
+       {"peak_util", "peak util", 3}});
   std::cout << "\nreward-aware admission should not cost tail latency or "
                "fairness: DynamicRR's p95 and Jain index stay comparable to "
                "the reservation baselines while its reward leads\n";

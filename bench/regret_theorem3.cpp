@@ -1,7 +1,9 @@
 // Theorem 3 validation: the regret of DynamicRR's threshold learning is
 // O(sqrt(kappa T log T) + T eta epsilon).
 //
-// Two experiments:
+// Two experiments, both kRegret scenarios over the engine (the runner
+// fans the (seed, arm) hindsight sweep and the learned runs out as one
+// flat task list; see scenarios/regret_growth.scenario):
 //  (1) regret growth in T: cumulative regret of DynamicRR relative to the
 //      best FIXED threshold (oracle chosen in hindsight among the arms) on
 //      the same workload; the per-round regret must shrink with T and the
@@ -13,117 +15,41 @@
 #include <cmath>
 #include <iostream>
 
-#include "bench/bench_util.h"
-#include "sim/dynamic_rr.h"
-#include "sim/online_sim.h"
+#include "exp/runner.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
 
-namespace {
-
-using namespace mecar;
-
-/// Total reward of DynamicRR with learning on.
-double learned_reward(const benchx::Instance& inst, int horizon, int kappa,
-                      unsigned seed) {
-  sim::OnlineParams params;
-  params.horizon_slots = horizon;
-  sim::DynamicRrParams dparams;
-  dparams.kappa = kappa;
-  sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{}, dparams,
-                              util::Rng(seed));
-  sim::OnlineSimulator simulator(inst.topo, inst.requests, inst.realized,
-                                 params);
-  return simulator.run(policy).total_reward;
-}
-
-/// Reward of one fixed threshold run as a constant policy (a kappa = 1
-/// grid centred on the value) — one arm of the hindsight oracle.
-double fixed_arm_reward(const benchx::Instance& inst, int horizon,
-                        double threshold_mhz, unsigned seed) {
-  sim::OnlineParams params;
-  params.horizon_slots = horizon;
-  sim::DynamicRrParams dparams;
-  dparams.kappa = 1;
-  dparams.threshold_min_mhz = threshold_mhz;
-  dparams.threshold_max_mhz = threshold_mhz;
-  sim::DynamicRrPolicy policy(inst.topo, core::AlgorithmParams{}, dparams,
-                              util::Rng(seed));
-  sim::OnlineSimulator simulator(inst.topo, inst.requests, inst.realized,
-                                 params);
-  return simulator.run(policy).total_reward;
-}
-
-struct RegretPoint {
-  double fixed_mean = 0.0;
-  double learned_mean = 0.0;
-};
-
-/// Evaluates one sweep point: for every seed, the learned DynamicRR run
-/// plus the per-arm hindsight sweep (the best FIXED threshold among the
-/// kappa grid values). All (seed, arm) runs and the learned runs are
-/// independent, so they form one flat task list for the thread pool;
-/// the reduction below walks it in seed order, so means match the serial
-/// nested loops exactly.
-RegretPoint evaluate_point(const std::vector<unsigned>& seeds,
-                           int num_requests, int horizon, int kappa) {
-  const sim::DynamicRrParams defaults;
-  const bandit::LipschitzGrid grid(defaults.threshold_min_mhz,
-                                   defaults.threshold_max_mhz, kappa);
-  const std::size_t arms = static_cast<std::size_t>(grid.num_arms());
-  // Task layout per seed s: indices [s*(arms+1), s*(arms+1)+arms) are the
-  // fixed-arm runs, index s*(arms+1)+arms is the learned run.
-  const std::size_t per_seed = arms + 1;
-  const auto rewards = util::parallel_map(
-      seeds.size() * per_seed, [&](std::size_t i) {
-        const unsigned seed = seeds[i / per_seed];
-        const std::size_t k = i % per_seed;
-        benchx::InstanceConfig config;
-        config.num_requests = num_requests;
-        config.horizon_slots = horizon;
-        const auto inst = benchx::make_instance(seed, config);
-        if (k < arms) {
-          return fixed_arm_reward(inst, horizon,
-                                  grid.value(static_cast<int>(k)), seed + 1);
-        }
-        return learned_reward(inst, horizon, kappa, seed + 1);
-      });
-  util::RunningStats fixed_stats, learned_stats;
-  for (std::size_t s = 0; s < seeds.size(); ++s) {
-    double best = 0.0;
-    for (std::size_t k = 0; k < arms; ++k) {
-      best = std::max(best, rewards[s * per_seed + k]);
-    }
-    fixed_stats.add(best);
-    learned_stats.add(rewards[s * per_seed + arms]);
-  }
-  return RegretPoint{fixed_stats.mean(), learned_stats.mean()};
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace mecar;
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int_or("seeds", 3));
 
   // (1) Regret vs horizon T.
-  const std::vector<int> horizons{200, 400, 800, 1600};
+  exp::ScenarioSpec growth_spec;
+  growth_spec.name = "regret_growth";
+  growth_spec.kind = exp::ScenarioKind::kRegret;
+  growth_spec.axis = exp::SweepAxis::kHorizon;
+  growth_spec.points = {200, 400, 800, 1600};
+  // Arrival intensity held constant as T grows.
+  growth_spec.requests_per_slot = 0.5;
+  growth_spec.rr.kappa = 4;
+  exp::Runner growth_runner(std::move(growth_spec));
+  growth_runner.set_seeds(seeds);
+  const exp::Report growth_report = growth_runner.run();
+
   util::Table growth({"T (slots)", "best fixed ($)", "DynamicRR ($)",
                       "regret ($)", "regret/T"});
   std::vector<double> log_t, log_regret;
-  for (int horizon : horizons) {
-    // Arrival intensity held constant as T grows.
-    const RegretPoint point =
-        evaluate_point(benchx::bench_seeds(seeds), horizon / 2, horizon, 4);
-    const double regret =
-        std::max(0.0, point.fixed_mean - point.learned_mean);
-    growth.add_numeric_row(
-        std::to_string(horizon),
-        {point.fixed_mean, point.learned_mean, regret, regret / horizon},
-        2);
+  for (std::size_t p = 0; p < growth_report.num_points(); ++p) {
+    const double horizon = growth_report.points()[p];
+    const double fixed = growth_report.mean("reward", "best fixed", p);
+    const double learned = growth_report.mean("reward", "DynamicRR", p);
+    const double regret = std::max(0.0, fixed - learned);
+    growth.add_numeric_row(growth_report.point_labels()[p],
+                           {fixed, learned, regret, regret / horizon}, 2);
     if (regret > 0.0) {
-      log_t.push_back(std::log(static_cast<double>(horizon)));
+      log_t.push_back(std::log(horizon));
       log_regret.push_back(std::log(regret));
     }
   }
@@ -140,17 +66,24 @@ int main(int argc, char** argv) {
   std::cout << '\n';
 
   // (2) kappa ablation at fixed T.
-  const int horizon = 600;
+  exp::ScenarioSpec kappa_spec;
+  kappa_spec.name = "regret_kappa";
+  kappa_spec.kind = exp::ScenarioKind::kRegret;
+  kappa_spec.axis = exp::SweepAxis::kKappa;
+  kappa_spec.points = {2, 4, 8, 16};
+  kappa_spec.horizon = 600;
+  kappa_spec.base.num_requests = 300;
+  exp::Runner kappa_runner(std::move(kappa_spec));
+  kappa_runner.set_seeds(seeds);
+  const exp::Report kappa_report = kappa_runner.run();
+
   util::Table ablation(
       {"kappa", "best fixed ($)", "DynamicRR ($)", "regret ($)"});
-  for (int kappa : {2, 4, 8, 16}) {
-    const RegretPoint point =
-        evaluate_point(benchx::bench_seeds(seeds), 300, horizon, kappa);
-    ablation.add_numeric_row(
-        std::to_string(kappa),
-        {point.fixed_mean, point.learned_mean,
-         point.fixed_mean - point.learned_mean},
-        2);
+  for (std::size_t p = 0; p < kappa_report.num_points(); ++p) {
+    const double fixed = kappa_report.mean("reward", "best fixed", p);
+    const double learned = kappa_report.mean("reward", "DynamicRR", p);
+    ablation.add_numeric_row(kappa_report.point_labels()[p],
+                             {fixed, learned, fixed - learned}, 2);
   }
   ablation.print(std::cout,
                  "Theorem 3: discretization ablation (T = 600, |R| = 300)");

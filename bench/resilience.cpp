@@ -4,6 +4,10 @@
 // outages, capacity brownouts, link cuts and latency inflation — see
 // sim/fault_plan.h) and compares against the same seed's fault-free run.
 //
+// A chaos-axis scenario over the engine (see scenarios/resilience.scenario);
+// the per-trial accounting invariants are verified through the runner's
+// observer hook during the deterministic reduction.
+//
 // Reported per policy: mean reward, reward retention (faulted / fault-free,
 // common random numbers), displacement + recovery counts, and the
 // drop-cause breakdown (starvation vs fault vs partition).
@@ -12,147 +16,51 @@
 //
 // --snapshot writes BENCH_resilience.json; --smoke runs a reduced sweep and
 // verifies the resilience-accounting invariants (exit 1 on violation).
-#include <array>
-#include <cmath>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.h"
-#include "sim/dynamic_rr.h"
+#include "exp/runner.h"
 #include "sim/fault_plan.h"
-#include "sim/online_baselines.h"
-#include "sim/online_sim.h"
 #include "util/cli.h"
-#include "util/stats.h"
-#include "util/table.h"
+#include "util/json_writer.h"
 
 namespace {
 
 using namespace mecar;
 
-constexpr std::size_t kNumPolicies = 4;
-const std::array<std::string, kNumPolicies> kPolicies = {
-    "DynamicRR", "Greedy", "OCORP", "HeuKKT"};
-
-std::unique_ptr<sim::OnlinePolicy> make_policy(std::size_t k,
-                                               const mec::Topology& topo,
-                                               unsigned seed) {
-  switch (k) {
-    case 0:
-      return std::make_unique<sim::DynamicRrPolicy>(
-          topo, core::AlgorithmParams{}, sim::DynamicRrParams{},
-          util::Rng(seed + 1));
-    case 1:
-      return std::make_unique<sim::GreedyOnlinePolicy>(topo,
-                                                       core::AlgorithmParams{});
-    case 2:
-      return std::make_unique<sim::OcorpOnlinePolicy>(topo,
-                                                      core::AlgorithmParams{});
-    default:
-      return std::make_unique<sim::HeuKktOnlinePolicy>(
-          topo, core::AlgorithmParams{});
-  }
-}
-
-/// One policy's outcome on one (seed, intensity) cell, plus the same seed's
-/// fault-free reward for the retention ratio.
-struct PolicyOutcome {
-  double reward = 0.0;
-  double baseline_reward = 0.0;
-  int arrived = 0;
-  int completed = 0;
-  int dropped = 0;
-  int unfinished = 0;
-  int displaced = 0;
-  sim::ResilienceReport resilience;
-};
-
-struct TrialOut {
-  std::array<PolicyOutcome, kNumPolicies> policy;
-};
-
-struct SweepConfig {
-  int num_requests = 250;
-  int horizon = 600;
-  int seeds = 3;
-};
-
-TrialOut run_trial(unsigned seed, double intensity, const SweepConfig& cfg) {
-  benchx::InstanceConfig iconfig;
-  iconfig.num_requests = cfg.num_requests;
-  iconfig.horizon_slots = cfg.horizon;
-  const benchx::Instance inst = benchx::make_instance(seed, iconfig);
-
-  sim::FaultPlan plan;
-  if (intensity > 0.0) {
-    sim::ChaosParams chaos;
-    chaos.intensity = intensity;
-    // The plan derives entirely from the trial seed (offset so the chaos
-    // stream is independent of the workload stream) — reproducible under
-    // MECAR_THREADS parallelism.
-    util::Rng chaos_rng(seed * 2654435761u + 17u);
-    plan = sim::generate_chaos(inst.topo, chaos, cfg.horizon, chaos_rng);
-  }
-
-  TrialOut out;
-  for (std::size_t k = 0; k < kNumPolicies; ++k) {
-    sim::OnlineParams params;
-    params.horizon_slots = cfg.horizon;
-
-    // Fault-free reference with common random numbers.
-    auto ref_policy = make_policy(k, inst.topo, seed);
-    sim::OnlineSimulator ref_sim(inst.topo, inst.requests, inst.realized,
-                                 params);
-    const sim::OnlineMetrics ref = ref_sim.run(*ref_policy);
-
-    sim::OnlineMetrics faulted = ref;
-    if (!plan.empty()) {
-      params.faults = plan;
-      auto policy = make_policy(k, inst.topo, seed);
-      sim::OnlineSimulator faulted_sim(inst.topo, inst.requests,
-                                       inst.realized, params);
-      faulted = faulted_sim.run(*policy);
-    }
-
-    PolicyOutcome& po = out.policy[k];
-    po.reward = faulted.total_reward;
-    po.baseline_reward = ref.total_reward;
-    po.arrived = faulted.arrived;
-    po.completed = faulted.completed;
-    po.dropped = faulted.dropped;
-    po.unfinished = faulted.unfinished;
-    po.displaced = faulted.displaced;
-    po.resilience = faulted.resilience;
-  }
-  return out;
-}
-
 /// Accounting invariants every run must satisfy (the --smoke contract).
 /// Returns a description of the first violation, or "" when clean.
-std::string check_invariants(const PolicyOutcome& po) {
+std::string check_invariants(const std::map<std::string, double>& m) {
   std::ostringstream why;
-  const auto& rs = po.resilience;
-  if (po.completed + po.dropped + po.unfinished != po.arrived) {
-    why << "request conservation: " << po.completed << "+" << po.dropped
-        << "+" << po.unfinished << " != " << po.arrived;
-  } else if (rs.dropped_starvation + rs.dropped_fault + rs.dropped_partition !=
-             po.dropped) {
-    why << "drop-cause breakdown: " << rs.dropped_starvation << "+"
-        << rs.dropped_fault << "+" << rs.dropped_partition
-        << " != " << po.dropped;
-  } else if (rs.displaced_outage + rs.displaced_partition != po.displaced) {
-    why << "displacement breakdown: " << rs.displaced_outage << "+"
-        << rs.displaced_partition << " != " << po.displaced;
-  } else if (rs.recovered + rs.unrecovered > po.displaced) {
-    why << "recovered " << rs.recovered << " + unrecovered " << rs.unrecovered
-        << " > displaced " << po.displaced;
-  } else if (rs.recovered == 0 && rs.mean_recovery_slots != 0.0) {
+  const double arrived = m.at("arrived");
+  const double completed = m.at("completed");
+  const double dropped = m.at("drops");
+  const double unfinished = m.at("unfinished");
+  const double displaced = m.at("displaced");
+  const double starved = m.at("dropped_starvation");
+  const double fault = m.at("dropped_fault");
+  const double partition = m.at("dropped_partition");
+  const double recovered = m.at("recovered");
+  const double unrecovered = m.at("unrecovered");
+  if (completed + dropped + unfinished != arrived) {
+    why << "request conservation: " << completed << "+" << dropped << "+"
+        << unfinished << " != " << arrived;
+  } else if (starved + fault + partition != dropped) {
+    why << "drop-cause breakdown: " << starved << "+" << fault << "+"
+        << partition << " != " << dropped;
+  } else if (m.at("displaced_outage") + m.at("displaced_partition") !=
+             displaced) {
+    why << "displacement breakdown: " << m.at("displaced_outage") << "+"
+        << m.at("displaced_partition") << " != " << displaced;
+  } else if (recovered + unrecovered > displaced) {
+    why << "recovered " << recovered << " + unrecovered " << unrecovered
+        << " > displaced " << displaced;
+  } else if (recovered == 0 && m.at("mean_recovery_slots") != 0.0) {
     why << "mean recovery time without recoveries";
-  } else if (rs.fault_dropped_expected_reward < 0.0) {
+  } else if (m.at("fault_dropped_expected_reward") < 0.0) {
     why << "negative fault-dropped reward";
   }
   return why.str();
@@ -165,22 +73,40 @@ int main(int argc, char** argv) {
     const util::Cli cli(argc, argv);
     const bool smoke = cli.has("smoke");
 
-    SweepConfig cfg;
-    std::vector<double> intensities{0.0, 0.25, 0.5, 0.75, 1.0};
+    exp::ScenarioSpec spec;
+    spec.name = "resilience";
+    spec.axis = exp::SweepAxis::kChaosIntensity;
+    spec.points = {0.0, 0.25, 0.5, 0.75, 1.0};
+    spec.horizon = 600;
+    spec.base.num_requests = 250;
+    int default_seeds = 3;
     if (smoke) {
-      cfg.num_requests = 60;
-      cfg.horizon = 150;
-      cfg.seeds = 2;
-      intensities = {0.0, 0.75};
+      spec.base.num_requests = 60;
+      spec.horizon = 150;
+      default_seeds = 2;
+      spec.points = {0.0, 0.75};
     }
-    cfg.seeds = static_cast<int>(cli.get_int_or("seeds", cfg.seeds));
+    const int seeds =
+        static_cast<int>(cli.get_int_or("seeds", default_seeds));
+    spec.policies = {{"DynamicRR", "DynamicRR"},
+                     {"online:Greedy", "Greedy"},
+                     {"online:OCORP", "OCORP"},
+                     {"online:HeuKKT", "HeuKKT"}};
+    spec.metrics = {"reward",
+                    "retention",
+                    "displaced",
+                    "recovered",
+                    "mean_recovery_slots",
+                    "dropped_starvation",
+                    "dropped_fault",
+                    "dropped_partition"};
 
     // Chaos plans must be a pure function of the seed: two generations
     // from equal seeds serialize identically (parallel sweeps depend on
     // this).
     {
-      const benchx::Instance inst =
-          benchx::make_instance(7u, benchx::InstanceConfig{});
+      const exp::Instance inst =
+          exp::make_instance(7u, exp::InstanceConfig{});
       sim::ChaosParams chaos;
       chaos.intensity = 1.0;
       util::Rng r1(12345u);
@@ -197,128 +123,84 @@ int main(int argc, char** argv) {
       }
     }
 
-    const std::vector<unsigned> seeds = benchx::bench_seeds(cfg.seeds);
-    const std::vector<std::string> names(kPolicies.begin(), kPolicies.end());
-    benchx::SeriesCollector reward(names);
-    benchx::SeriesCollector retention(names);
-    benchx::SeriesCollector displaced(names);
-    benchx::SeriesCollector recovered(names);
-    benchx::SeriesCollector recovery_slots(names);
-    benchx::SeriesCollector drop_starved(names);
-    benchx::SeriesCollector drop_fault(names);
-    benchx::SeriesCollector drop_partition(names);
     int violations = 0;
-
-    for (double intensity : intensities) {
-      reward.start_point();
-      retention.start_point();
-      displaced.start_point();
-      recovered.start_point();
-      recovery_slots.start_point();
-      drop_starved.start_point();
-      drop_fault.start_point();
-      drop_partition.start_point();
-
-      // Seeds fan out over the process thread pool; the reduction below is
-      // serial and in seed order, so output is bit-identical to a serial
-      // sweep.
-      const std::vector<TrialOut> trials = benchx::sweep_seeds(
-          seeds,
-          [&](unsigned seed) { return run_trial(seed, intensity, cfg); });
-
-      for (std::size_t t = 0; t < trials.size(); ++t) {
-        for (std::size_t k = 0; k < kNumPolicies; ++k) {
-          const PolicyOutcome& po = trials[t].policy[k];
-          const std::string bad = check_invariants(po);
-          if (!bad.empty()) {
-            ++violations;
-            std::cerr << "INVARIANT VIOLATION [" << kPolicies[k] << ", seed "
-                      << seeds[t] << ", intensity " << intensity
-                      << "]: " << bad << '\n';
-          }
-          if (intensity == 0.0 && po.reward != po.baseline_reward) {
-            ++violations;
-            std::cerr << "INVARIANT VIOLATION [" << kPolicies[k]
-                      << "]: empty fault plan changed the reward\n";
-          }
-          reward.add(kPolicies[k], po.reward);
-          retention.add(kPolicies[k],
-                        po.baseline_reward > 0.0
-                            ? po.reward / po.baseline_reward
-                            : 1.0);
-          displaced.add(kPolicies[k], po.displaced);
-          recovered.add(kPolicies[k], po.resilience.recovered);
-          recovery_slots.add(kPolicies[k], po.resilience.mean_recovery_slots);
-          drop_starved.add(kPolicies[k], po.resilience.dropped_starvation);
-          drop_fault.add(kPolicies[k], po.resilience.dropped_fault);
-          drop_partition.add(kPolicies[k], po.resilience.dropped_partition);
-        }
+    exp::Runner runner(spec);
+    runner.set_seeds(seeds);
+    runner.set_observer([&](const exp::TrialObservation& obs) {
+      const auto& m = *obs.metrics;
+      const std::string bad = check_invariants(m);
+      if (!bad.empty()) {
+        ++violations;
+        std::cerr << "INVARIANT VIOLATION [" << *obs.policy << ", seed "
+                  << obs.seed << ", intensity " << obs.point_value
+                  << "]: " << bad << '\n';
       }
-    }
-
-    auto emit = [&](const std::string& title,
-                    const benchx::SeriesCollector& s, int precision) {
-      std::vector<std::string> header{"intensity"};
-      header.insert(header.end(), names.begin(), names.end());
-      util::Table table(header);
-      for (std::size_t p = 0; p < intensities.size(); ++p) {
-        std::vector<double> row;
-        for (const auto& a : names) row.push_back(s.mean_at(a, p));
-        table.add_numeric_row(util::format_double(intensities[p], 2), row,
-                              precision);
+      if (obs.point_value == 0.0 &&
+          m.at("reward") != m.at("baseline_reward")) {
+        ++violations;
+        std::cerr << "INVARIANT VIOLATION [" << *obs.policy
+                  << "]: empty fault plan changed the reward\n";
       }
-      table.print(std::cout, title);
-      std::cout << '\n';
-    };
+    });
+    const exp::Report report = runner.run();
 
-    emit("Resilience: total reward ($) vs chaos intensity", reward, 1);
-    emit("Resilience: reward retention (faulted / fault-free)", retention, 3);
-    emit("Resilience: displacement events", displaced, 1);
-    emit("Resilience: displaced streams re-placed", recovered, 1);
-    emit("Resilience: mean recovery time (slots)", recovery_slots, 2);
-    emit("Resilience: starvation drops", drop_starved, 1);
-    emit("Resilience: fault-attributed drops", drop_fault, 1);
-    emit("Resilience: partition-attributed drops", drop_partition, 1);
+    report.print_metric_table(
+        std::cout, "Resilience: total reward ($) vs chaos intensity",
+        "reward", 1);
+    report.print_metric_table(
+        std::cout, "Resilience: reward retention (faulted / fault-free)",
+        "retention", 3);
+    report.print_metric_table(std::cout, "Resilience: displacement events",
+                              "displaced", 1);
+    report.print_metric_table(std::cout,
+                              "Resilience: displaced streams re-placed",
+                              "recovered", 1);
+    report.print_metric_table(std::cout,
+                              "Resilience: mean recovery time (slots)",
+                              "mean_recovery_slots", 2);
+    report.print_metric_table(std::cout, "Resilience: starvation drops",
+                              "dropped_starvation", 1);
+    report.print_metric_table(std::cout, "Resilience: fault-attributed drops",
+                              "dropped_fault", 1);
+    report.print_metric_table(std::cout,
+                              "Resilience: partition-attributed drops",
+                              "dropped_partition", 1);
 
     if (cli.has("snapshot")) {
       const std::string path =
           cli.get_or("snapshot", "").empty() ? "BENCH_resilience.json"
                                              : cli.get_or("snapshot", "");
-      std::ostringstream js;
-      js << "{\n  \"intensities\": [";
-      for (std::size_t p = 0; p < intensities.size(); ++p) {
-        js << (p ? ", " : "") << intensities[p];
-      }
-      js << "],\n  \"seeds\": " << cfg.seeds
-         << ",\n  \"policies\": {\n";
-      auto series = [&](const benchx::SeriesCollector& s,
-                        const std::string& name) {
-        std::ostringstream o;
-        o << "[";
-        for (std::size_t p = 0; p < intensities.size(); ++p) {
-          o << (p ? ", " : "") << s.mean_at(name, p);
-        }
-        o << "]";
-        return o.str();
-      };
-      for (std::size_t k = 0; k < kNumPolicies; ++k) {
-        const std::string& name = kPolicies[k];
-        js << "    \"" << name << "\": {\n"
-           << "      \"reward\": " << series(reward, name) << ",\n"
-           << "      \"retention\": " << series(retention, name) << ",\n"
-           << "      \"displaced\": " << series(displaced, name) << ",\n"
-           << "      \"recovered\": " << series(recovered, name) << ",\n"
-           << "      \"mean_recovery_slots\": "
-           << series(recovery_slots, name) << ",\n"
-           << "      \"dropped_starvation\": " << series(drop_starved, name)
-           << ",\n"
-           << "      \"dropped_fault\": " << series(drop_fault, name) << ",\n"
-           << "      \"dropped_partition\": " << series(drop_partition, name)
-           << "\n    }" << (k + 1 < kNumPolicies ? "," : "") << "\n";
-      }
-      js << "  }\n}\n";
       std::ofstream file(path);
-      file << js.str();
+      util::JsonWriter w(file);
+      w.begin_object();
+      w.key("intensities").begin_array();
+      for (const double intensity : report.points()) w.value(intensity);
+      w.end_array();
+      w.field("seeds", seeds);
+      w.key("policies").begin_object();
+      for (const std::string& name : report.policies()) {
+        w.key(name).begin_object();
+        const std::vector<std::pair<std::string, std::string>> series{
+            {"reward", "reward"},
+            {"retention", "retention"},
+            {"displaced", "displaced"},
+            {"recovered", "recovered"},
+            {"mean_recovery_slots", "mean_recovery_slots"},
+            {"dropped_starvation", "dropped_starvation"},
+            {"dropped_fault", "dropped_fault"},
+            {"dropped_partition", "dropped_partition"}};
+        for (const auto& [key, metric] : series) {
+          w.key(key).begin_array();
+          for (std::size_t p = 0; p < report.num_points(); ++p) {
+            w.value(report.mean(metric, name, p));
+          }
+          w.end_array();
+        }
+        w.end_object();
+      }
+      w.end_object();
+      w.end_object();
+      w.done();
       if (!file.good()) {
         std::cerr << "FAIL: could not write snapshot " << path << '\n';
         return 1;

@@ -1,0 +1,263 @@
+#include "exp/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/greedy.h"
+#include "baselines/heu_kkt.h"
+#include "baselines/ocorp.h"
+#include "core/appro.h"
+#include "core/exact.h"
+#include "core/heu.h"
+#include "sim/online_baselines.h"
+
+namespace mecar::exp {
+
+namespace {
+
+std::string known_list(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+/// DynamicRR with a fixed learner, overriding whatever the scenario set.
+PolicyRegistry::OnlineFn dynamic_rr_with(sim::ThresholdLearner learner) {
+  return [learner](const mec::Topology& topo,
+                   const core::AlgorithmParams& params,
+                   const sim::DynamicRrParams& rr, util::Rng rng) {
+    sim::DynamicRrParams variant = rr;
+    variant.learner = learner;
+    return std::make_unique<sim::DynamicRrPolicy>(topo, params, variant,
+                                                  std::move(rng));
+  };
+}
+
+/// DynamicRR pinned to one endpoint of its threshold range (kappa = 1, no
+/// learning) — the "learning value" ablation arms.
+PolicyRegistry::OnlineFn dynamic_rr_fixed(bool use_max) {
+  return [use_max](const mec::Topology& topo,
+                   const core::AlgorithmParams& params,
+                   const sim::DynamicRrParams& rr, util::Rng rng) {
+    sim::DynamicRrParams variant = rr;
+    const double pin =
+        use_max ? rr.threshold_max_mhz : rr.threshold_min_mhz;
+    variant.threshold_min_mhz = pin;
+    variant.threshold_max_mhz = pin;
+    variant.kappa = 1;
+    return std::make_unique<sim::DynamicRrPolicy>(topo, params, variant,
+                                                  std::move(rng));
+  };
+}
+
+PolicyRegistry make_builtin_registry() {
+  PolicyRegistry reg;
+
+  reg.register_offline(
+      "Exact", [](const Instance& inst, const core::AlgorithmParams& params,
+                  util::Rng&) {
+        core::ExactOptions options;
+        options.params = params;
+        return core::run_exact(inst.topo, inst.requests, inst.realized,
+                               options)
+            .offload;
+      });
+  reg.register_offline(
+      "Appro", [](const Instance& inst, const core::AlgorithmParams& params,
+                  util::Rng& rng) {
+        return core::run_appro(inst.topo, inst.requests, inst.realized,
+                               params, rng);
+      });
+  reg.register_offline(
+      "Appro-backhaul",
+      [](const Instance& inst, const core::AlgorithmParams& params,
+         util::Rng& rng) {
+        core::AlgorithmParams aware = params;
+        aware.enforce_backhaul = true;
+        return core::run_appro(inst.topo, inst.requests, inst.realized, aware,
+                               rng);
+      });
+  reg.register_offline(
+      "Heu", [](const Instance& inst, const core::AlgorithmParams& params,
+                util::Rng& rng) {
+        return core::run_heu(inst.topo, inst.requests, inst.realized, params,
+                             rng);
+      });
+  reg.register_offline(
+      "Greedy", [](const Instance& inst, const core::AlgorithmParams& params,
+                   util::Rng&) {
+        return baselines::run_greedy(inst.topo, inst.requests, inst.realized,
+                                     params);
+      });
+  reg.register_offline(
+      "OCORP", [](const Instance& inst, const core::AlgorithmParams& params,
+                  util::Rng&) {
+        return baselines::run_ocorp(inst.topo, inst.requests, inst.realized,
+                                    params);
+      });
+  reg.register_offline(
+      "HeuKKT", [](const Instance& inst, const core::AlgorithmParams& params,
+                   util::Rng&) {
+        return baselines::run_heu_kkt(inst.topo, inst.requests,
+                                      inst.realized, params);
+      });
+
+  reg.register_online(
+      "DynamicRR",
+      [](const mec::Topology& topo, const core::AlgorithmParams& params,
+         const sim::DynamicRrParams& rr, util::Rng rng) {
+        return std::make_unique<sim::DynamicRrPolicy>(topo, params, rr,
+                                                      std::move(rng));
+      });
+  reg.register_online(
+      "Greedy",
+      [](const mec::Topology& topo, const core::AlgorithmParams& params,
+         const sim::DynamicRrParams&, util::Rng) {
+        return std::make_unique<sim::GreedyOnlinePolicy>(topo, params);
+      });
+  reg.register_online(
+      "OCORP",
+      [](const mec::Topology& topo, const core::AlgorithmParams& params,
+         const sim::DynamicRrParams&, util::Rng) {
+        return std::make_unique<sim::OcorpOnlinePolicy>(topo, params);
+      });
+  reg.register_online(
+      "HeuKKT",
+      [](const mec::Topology& topo, const core::AlgorithmParams& params,
+         const sim::DynamicRrParams&, util::Rng) {
+        return std::make_unique<sim::HeuKktOnlinePolicy>(topo, params);
+      });
+  reg.register_online("DynamicRR-ucb1",
+                      dynamic_rr_with(sim::ThresholdLearner::kUcb1));
+  reg.register_online("DynamicRR-epsilon",
+                      dynamic_rr_with(sim::ThresholdLearner::kEpsilonGreedy));
+  reg.register_online("DynamicRR-thompson",
+                      dynamic_rr_with(sim::ThresholdLearner::kThompson));
+  reg.register_online("DynamicRR-zooming",
+                      dynamic_rr_with(sim::ThresholdLearner::kZooming));
+  reg.register_online("DynamicRR-fixed-min", dynamic_rr_fixed(false));
+  reg.register_online("DynamicRR-fixed-max", dynamic_rr_fixed(true));
+  return reg;
+}
+
+}  // namespace
+
+const PolicyRegistry& PolicyRegistry::global() {
+  static const PolicyRegistry registry = make_builtin_registry();
+  return registry;
+}
+
+bool PolicyRegistry::has_offline(const std::string& name) const {
+  return offline_.count(name) != 0;
+}
+
+bool PolicyRegistry::has_online(const std::string& name) const {
+  return online_.count(name) != 0;
+}
+
+core::OffloadResult PolicyRegistry::run_offline(
+    const std::string& name, const Instance& instance,
+    const core::AlgorithmParams& params, util::Rng& rng) const {
+  const auto it = offline_.find(name);
+  if (it == offline_.end()) {
+    throw std::invalid_argument("unknown offline policy '" + name +
+                                "' (known: " + known_list(offline_names()) +
+                                ")");
+  }
+  return it->second(instance, params, rng);
+}
+
+std::unique_ptr<sim::OnlinePolicy> PolicyRegistry::make_online(
+    const std::string& name, const mec::Topology& topo,
+    const core::AlgorithmParams& params, const sim::DynamicRrParams& rr,
+    util::Rng rng) const {
+  const auto it = online_.find(name);
+  if (it == online_.end()) {
+    throw std::invalid_argument("unknown online policy '" + name +
+                                "' (known: " + known_list(online_names()) +
+                                ")");
+  }
+  return it->second(topo, params, rr, std::move(rng));
+}
+
+std::vector<std::string> PolicyRegistry::offline_names() const {
+  std::vector<std::string> names;
+  names.reserve(offline_.size());
+  for (const auto& [name, fn] : offline_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> PolicyRegistry::online_names() const {
+  std::vector<std::string> names;
+  names.reserve(online_.size());
+  for (const auto& [name, fn] : online_) names.push_back(name);
+  return names;
+}
+
+void PolicyRegistry::register_offline(std::string name, OfflineFn fn) {
+  offline_[std::move(name)] = std::move(fn);
+}
+
+void PolicyRegistry::register_online(std::string name, OnlineFn fn) {
+  online_[std::move(name)] = std::move(fn);
+}
+
+ResolvedPolicy resolve_policy(const PolicyRegistry& registry,
+                              const std::string& ref, int horizon) {
+  std::string name = ref;
+  int want = -1;  // -1 = unqualified, 0 = offline, 1 = online
+  if (ref.rfind("offline:", 0) == 0) {
+    name = ref.substr(8);
+    want = 0;
+  } else if (ref.rfind("online:", 0) == 0) {
+    name = ref.substr(7);
+    want = 1;
+  }
+  const bool off = registry.has_offline(name);
+  const bool on = registry.has_online(name);
+  if (want == 0) {
+    if (!off) {
+      throw std::invalid_argument(
+          "policy '" + ref + "': no offline algorithm named '" + name +
+          "' (known: " + [&] {
+            std::string s;
+            for (const auto& n : registry.offline_names())
+              s += (s.empty() ? "" : ", ") + n;
+            return s;
+          }() + ")");
+    }
+    return {name, false};
+  }
+  if (want == 1) {
+    if (!on) {
+      throw std::invalid_argument(
+          "policy '" + ref + "': no online policy named '" + name +
+          "' (known: " + [&] {
+            std::string s;
+            for (const auto& n : registry.online_names())
+              s += (s.empty() ? "" : ", ") + n;
+            return s;
+          }() + ")");
+    }
+    return {name, true};
+  }
+  if (off && on) return {name, horizon > 0};
+  if (on) return {name, true};
+  if (off) return {name, false};
+  std::string known;
+  for (const auto& n : registry.offline_names())
+    known += (known.empty() ? "offline: " : ", ") + n;
+  known += "; online: ";
+  bool first = true;
+  for (const auto& n : registry.online_names()) {
+    if (!first) known += ", ";
+    known += n;
+    first = false;
+  }
+  throw std::invalid_argument("unknown policy '" + ref + "' (" + known + ")");
+}
+
+}  // namespace mecar::exp

@@ -1,0 +1,89 @@
+// Name -> factory registry for every algorithm the scenario engine can
+// compare, replacing the fragile per-bench `double reward[4]` parallel
+// arrays with named lookups.
+//
+// Offline algorithms (one-shot solvers over an offline instance):
+//   Exact, Appro, Heu, Greedy, OCORP, HeuKKT, Appro-backhaul
+// Online policies (per-slot schedulers for the simulator):
+//   DynamicRR, Greedy, OCORP, HeuKKT,
+//   DynamicRR-ucb1, DynamicRR-epsilon, DynamicRR-thompson,
+//   DynamicRR-zooming                  (threshold-learner ablations)
+//   DynamicRR-fixed-min, DynamicRR-fixed-max (no learning: the range
+//                                             endpoints as constant arms)
+//
+// Greedy/OCORP/HeuKKT exist on both sides (the paper implements them "as
+// offline and online versions"); a scenario disambiguates with an
+// `offline:`/`online:` prefix, and bare names resolve by the scenario's
+// horizon (see resolve_policy).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "exp/instance.h"
+#include "sim/dynamic_rr.h"
+#include "sim/online_sim.h"
+
+namespace mecar::exp {
+
+class PolicyRegistry {
+ public:
+  using OfflineFn = std::function<core::OffloadResult(
+      const Instance&, const core::AlgorithmParams&, util::Rng&)>;
+  /// The DynamicRrParams argument only matters for the DynamicRR variants;
+  /// the non-learning baselines ignore it (and the Rng).
+  using OnlineFn = std::function<std::unique_ptr<sim::OnlinePolicy>(
+      const mec::Topology&, const core::AlgorithmParams&,
+      const sim::DynamicRrParams&, util::Rng)>;
+
+  /// The process-wide registry holding the built-in algorithms.
+  static const PolicyRegistry& global();
+
+  bool has_offline(const std::string& name) const;
+  bool has_online(const std::string& name) const;
+
+  /// Runs the named offline algorithm. Throws std::invalid_argument for an
+  /// unknown name, listing the known ones.
+  core::OffloadResult run_offline(const std::string& name,
+                                  const Instance& instance,
+                                  const core::AlgorithmParams& params,
+                                  util::Rng& rng) const;
+
+  /// Instantiates the named online policy. Throws std::invalid_argument
+  /// for an unknown name, listing the known ones.
+  std::unique_ptr<sim::OnlinePolicy> make_online(
+      const std::string& name, const mec::Topology& topo,
+      const core::AlgorithmParams& params, const sim::DynamicRrParams& rr,
+      util::Rng rng) const;
+
+  /// Registered names in deterministic (sorted) order.
+  std::vector<std::string> offline_names() const;
+  std::vector<std::string> online_names() const;
+
+  void register_offline(std::string name, OfflineFn fn);
+  void register_online(std::string name, OnlineFn fn);
+
+ private:
+  std::map<std::string, OfflineFn> offline_;
+  std::map<std::string, OnlineFn> online_;
+};
+
+/// A scenario policy reference resolved against the registry.
+struct ResolvedPolicy {
+  std::string name;  // registry name, prefix stripped
+  bool online = false;
+};
+
+/// Resolves a (possibly `offline:`/`online:`-prefixed) policy reference.
+/// Bare names found in exactly one registry side resolve there; names on
+/// both sides resolve by `horizon` (0 = the offline problem). Throws
+/// std::invalid_argument for unknown names or a prefix the registry side
+/// cannot satisfy.
+ResolvedPolicy resolve_policy(const PolicyRegistry& registry,
+                              const std::string& ref, int horizon);
+
+}  // namespace mecar::exp

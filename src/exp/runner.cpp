@@ -1,0 +1,382 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <optional>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "bandit/lipschitz.h"
+#include "core/backhaul.h"
+#include "sim/fault_plan.h"
+#include "sim/metrics.h"
+#include "util/timer.h"
+
+namespace mecar::exp {
+
+namespace {
+
+using MetricMap = std::map<std::string, double>;
+
+/// Everything one sweep point fixes for its trials.
+struct PointSetup {
+  InstanceConfig offline_config;  // horizon 0
+  InstanceConfig online_config;   // horizon = effective horizon
+  int horizon = 0;
+  sim::DynamicRrParams rr;
+  double chaos_intensity = 0.0;
+};
+
+const std::set<std::string>& known_metrics() {
+  static const std::set<std::string> metrics{
+      // offline
+      "reward", "latency", "runtime_ms", "admitted", "rewarded", "lp_bound",
+      "voided", "reward_lost", "peak_link_util",
+      // online
+      "drops", "completed", "arrived", "unfinished", "displaced",
+      "handovers", "baseline_reward", "retention", "fault_epochs",
+      "displaced_outage", "displaced_partition", "recovered", "unrecovered",
+      "mean_recovery_slots", "dropped_starvation", "dropped_fault",
+      "dropped_partition", "fault_dropped_expected_reward",
+      // detail
+      "latency_p50", "latency_p95", "latency_max", "fairness", "mean_util",
+      "peak_util"};
+  return metrics;
+}
+
+}  // namespace
+
+Runner::Runner(ScenarioSpec spec, const PolicyRegistry& registry)
+    : spec_(std::move(spec)), registry_(&registry) {}
+
+void Runner::set_seeds(int seeds) { seeds_override_ = seeds; }
+
+void Runner::set_horizon(int horizon) { horizon_override_ = horizon; }
+
+void Runner::set_observer(
+    std::function<void(const TrialObservation&)> observer) {
+  observer_ = std::move(observer);
+}
+
+Report Runner::run() const {
+  const ScenarioSpec& spec = spec_;
+  const std::string context = "scenario '" + spec.name + "': ";
+  const int num_seeds = seeds_override_ > 0 ? seeds_override_ : spec.seeds;
+  if (num_seeds < 1) throw std::invalid_argument(context + "seeds must be >= 1");
+  const int base_horizon =
+      horizon_override_ >= 0 ? horizon_override_ : spec.horizon;
+
+  std::vector<double> points = spec.points;
+  if (spec.axis == SweepAxis::kNone) {
+    if (points.size() > 1) {
+      throw std::invalid_argument(context +
+                                  "axis 'none' admits at most one point");
+    }
+    if (points.empty()) points.push_back(0.0);
+  } else if (points.empty()) {
+    throw std::invalid_argument(context + "sweep axis set but no points");
+  }
+
+  const std::vector<unsigned> seeds = bench_seeds(num_seeds);
+
+  // ---- Theorem-3 regret protocol -------------------------------------
+  if (spec.kind == ScenarioKind::kRegret) {
+    Report report(spec.name, axis_label(spec.axis), {"reward"},
+                  {"best fixed", "DynamicRR"});
+    for (const double point : points) {
+      const int kappa = spec.axis == SweepAxis::kKappa
+                            ? static_cast<int>(point)
+                            : spec.rr.kappa;
+      const int horizon = spec.axis == SweepAxis::kHorizon
+                              ? static_cast<int>(point)
+                              : base_horizon;
+      if (horizon <= 0) {
+        throw std::invalid_argument(context +
+                                    "regret scenarios need a horizon > 0");
+      }
+      InstanceConfig config = spec.base;
+      config.horizon_slots = horizon;
+      if (spec.axis == SweepAxis::kHorizon && spec.requests_per_slot > 0.0) {
+        config.num_requests =
+            static_cast<int>(point * spec.requests_per_slot);
+      }
+      const bandit::LipschitzGrid grid(spec.rr.threshold_min_mhz,
+                                       spec.rr.threshold_max_mhz, kappa);
+      const std::size_t arms = static_cast<std::size_t>(grid.num_arms());
+      // Task layout per seed s: indices [s*(arms+1), s*(arms+1)+arms) are
+      // the fixed-arm runs, index s*(arms+1)+arms is the learned run.
+      const std::size_t per_seed = arms + 1;
+      const auto rewards = util::parallel_map(
+          seeds.size() * per_seed, [&](std::size_t i) {
+            const unsigned seed = seeds[i / per_seed];
+            const std::size_t k = i % per_seed;
+            const Instance inst = make_instance(seed, config);
+            sim::OnlineParams params;
+            params.horizon_slots = horizon;
+            sim::DynamicRrParams dparams = spec.rr;
+            if (k < arms) {
+              dparams.kappa = 1;
+              dparams.threshold_min_mhz = grid.value(static_cast<int>(k));
+              dparams.threshold_max_mhz = dparams.threshold_min_mhz;
+            } else {
+              dparams.kappa = kappa;
+            }
+            auto policy = registry_->make_online(
+                "DynamicRR", inst.topo, spec.alg, dparams,
+                util::Rng(seed + spec.policy_seed_offset));
+            sim::OnlineSimulator simulator(inst.topo, inst.requests,
+                                           inst.realized, params);
+            return simulator.run(*policy).total_reward;
+          });
+      report.start_point(point, point_label(spec.axis, point));
+      for (std::size_t s = 0; s < seeds.size(); ++s) {
+        double best = 0.0;
+        for (std::size_t k = 0; k < arms; ++k) {
+          best = std::max(best, rewards[s * per_seed + k]);
+        }
+        report.add("reward", "best fixed", best);
+        report.add("reward", "DynamicRR", rewards[s * per_seed + arms]);
+      }
+    }
+    return report;
+  }
+
+  // ---- Generic sweep --------------------------------------------------
+  if (spec.policies.empty()) {
+    throw std::invalid_argument(context + "no policies to compare");
+  }
+  if (spec.metrics.empty()) {
+    throw std::invalid_argument(context + "no metrics to collect");
+  }
+  for (const std::string& metric : spec.metrics) {
+    if (known_metrics().count(metric) == 0) {
+      std::string known;
+      for (const std::string& name : known_metrics()) {
+        known += (known.empty() ? "" : ", ") + name;
+      }
+      throw std::invalid_argument(context + "unknown metric '" + metric +
+                                  "' (known: " + known + ")");
+    }
+  }
+
+  std::vector<ResolvedPolicy> resolved;
+  std::vector<std::string> labels;
+  resolved.reserve(spec.policies.size());
+  bool any_offline = false;
+  bool any_online = false;
+  for (const PolicyRef& ref : spec.policies) {
+    resolved.push_back(resolve_policy(*registry_, ref.name, base_horizon));
+    (resolved.back().online ? any_online : any_offline) = true;
+    const std::string label =
+        ref.label.empty() ? resolved.back().name : ref.label;
+    if (std::find(labels.begin(), labels.end(), label) != labels.end()) {
+      throw std::invalid_argument(context + "duplicate policy label '" +
+                                  label + "'");
+    }
+    labels.push_back(label);
+  }
+  if (any_online && base_horizon <= 0 && spec.axis != SweepAxis::kHorizon) {
+    throw std::invalid_argument(context +
+                                "online policies need a horizon > 0");
+  }
+
+  sim::FaultPlan file_plan;
+  if (!spec.fault_plan_path.empty()) {
+    std::ifstream file(spec.fault_plan_path);
+    if (!file) {
+      throw std::invalid_argument(context + "cannot open fault plan '" +
+                                  spec.fault_plan_path + "'");
+    }
+    file_plan = sim::read_fault_plan(file);
+  }
+
+  Report report(spec.name, axis_label(spec.axis), spec.metrics, labels);
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const double point = points[p];
+    PointSetup setup;
+    setup.horizon = spec.axis == SweepAxis::kHorizon
+                        ? static_cast<int>(point)
+                        : base_horizon;
+    setup.offline_config = spec.base;
+    setup.offline_config.horizon_slots = 0;
+    setup.rr = spec.rr;
+    setup.chaos_intensity = spec.axis == SweepAxis::kChaosIntensity
+                                ? point
+                                : spec.chaos_intensity;
+    switch (spec.axis) {
+      case SweepAxis::kRequests:
+        setup.offline_config.num_requests = static_cast<int>(point);
+        break;
+      case SweepAxis::kStations:
+        setup.offline_config.num_stations = static_cast<int>(point);
+        break;
+      case SweepAxis::kRateMax:
+        setup.offline_config.rate_max = point;
+        break;
+      case SweepAxis::kHorizon:
+        if (spec.requests_per_slot > 0.0) {
+          setup.offline_config.num_requests =
+              static_cast<int>(point * spec.requests_per_slot);
+        }
+        break;
+      case SweepAxis::kKappa:
+        setup.rr.kappa = static_cast<int>(point);
+        break;
+      case SweepAxis::kNone:
+      case SweepAxis::kChaosIntensity:
+        break;
+    }
+    setup.online_config = setup.offline_config;
+    setup.online_config.horizon_slots = setup.horizon;
+    if (spec.scale_thresholds) {
+      // Fig. 6 coupling: the provider knows the demand support, so the
+      // threshold range brackets it per sweep point.
+      setup.rr.threshold_min_mhz =
+          setup.online_config.rate_min * spec.alg.c_unit;
+      setup.rr.threshold_max_mhz =
+          (setup.online_config.rate_max + spec.threshold_headroom) *
+          spec.alg.c_unit;
+    }
+
+    // One trial = one (sweep point, seed) pair; trials are independent and
+    // fully determined by their seed, so the pool runs them concurrently
+    // and the ordered reduction below reproduces the serial output bit for
+    // bit.
+    const auto samples = sweep_seeds(seeds, [&](unsigned seed) {
+      std::vector<MetricMap> out;
+      out.reserve(resolved.size());
+      std::optional<Instance> offline_inst;
+      std::optional<Instance> online_inst;
+      if (any_offline) {
+        offline_inst.emplace(make_instance(seed, setup.offline_config));
+      }
+      if (any_online) {
+        online_inst.emplace(make_instance(seed, setup.online_config));
+      }
+
+      sim::FaultPlan plan = file_plan;
+      if (setup.chaos_intensity > 0.0) {
+        sim::ChaosParams chaos;
+        chaos.intensity = setup.chaos_intensity;
+        // The plan derives entirely from the trial seed (offset so the
+        // chaos stream is independent of the workload stream).
+        util::Rng chaos_rng(seed * 2654435761u + 17u);
+        plan = sim::generate_chaos(online_inst->topo, chaos, setup.horizon,
+                                   chaos_rng);
+      }
+
+      for (const ResolvedPolicy& policy : resolved) {
+        MetricMap m;
+        if (!policy.online) {
+          util::Rng rng(seed + spec.policy_seed_offset);
+          util::Timer timer;
+          core::OffloadResult res = registry_->run_offline(
+              policy.name, *offline_inst, spec.alg, rng);
+          m["runtime_ms"] = timer.elapsed_ms();
+          if (spec.backhaul_audit) {
+            const core::BackhaulAudit audit = core::apply_backhaul_audit(
+                offline_inst->topo, offline_inst->requests, res);
+            m["voided"] = audit.voided;
+            m["reward_lost"] = audit.reward_lost;
+            m["peak_link_util"] = audit.peak_link_utilization;
+          }
+          m["reward"] = res.total_reward();
+          m["latency"] = res.average_latency_ms();
+          m["admitted"] = res.num_admitted();
+          m["rewarded"] = res.num_rewarded();
+          m["lp_bound"] = res.lp_bound;
+        } else {
+          sim::OnlineParams params;
+          params.horizon_slots = setup.horizon;
+          params.alg = spec.alg;
+          params.mobility = spec.mobility;
+          params.collect_detail = spec.collect_detail;
+
+          // Fault-free reference with common random numbers (the faulted
+          // run reuses the same instance and a fresh policy).
+          auto ref_policy = registry_->make_online(
+              policy.name, online_inst->topo, spec.alg, setup.rr,
+              util::Rng(seed + spec.policy_seed_offset));
+          sim::OnlineSimulator ref_sim(online_inst->topo,
+                                       online_inst->requests,
+                                       online_inst->realized, params);
+          const sim::OnlineMetrics ref = ref_sim.run(*ref_policy);
+
+          sim::OnlineMetrics metrics = ref;
+          if (!plan.empty()) {
+            params.faults = plan;
+            auto faulted_policy = registry_->make_online(
+                policy.name, online_inst->topo, spec.alg, setup.rr,
+                util::Rng(seed + spec.policy_seed_offset));
+            sim::OnlineSimulator faulted_sim(online_inst->topo,
+                                             online_inst->requests,
+                                             online_inst->realized, params);
+            metrics = faulted_sim.run(*faulted_policy);
+          }
+
+          m["reward"] = metrics.total_reward;
+          m["latency"] = metrics.avg_latency_ms;
+          m["drops"] = metrics.dropped;
+          m["completed"] = metrics.completed;
+          m["arrived"] = metrics.arrived;
+          m["unfinished"] = metrics.unfinished;
+          m["displaced"] = metrics.displaced;
+          m["handovers"] = metrics.handovers;
+          m["baseline_reward"] = ref.total_reward;
+          m["retention"] = ref.total_reward > 0.0
+                               ? metrics.total_reward / ref.total_reward
+                               : 1.0;
+          const sim::ResilienceReport& rs = metrics.resilience;
+          m["fault_epochs"] = rs.fault_epochs;
+          m["displaced_outage"] = rs.displaced_outage;
+          m["displaced_partition"] = rs.displaced_partition;
+          m["recovered"] = rs.recovered;
+          m["unrecovered"] = rs.unrecovered;
+          m["mean_recovery_slots"] = rs.mean_recovery_slots;
+          m["dropped_starvation"] = rs.dropped_starvation;
+          m["dropped_fault"] = rs.dropped_fault;
+          m["dropped_partition"] = rs.dropped_partition;
+          m["fault_dropped_expected_reward"] =
+              rs.fault_dropped_expected_reward;
+          if (spec.collect_detail) {
+            const sim::DetailedSummary s = sim::summarize(metrics);
+            m["latency_p50"] = s.latency_p50_ms;
+            m["latency_p95"] = s.latency_p95_ms;
+            m["latency_max"] = s.latency_max_ms;
+            m["fairness"] = s.service_fairness;
+            m["mean_util"] = s.mean_utilization;
+            m["peak_util"] = s.peak_utilization;
+          }
+        }
+        out.push_back(std::move(m));
+      }
+      return out;
+    });
+
+    report.start_point(point, point_label(spec.axis, point));
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        const MetricMap& m = samples[s][i];
+        if (observer_) {
+          TrialObservation obs;
+          obs.point_index = p;
+          obs.point_value = point;
+          obs.seed = seeds[s];
+          obs.policy = &labels[i];
+          obs.metrics = &m;
+          observer_(obs);
+        }
+        for (const std::string& metric : spec.metrics) {
+          const auto it = m.find(metric);
+          if (it != m.end()) report.add(metric, labels[i], it->second);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mecar::exp

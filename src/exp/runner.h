@@ -1,0 +1,74 @@
+// Executes any ScenarioSpec: builds instances, fans the (point, seed)
+// trials out over the process thread pool via sweep_seeds (the
+// determinism contract: every trial derives all randomness from its seed
+// and the reduction is serial in seed order, so results are bit-identical
+// to a serial sweep), and reduces into an exp::Report.
+//
+// Metric names a trial produces (collect any subset via spec.metrics):
+//   offline policies: reward, latency, runtime_ms, admitted, rewarded,
+//     lp_bound; with spec.backhaul_audit also voided, reward_lost,
+//     peak_link_util (and `reward` is then the audited reward).
+//   online policies: reward, latency, drops, completed, arrived,
+//     unfinished, displaced, handovers, baseline_reward, retention
+//     (faulted / fault-free reward under common random numbers; 1 when no
+//     faults), fault_epochs, displaced_outage, displaced_partition,
+//     recovered, unrecovered, mean_recovery_slots, dropped_starvation,
+//     dropped_fault, dropped_partition, fault_dropped_expected_reward;
+//     with spec.collect_detail also latency_p50, latency_p95, latency_max,
+//     fairness, mean_util, peak_util.
+//
+// kRegret scenarios ignore spec.policies/metrics and emit the fixed
+// series {"best fixed", "DynamicRR"} under metric "reward" (the Theorem 3
+// protocol: per seed, every arm of the kappa grid runs as a constant
+// policy and the hindsight best competes against the learned run).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "exp/registry.h"
+#include "exp/report.h"
+#include "exp/scenario.h"
+
+namespace mecar::exp {
+
+/// One (point, seed, policy) outcome handed to the observer during the
+/// serial reduction — in (point, seed, policy) order, deterministically.
+/// `metrics` holds every metric the trial produced, not just the collected
+/// ones (drivers use this for invariant checking).
+struct TrialObservation {
+  std::size_t point_index = 0;
+  double point_value = 0.0;
+  unsigned seed = 0;
+  const std::string* policy = nullptr;  // display label
+  const std::map<std::string, double>* metrics = nullptr;
+};
+
+class Runner {
+ public:
+  /// Validates nothing yet; run() resolves policies, loads any fault-plan
+  /// file, and throws std::invalid_argument on a malformed spec.
+  explicit Runner(ScenarioSpec spec, const PolicyRegistry& registry =
+                                         PolicyRegistry::global());
+
+  /// CLI overrides (--seeds / --horizon); 0 / negative = keep the spec's.
+  void set_seeds(int seeds);
+  void set_horizon(int horizon);
+
+  /// Called once per (point, seed, policy) during the serial reduction.
+  void set_observer(std::function<void(const TrialObservation&)> observer);
+
+  Report run() const;
+
+  const ScenarioSpec& spec() const noexcept { return spec_; }
+
+ private:
+  ScenarioSpec spec_;
+  const PolicyRegistry* registry_;
+  int seeds_override_ = 0;
+  int horizon_override_ = -1;
+  std::function<void(const TrialObservation&)> observer_;
+};
+
+}  // namespace mecar::exp

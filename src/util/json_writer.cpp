@@ -1,0 +1,213 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace mecar::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  // Shortest precision that round-trips.
+  char buf[40];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent < 0 ? 0 : indent) {}
+
+void JsonWriter::raw(std::string_view text) { os_ << text; }
+
+void JsonWriter::newline_indent() {
+  if (indent_ == 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i) {
+    os_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) return;
+  Level& top = stack_.back();
+  if (top.ctx == Ctx::kObject) {
+    if (!top.key_open) {
+      throw std::logic_error("JsonWriter: value inside object requires key()");
+    }
+    top.key_open = false;
+  } else {
+    if (top.any) raw(",");
+    newline_indent();
+    top.any = true;
+  }
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty() || stack_.back().ctx != Ctx::kObject) {
+    throw std::logic_error("JsonWriter: key() outside an object");
+  }
+  Level& top = stack_.back();
+  if (top.key_open) {
+    throw std::logic_error("JsonWriter: key() while a value is pending");
+  }
+  if (top.any) raw(",");
+  newline_indent();
+  top.any = true;
+  top.key_open = true;
+  os_ << '"' << json_escape(name) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  raw("{");
+  stack_.push_back({Ctx::kObject});
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  raw("[");
+  stack_.push_back({Ctx::kArray});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().ctx != Ctx::kObject) {
+    throw std::logic_error("JsonWriter: end_object() without begin_object()");
+  }
+  if (stack_.back().key_open) {
+    throw std::logic_error("JsonWriter: end_object() with a dangling key");
+  }
+  const bool any = stack_.back().any;
+  stack_.pop_back();
+  if (any) newline_indent();
+  raw("}");
+  if (stack_.empty()) {
+    done_ = true;
+    os_ << '\n';
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().ctx != Ctx::kArray) {
+    throw std::logic_error("JsonWriter: end_array() without begin_array()");
+  }
+  const bool any = stack_.back().any;
+  stack_.pop_back();
+  if (any) newline_indent();
+  raw("]");
+  if (stack_.empty()) {
+    done_ = true;
+    os_ << '\n';
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  raw(json_number(v));
+  if (stack_.empty()) {
+    done_ = true;
+    os_ << '\n';
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  if (stack_.empty()) {
+    done_ = true;
+    os_ << '\n';
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  raw(v ? "true" : "false");
+  if (stack_.empty()) {
+    done_ = true;
+    os_ << '\n';
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  if (stack_.empty()) {
+    done_ = true;
+    os_ << '\n';
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  raw("null");
+  if (stack_.empty()) {
+    done_ = true;
+    os_ << '\n';
+  }
+  return *this;
+}
+
+}  // namespace mecar::util

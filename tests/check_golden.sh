@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Bit-identity guard for the scenario-engine refactor: every figure bench's
+# default stdout must match the pre-refactor reference captured under
+# tests/golden/. The only tolerated difference is Fig 3(c), which reports
+# wall-clock solver runtimes; that block is filtered on both sides.
+#
+#   tests/check_golden.sh [BUILD_DIR]   (default: build)
+set -u
+build=${1:-build}
+root=$(cd "$(dirname "$0")/.." && pwd)
+fail=0
+
+check() {
+  name=$1
+  filter=${2:-}
+  if [ ! -x "$build/bench/$name" ]; then
+    echo "MISSING: $build/bench/$name" >&2
+    fail=1
+    return
+  fi
+  out=$("$build/bench/$name" 2>/dev/null)
+  ref=$(cat "$root/tests/golden/$name.txt")
+  if [ -n "$filter" ]; then
+    out=$(printf '%s\n' "$out" | awk "$filter")
+    ref=$(printf '%s\n' "$ref" | awk "$filter")
+  fi
+  if [ "$out" = "$ref" ]; then
+    echo "ok: $name"
+  else
+    echo "MISMATCH: $name" >&2
+    tmp_ref=$(mktemp) && tmp_out=$(mktemp)
+    printf '%s\n' "$ref" >"$tmp_ref"
+    printf '%s\n' "$out" >"$tmp_out"
+    diff "$tmp_ref" "$tmp_out" | head -20 >&2 || true
+    rm -f "$tmp_ref" "$tmp_out"
+    fail=1
+  fi
+}
+
+check fig3_offline '/Fig 3\(c\)/{skip=1} /^headline/{skip=0} !skip'
+check fig4_online
+check fig5_stations
+check fig6_rate
+check regret_theorem3
+check ablations
+check quality_metrics
+check resilience
+exit $fail

@@ -6,6 +6,9 @@
 //   resilience  run the online policies under an injected fault scenario
 //               (scripted --plan=FILE or seeded --chaos=INTENSITY) and
 //               print the resilience metrics per policy
+//   experiment  run a declarative scenario file through the scenario
+//               engine (see scenarios/*.scenario) and print its tables
+//   list        print the policy registry and the scenario-file keys
 //   topology    generate a topology and print its stations/links as CSV
 //   trace       synthesize a frame-level AR session trace as CSV
 //   lp          dump the slot-indexed LP of an instance in MPS format
@@ -17,6 +20,9 @@
 #include <sstream>
 
 #include "baselines/greedy.h"
+#include "exp/registry.h"
+#include "exp/runner.h"
+#include "exp/scenario.h"
 #include "baselines/heu_kkt.h"
 #include "baselines/ocorp.h"
 #include "core/appro.h"
@@ -278,14 +284,93 @@ int cmd_lp(const util::Cli& cli) {
   return 0;
 }
 
+/// Table precision a metric defaults to when a spec is run from the CLI
+/// (the compiled benches pin their own per-figure precisions).
+int metric_precision(const std::string& metric) {
+  if (metric == "reward" || metric == "lp_bound" ||
+      metric == "baseline_reward") {
+    return 1;
+  }
+  if (metric == "latency") return 2;
+  if (metric == "retention" || metric == "fairness" ||
+      metric == "mean_util" || metric == "peak_util") {
+    return 3;
+  }
+  return 2;
+}
+
+int cmd_experiment(const util::Cli& cli) {
+  const std::string path = cli.get_or("spec", "");
+  if (path.empty()) {
+    std::cerr << "mecar_cli: experiment needs --spec=FILE\n";
+    return 1;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "mecar_cli: cannot open scenario '" << path << "'\n";
+    return 1;
+  }
+  exp::Runner runner(exp::read_scenario(file));
+  if (cli.has("seeds")) {
+    runner.set_seeds(static_cast<int>(cli.get_int_or("seeds", 0)));
+  }
+  if (cli.has("horizon")) {
+    runner.set_horizon(static_cast<int>(cli.get_int_or("horizon", 0)));
+  }
+  const exp::Report report = runner.run();
+  for (const std::string& metric : report.metrics()) {
+    report.print_metric_table(std::cout,
+                              report.scenario_name() + ": " + metric, metric,
+                              metric_precision(metric));
+  }
+  if (cli.has("json")) {
+    const std::string json_path = cli.get_or("json", "").empty()
+                                      ? report.scenario_name() + ".json"
+                                      : cli.get_or("json", "");
+    std::ofstream os(json_path);
+    report.write_json(os);
+    if (!os.good()) {
+      std::cerr << "mecar_cli: cannot write '" << json_path << "'\n";
+      return 1;
+    }
+    std::cout << "json: " << json_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_list(const util::Cli&) {
+  const exp::PolicyRegistry& registry = exp::PolicyRegistry::global();
+  std::cout << "offline algorithms (policy NAME | policy offline:NAME):\n";
+  for (const std::string& name : registry.offline_names()) {
+    std::cout << "  " << name << '\n';
+  }
+  std::cout << "online policies (policy NAME | policy online:NAME):\n";
+  for (const std::string& name : registry.online_names()) {
+    std::cout << "  " << name << '\n';
+  }
+  std::cout <<
+      "scenario keys (one per line; # comments; see scenarios/*.scenario):\n"
+      "  name kind axis points seeds horizon requests stations rate_min\n"
+      "  rate_max reward_model arrivals home_skew link_bandwidth policy\n"
+      "  metric policy_seed_offset chaos fault_plan mobility\n"
+      "  threshold_range kappa scale_thresholds threshold_headroom\n"
+      "  rounding_divisor backfill enforce_backhaul backhaul_audit\n"
+      "  collect_detail requests_per_slot\n";
+  return 0;
+}
+
 void usage() {
   std::cout <<
-      "usage: mecar_cli <offline|online|resilience|topology|trace|lp> "
+      "usage: mecar_cli "
+      "<offline|online|resilience|experiment|list|topology|trace|lp> "
       "[flags]\n"
       "  common flags: --seed=N --requests=N --stations=N\n"
       "  online:       --horizon=N\n"
       "  resilience:   --horizon=N --plan=FILE | --chaos=INTENSITY "
       "[--emit-plan]\n"
+      "  experiment:   --spec=FILE [--seeds=N] [--horizon=N] "
+      "[--json[=PATH]]\n"
+      "  list:         (no flags) policy registry + scenario keys\n"
       "  trace:        --duration=SECONDS --frame-kb=KB\n";
 }
 
@@ -302,6 +387,8 @@ int main(int argc, char** argv) {
     if (command == "offline") return cmd_offline(cli);
     if (command == "online") return cmd_online(cli);
     if (command == "resilience") return cmd_resilience(cli);
+    if (command == "experiment") return cmd_experiment(cli);
+    if (command == "list") return cmd_list(cli);
     if (command == "topology") return cmd_topology(cli);
     if (command == "trace") return cmd_trace(cli);
     if (command == "lp") return cmd_lp(cli);
