@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/catalog.h"
+
 namespace mecar::bandit {
 
 EpsilonGreedy::EpsilonGreedy(int num_arms, util::Rng rng, double c)
@@ -44,6 +46,7 @@ void EpsilonGreedy::update(int arm, double reward) {
   ++a.pulls;
   a.mean += (reward - a.mean) / a.pulls;
   ++rounds_;
+  obs::metrics().bandit_arm_pulls.add();
 }
 
 double EpsilonGreedy::mean(int arm) const {

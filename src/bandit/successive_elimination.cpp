@@ -4,6 +4,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/catalog.h"
+#include "obs/event_trace.h"
+
 namespace mecar::bandit {
 
 SuccessiveElimination::SuccessiveElimination(int num_arms, double reward_range)
@@ -47,6 +50,7 @@ void SuccessiveElimination::update(int arm, double reward) {
   ++a.pulls;
   a.mean += (reward - a.mean) / a.pulls;
   ++rounds_;
+  obs::metrics().bandit_arm_pulls.add();
   eliminate();
 }
 
@@ -101,12 +105,22 @@ void SuccessiveElimination::eliminate() {
     }
   }
   int active = num_active();
+  const int active_before = active;
   for (std::size_t a = 0; a < arms_.size(); ++a) {
     if (!arms_[a].active || active <= 1) continue;
     if (ucb(static_cast<int>(a)) < best_lcb) {
       arms_[a].active = false;
       --active;
+      obs::metrics().bandit_arm_eliminations.add();
+      obs::EventTrace& tr = obs::trace();
+      if (tr.enabled()) {
+        tr.emit(obs::EventKind::kArmElimination, static_cast<double>(a),
+                active);
+      }
     }
+  }
+  if (active != active_before) {
+    obs::metrics().bandit_active_arms.set(active);
   }
 }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/catalog.h"
+
 namespace mecar::bandit {
 
 ThompsonSampling::ThompsonSampling(int num_arms, util::Rng rng,
@@ -58,6 +60,7 @@ void ThompsonSampling::update(int arm, double reward) {
   ++a.pulls;
   a.empirical_mean += (reward - a.empirical_mean) / a.pulls;
   ++rounds_;
+  obs::metrics().bandit_arm_pulls.add();
 }
 
 double ThompsonSampling::mean(int arm) const {

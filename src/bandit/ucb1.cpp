@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/catalog.h"
+
 namespace mecar::bandit {
 
 Ucb1::Ucb1(int num_arms, double reward_range) : range_(reward_range) {
@@ -37,6 +39,7 @@ void Ucb1::update(int arm, double reward) {
   ++a.pulls;
   a.mean += (reward - a.mean) / a.pulls;
   ++rounds_;
+  obs::metrics().bandit_arm_pulls.add();
 }
 
 double Ucb1::mean(int arm) const {

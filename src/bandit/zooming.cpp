@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/catalog.h"
+
 namespace mecar::bandit {
 
 ZoomingBandit::ZoomingBandit(double lo, double hi, util::Rng rng,
@@ -78,6 +80,7 @@ void ZoomingBandit::update(double reward) {
   p.mean += (reward - p.mean) / p.pulls;
   ++rounds_;
   last_played_ = -1;
+  obs::metrics().bandit_arm_pulls.add();
 }
 
 double ZoomingBandit::best_point() const {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "obs/catalog.h"
+
 namespace mecar::core {
 
 std::vector<CandidateStation> candidate_stations(const mec::Topology& topo,
@@ -35,6 +37,7 @@ SlotLpInstance build_slot_lp(const mec::Topology& topo,
                              const std::vector<mec::ARRequest>& requests,
                              const AlgorithmParams& params,
                              const SlotLpOptions& options) {
+  obs::metrics().lp_slot_models.add();
   SlotLpInstance inst;
   const int num_stations = topo.num_stations();
   if (!options.capacity_override_mhz.empty() &&

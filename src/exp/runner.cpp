@@ -10,6 +10,7 @@
 
 #include "bandit/lipschitz.h"
 #include "core/backhaul.h"
+#include "obs/catalog.h"
 #include "sim/fault_plan.h"
 #include "sim/metrics.h"
 #include "util/timer.h"
@@ -110,6 +111,7 @@ Report Runner::run() const {
       const std::size_t per_seed = arms + 1;
       const auto rewards = util::parallel_map(
           seeds.size() * per_seed, [&](std::size_t i) {
+            obs::metrics().exp_trials.add();
             const unsigned seed = seeds[i / per_seed];
             const std::size_t k = i % per_seed;
             const Instance inst = make_instance(seed, config);
@@ -246,6 +248,7 @@ Report Runner::run() const {
     // and the ordered reduction below reproduces the serial output bit for
     // bit.
     const auto samples = sweep_seeds(seeds, [&](unsigned seed) {
+      obs::metrics().exp_trials.add();
       std::vector<MetricMap> out;
       out.reserve(resolved.size());
       std::optional<Instance> offline_inst;

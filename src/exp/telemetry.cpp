@@ -1,0 +1,67 @@
+#include "exp/telemetry.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/catalog.h"
+#include "obs/telemetry.h"
+
+namespace mecar::exp {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::ofstream open_out(const std::string& path, const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error(std::string("cannot write ") + what + " '" +
+                             path + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+Report run_with_telemetry(const Runner& runner,
+                          const TelemetryExportOptions& options) {
+  // Touch the catalog before resetting so every well-known metric is
+  // registered and the snapshot schema is complete even for a run that
+  // never reaches some layer.
+  obs::metrics();
+  obs::registry().reset();
+
+  obs::EventTrace& tr = obs::trace();
+  const bool tracing = !options.trace_path.empty();
+  if (tracing) tr.enable(options.trace_capacity);
+
+  Report report = [&] {
+    try {
+      return runner.run();
+    } catch (...) {
+      if (tracing) tr.disable();
+      throw;
+    }
+  }();
+  if (tracing) tr.disable();
+
+  if (!options.metrics_path.empty()) {
+    std::ofstream out = open_out(options.metrics_path, "metrics snapshot");
+    const obs::MetricsSnapshot snap = obs::registry().snapshot();
+    if (ends_with(options.metrics_path, ".prom")) {
+      obs::write_prometheus(snap, out);
+    } else {
+      obs::write_metrics_json(snap, out);
+    }
+  }
+  if (tracing) {
+    std::ofstream out = open_out(options.trace_path, "event trace");
+    obs::write_chrome_trace(tr.snapshot(), out);
+  }
+  return report;
+}
+
+}  // namespace mecar::exp

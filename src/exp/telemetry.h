@@ -1,0 +1,38 @@
+// Telemetry-exporting wrapper around exp::Runner: run a scenario with the
+// global metric registry reset and (optionally) the event trace armed,
+// then write the requested export files. This is the engine behind
+// `mecar_cli experiment --metrics-out=... --trace-out=...`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "obs/event_trace.h"
+
+namespace mecar::exp {
+
+struct TelemetryExportOptions {
+  /// Metrics snapshot destination; empty = no metrics export. A ".prom"
+  /// suffix selects Prometheus text format, anything else gets JSON.
+  std::string metrics_path;
+  /// Event-trace destination (chrome://tracing JSON); empty = no tracing.
+  /// When set the global trace is armed for the duration of the run.
+  std::string trace_path;
+  /// Ring capacity when tracing (oldest events drop past this).
+  std::size_t trace_capacity = obs::EventTrace::kDefaultCapacity;
+
+  bool any() const noexcept {
+    return !metrics_path.empty() || !trace_path.empty();
+  }
+};
+
+/// Runs the scenario and writes the requested exports. The registry is
+/// reset before the run so the snapshot covers exactly this run; the trace
+/// is disabled again afterwards. Throws std::runtime_error when an output
+/// file cannot be written.
+Report run_with_telemetry(const Runner& runner,
+                          const TelemetryExportOptions& options);
+
+}  // namespace mecar::exp

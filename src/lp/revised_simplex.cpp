@@ -4,9 +4,37 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/catalog.h"
+#include "obs/event_trace.h"
 #include "util/log.h"
 
 namespace mecar::lp {
+namespace {
+
+/// One telemetry update per solve, shared by both solvers' entry points.
+void record_solve(const SolveResult& result) {
+  const obs::Metrics& m = obs::metrics();
+  m.lp_solves.add();
+  m.lp_pivots.add(result.iterations);
+  m.lp_refactorizations.add(result.stats.refactorizations);
+  if (result.stats.warm_start_attempted) {
+    if (result.stats.warm_start_used) {
+      m.lp_warm_start_hits.add();
+    } else {
+      m.lp_warm_start_misses.add();
+    }
+  }
+  m.lp_pivots_per_solve.observe(result.iterations);
+  obs::EventTrace& tr = obs::trace();
+  if (tr.enabled()) {
+    tr.emit(obs::EventKind::kLpSolve, result.iterations,
+            result.stats.refactorizations,
+            result.warm_started ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace
+
 namespace {
 
 struct SparseCol {
@@ -52,6 +80,7 @@ class Engine {
   std::vector<int> tab_to_model_;
   std::vector<double> phase2_costs_;
   int pivots_since_refactor_ = 0;
+  int refactorizations_ = 0;
 };
 
 void Engine::build(const Model& model) {
@@ -227,6 +256,7 @@ bool Engine::refactorize() {
     }
   }
   binv_.swap(refac_inv_);  // no reallocation; old binv_ becomes scratch
+  ++refactorizations_;
   // xb = B^{-1} rhs.
   for (int r = 0; r < m_; ++r) {
     double acc = 0.0;
@@ -462,7 +492,9 @@ SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
   // feasible, so phase 1 is provably unnecessary.
   if (warm != nullptr && !warm->empty() && warm->m == m_ &&
       warm->total_cols == total_cols_) {
+    result.stats.warm_start_attempted = true;
     result.warm_started = adopt_warm_basis(warm->basis);
+    result.stats.warm_start_used = result.warm_started;
   }
 
   if (!result.warm_started && art_begin_ < total_cols_) {
@@ -472,12 +504,15 @@ SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
       phase1[static_cast<std::size_t>(c)] = -1.0;
     }
     const SolveStatus st = iterate(phase1, result.iterations, max_iterations);
+    result.stats.phase1_iterations = result.iterations;
     if (st == SolveStatus::kIterationLimit) {
       result.status = st;
+      result.stats.refactorizations = refactorizations_;
       return result;
     }
     if (basic_value(phase1) < -opt_.feas_tol) {
       result.status = SolveStatus::kInfeasible;
+      result.stats.refactorizations = refactorizations_;
       return result;
     }
     drive_out_artificials();
@@ -486,6 +521,9 @@ SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
   price_limit_ = art_begin_;
   const SolveStatus st =
       iterate(phase2_costs_, result.iterations, max_iterations);
+  result.stats.phase2_iterations =
+      result.iterations - result.stats.phase1_iterations;
+  result.stats.refactorizations = refactorizations_;
   result.status = st;
   if (st != SolveStatus::kOptimal) return result;
 
@@ -518,13 +556,17 @@ SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
 
 SolveResult RevisedSimplexSolver::solve(const Model& model) const {
   Engine engine(model, options_);
-  return engine.run(model, nullptr);
+  SolveResult result = engine.run(model, nullptr);
+  record_solve(result);
+  return result;
 }
 
 SolveResult RevisedSimplexSolver::solve(const Model& model,
                                         WarmStartBasis& warm) const {
   Engine engine(model, options_);
-  return engine.run(model, &warm);
+  SolveResult result = engine.run(model, &warm);
+  record_solve(result);
+  return result;
 }
 
 SolveResult solve_lp(const Model& model) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/catalog.h"
+#include "obs/event_trace.h"
 #include "util/log.h"
 
 namespace mecar::lp {
@@ -296,6 +298,7 @@ SolveResult Tableau::run(const Model& model) {
     }
     set_objective_from(phase1);
     const SolveStatus st = iterate(result.iterations, max_iterations);
+    result.stats.phase1_iterations = result.iterations;
     if (st == SolveStatus::kIterationLimit) {
       result.status = st;
       return result;
@@ -313,6 +316,8 @@ SolveResult Tableau::run(const Model& model) {
   price_limit_ = art_begin_;
   set_objective_from(phase2_costs_);
   const SolveStatus st = iterate(result.iterations, max_iterations);
+  result.stats.phase2_iterations =
+      result.iterations - result.stats.phase1_iterations;
   result.status = st;
   if (st != SolveStatus::kOptimal) return result;
 
@@ -339,7 +344,16 @@ SolveResult Tableau::run(const Model& model) {
 
 SolveResult SimplexSolver::solve(const Model& model) const {
   Tableau tableau(model, options_);
-  return tableau.run(model);
+  SolveResult result = tableau.run(model);
+  const obs::Metrics& m = obs::metrics();
+  m.lp_solves.add();
+  m.lp_pivots.add(result.iterations);
+  m.lp_pivots_per_solve.observe(result.iterations);
+  obs::EventTrace& tr = obs::trace();
+  if (tr.enabled()) {
+    tr.emit(obs::EventKind::kLpSolve, result.iterations, 0.0, 0.0);
+  }
+  return result;
 }
 
 }  // namespace mecar::lp

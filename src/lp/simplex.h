@@ -39,6 +39,25 @@ struct SimplexOptions {
   int stall_threshold = 128;
 };
 
+/// Per-solve work counters, filled by both solvers. `iterations` on
+/// SolveResult remains the total; this struct breaks it down so callers
+/// (telemetry, warm-start tests) can see where the work went.
+struct SolveStats {
+  int phase1_iterations = 0;
+  int phase2_iterations = 0;
+  /// Basis refactorizations (revised simplex only; 0 for the dense
+  /// tableau, which has no factorized basis).
+  int refactorizations = 0;
+  /// A warm basis was offered by the caller.
+  bool warm_start_attempted = false;
+  /// The offered basis was adopted (phase 1 skipped).
+  bool warm_start_used = false;
+  /// Total pivots across both phases.
+  int pivots() const noexcept {
+    return phase1_iterations + phase2_iterations;
+  }
+};
+
 struct SolveResult {
   SolveStatus status = SolveStatus::kIterationLimit;
   /// Objective value (includes any Model::fixed_objective constant).
@@ -49,6 +68,8 @@ struct SolveResult {
   /// True when the solve was seeded from a caller-provided basis (revised
   /// simplex warm start) rather than the slack/artificial cold basis.
   bool warm_started = false;
+  /// Work breakdown (stats.pivots() == iterations).
+  SolveStats stats;
   bool optimal() const noexcept { return status == SolveStatus::kOptimal; }
 };
 

@@ -1,0 +1,65 @@
+#include "obs/catalog.h"
+
+namespace mecar::obs {
+
+namespace {
+
+Metrics make_metrics() {
+  MetricRegistry& reg = registry();
+  Metrics m;
+  m.lp_solves = reg.counter("lp.solves", "simplex solves (dense + revised)");
+  m.lp_pivots = reg.counter("lp.pivots", "simplex pivots across all solves");
+  m.lp_refactorizations =
+      reg.counter("lp.refactorizations", "basis refactorizations");
+  m.lp_warm_start_hits = reg.counter(
+      "lp.warm_start_hits", "solves that adopted the carried-over basis");
+  m.lp_warm_start_misses = reg.counter(
+      "lp.warm_start_misses",
+      "warm-start attempts that fell back to a cold phase-1 start");
+  m.lp_slot_models =
+      reg.counter("lp.slot_models", "per-slot LP models built");
+  m.lp_pivots_per_solve = reg.histogram(
+      "lp.pivots_per_solve",
+      {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0},
+      "pivot count distribution per solve");
+
+  m.bandit_arm_pulls =
+      reg.counter("bandit.arm_pulls", "learner updates (arm feedback)");
+  m.bandit_arm_eliminations = reg.counter(
+      "bandit.arm_eliminations", "arms eliminated by successive elimination");
+  m.bandit_active_arms =
+      reg.gauge("bandit.active_arms", "arms still active in the learner");
+
+  m.sim_slots = reg.counter("sim.slots", "simulated slots executed");
+  m.sim_admissions =
+      reg.counter("sim.admissions", "requests first scheduled onto a station");
+  m.sim_preemptions = reg.counter(
+      "sim.preemptions", "served streams descheduled by a later decision");
+  m.sim_displacements = reg.counter(
+      "sim.displacements", "streams displaced by outages or partitions");
+  m.sim_completions =
+      reg.counter("sim.completions", "streams that finished their demand");
+  m.sim_drops = reg.counter("sim.drops", "requests dropped (all causes)");
+  m.sim_handovers =
+      reg.counter("sim.handovers", "mobility handovers between stations");
+  m.sim_fault_epochs =
+      reg.counter("sim.fault_epochs", "distinct fault epochs entered");
+  m.sim_lp_fallbacks = reg.counter(
+      "sim.lp_fallbacks", "slot LPs that fell back to the greedy policy");
+  m.sim_slot_reward = reg.histogram(
+      "sim.slot_reward",
+      {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0},
+      "per-slot realized reward distribution");
+
+  m.exp_trials = reg.counter("exp.trials", "experiment trials executed");
+  return m;
+}
+
+}  // namespace
+
+const Metrics& metrics() {
+  static const Metrics m = make_metrics();
+  return m;
+}
+
+}  // namespace mecar::obs

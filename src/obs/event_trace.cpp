@@ -1,0 +1,298 @@
+#include "obs/event_trace.h"
+
+#include <atomic>
+#include <mutex>
+#include <ostream>
+
+#include "util/json_writer.h"
+
+namespace mecar::obs {
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSlotBegin:
+      return "slot_begin";
+    case EventKind::kSlotEnd:
+      return "slot_end";
+    case EventKind::kLpSolve:
+      return "lp_solve";
+    case EventKind::kArmPull:
+      return "arm_pull";
+    case EventKind::kArmElimination:
+      return "arm_elimination";
+    case EventKind::kAdmission:
+      return "admission";
+    case EventKind::kPreemption:
+      return "preemption";
+    case EventKind::kDisplacement:
+      return "displacement";
+    case EventKind::kFaultEpochBegin:
+      return "fault_epoch_begin";
+    case EventKind::kFaultEpochEnd:
+      return "fault_epoch_end";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-thread run context: which run the thread is tracing and at which
+/// slot. Keyed by the trace's enable-generation so a clear()/enable()
+/// cycle invalidates stale contexts.
+struct ThreadContext {
+  std::uint64_t generation = 0;
+  int run = -1;
+  std::int32_t slot = -1;
+};
+thread_local ThreadContext tls_context;
+
+}  // namespace
+
+struct EventTrace::Impl {
+  std::atomic<bool> enabled{false};
+  mutable std::mutex mutex;
+  std::uint64_t generation = 0;  // bumped on enable/clear
+  std::size_t capacity = kDefaultCapacity;
+  std::vector<Event> ring;
+  std::size_t next = 0;  // write cursor
+  std::uint64_t total = 0;
+  std::vector<std::string> run_labels;
+  std::vector<double> run_slot_ms;
+};
+
+EventTrace::EventTrace() : impl_(std::make_unique<Impl>()) {}
+EventTrace::~EventTrace() = default;
+
+void EventTrace::enable(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->capacity = capacity == 0 ? 1 : capacity;
+  impl_->ring.clear();
+  impl_->ring.reserve(std::min(impl_->capacity, std::size_t{1} << 12));
+  impl_->next = 0;
+  impl_->total = 0;
+  impl_->run_labels.clear();
+  impl_->run_slot_ms.clear();
+  ++impl_->generation;
+  impl_->enabled.store(true, std::memory_order_release);
+}
+
+void EventTrace::disable() {
+  impl_->enabled.store(false, std::memory_order_release);
+}
+
+bool EventTrace::enabled() const noexcept {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void EventTrace::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->ring.clear();
+  impl_->next = 0;
+  impl_->total = 0;
+  impl_->run_labels.clear();
+  impl_->run_slot_ms.clear();
+  ++impl_->generation;
+}
+
+int EventTrace::begin_run(std::string label, double slot_ms) {
+  if (!enabled()) return -1;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const int run = static_cast<int>(impl_->run_labels.size());
+  impl_->run_labels.push_back(std::move(label));
+  impl_->run_slot_ms.push_back(slot_ms);
+  tls_context.generation = impl_->generation;
+  tls_context.run = run;
+  tls_context.slot = -1;
+  return run;
+}
+
+void EventTrace::set_slot(std::int32_t slot) noexcept {
+  if (!enabled()) return;
+  tls_context.slot = slot;
+}
+
+void EventTrace::emit(EventKind kind, double v0, double v1,
+                      double v2) noexcept {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (tls_context.generation != impl_->generation) return;
+  Event ev;
+  ev.kind = kind;
+  ev.run = tls_context.run < 0
+               ? 0
+               : static_cast<std::uint16_t>(tls_context.run);
+  ev.slot = tls_context.slot;
+  ev.v0 = v0;
+  ev.v1 = v1;
+  ev.v2 = v2;
+  if (impl_->ring.size() < impl_->capacity) {
+    impl_->ring.push_back(ev);
+  } else {
+    impl_->ring[impl_->next] = ev;
+  }
+  impl_->next = (impl_->next + 1) % impl_->capacity;
+  ++impl_->total;
+}
+
+EventTrace::Snapshot EventTrace::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Snapshot out;
+  out.run_labels = impl_->run_labels;
+  out.run_slot_ms = impl_->run_slot_ms;
+  if (impl_->total <= impl_->ring.size()) {
+    out.events = impl_->ring;
+  } else {
+    // Ring wrapped: oldest event sits at the write cursor.
+    out.events.reserve(impl_->ring.size());
+    for (std::size_t i = 0; i < impl_->ring.size(); ++i) {
+      out.events.push_back(
+          impl_->ring[(impl_->next + i) % impl_->ring.size()]);
+    }
+    out.dropped = impl_->total - impl_->ring.size();
+  }
+  return out;
+}
+
+EventTrace& trace() {
+  static EventTrace global;
+  return global;
+}
+
+void write_trace_json(const EventTrace::Snapshot& snapshot,
+                      std::ostream& os) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.field("dropped", static_cast<std::int64_t>(snapshot.dropped));
+  w.key("runs").begin_array();
+  for (std::size_t r = 0; r < snapshot.run_labels.size(); ++r) {
+    w.begin_object();
+    w.field("id", static_cast<std::int64_t>(r));
+    w.field("label", snapshot.run_labels[r]);
+    w.field("slot_ms", snapshot.run_slot_ms[r]);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("events").begin_array();
+  for (const Event& ev : snapshot.events) {
+    w.begin_object();
+    w.field("kind", to_string(ev.kind));
+    w.field("run", static_cast<std::int64_t>(ev.run));
+    w.field("slot", static_cast<std::int64_t>(ev.slot));
+    w.field("v0", ev.v0);
+    w.field("v1", ev.v1);
+    w.field("v2", ev.v2);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+namespace {
+
+/// Argument names per event kind for the chrome exporter, so traces read
+/// naturally in the viewer ({"pivots": 12} instead of {"v0": 12}).
+struct ArgNames {
+  const char* a0;
+  const char* a1;
+  const char* a2;
+};
+
+ArgNames arg_names(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSlotBegin:
+      return {"pending", nullptr, nullptr};
+    case EventKind::kSlotEnd:
+      return {"reward", "active_streams", nullptr};
+    case EventKind::kLpSolve:
+      return {"pivots", "refactorizations", "warm"};
+    case EventKind::kArmPull:
+      return {"arm", "threshold", nullptr};
+    case EventKind::kArmElimination:
+      return {"arm", "active_arms", nullptr};
+    case EventKind::kAdmission:
+      return {"request", "station", nullptr};
+    case EventKind::kPreemption:
+      return {"request", "station", nullptr};
+    case EventKind::kDisplacement:
+      return {"request", "cause", nullptr};
+    case EventKind::kFaultEpochBegin:
+      return {"epoch", "stations_up", nullptr};
+    case EventKind::kFaultEpochEnd:
+      return {"epoch", "slots", nullptr};
+  }
+  return {nullptr, nullptr, nullptr};
+}
+
+}  // namespace
+
+void write_chrome_trace(const EventTrace::Snapshot& snapshot,
+                        std::ostream& os) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (std::size_t r = 0; r < snapshot.run_labels.size(); ++r) {
+    w.begin_object();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", 1);
+    w.field("tid", static_cast<std::int64_t>(r) + 1);
+    w.key("args").begin_object();
+    w.field("name", snapshot.run_labels[r]);
+    w.end_object();
+    w.end_object();
+  }
+  // Simulated time: slot t spans [t * slot_us, (t+1) * slot_us). Within a
+  // slot, instant events are offset by their arrival index so the viewer
+  // preserves emission order.
+  std::vector<std::uint64_t> seq_in_slot(snapshot.run_labels.size() + 1, 0);
+  std::vector<std::int32_t> last_slot(snapshot.run_labels.size() + 1, -2);
+  for (const Event& ev : snapshot.events) {
+    const std::size_t run = ev.run;
+    const double slot_ms = run < snapshot.run_slot_ms.size()
+                               ? snapshot.run_slot_ms[run]
+                               : 1.0;
+    const double slot_us = slot_ms * 1000.0;
+    if (run < last_slot.size()) {
+      if (last_slot[run] != ev.slot) {
+        last_slot[run] = ev.slot;
+        seq_in_slot[run] = 0;
+      }
+    }
+    const double base =
+        static_cast<double>(ev.slot < 0 ? 0 : ev.slot) * slot_us;
+    const ArgNames names = arg_names(ev.kind);
+    w.begin_object();
+    w.field("name", ev.kind == EventKind::kSlotEnd
+                        ? std::string_view("slot")
+                        : to_string(ev.kind));
+    w.field("cat", "mecar");
+    w.field("pid", 1);
+    w.field("tid", static_cast<std::int64_t>(run) + 1);
+    if (ev.kind == EventKind::kSlotEnd) {
+      // The slot itself renders as a complete span of one slot duration.
+      w.field("ph", "X");
+      w.field("ts", base);
+      w.field("dur", slot_us);
+    } else {
+      w.field("ph", "i");
+      w.field("s", "t");
+      const double offset =
+          run < seq_in_slot.size()
+              ? static_cast<double>(seq_in_slot[run]++) * 1e-3
+              : 0.0;
+      w.field("ts", base + offset);
+    }
+    w.key("args").begin_object();
+    w.field("slot", static_cast<std::int64_t>(ev.slot));
+    if (names.a0 != nullptr) w.field(names.a0, ev.v0);
+    if (names.a1 != nullptr) w.field(names.a1, ev.v1);
+    if (names.a2 != nullptr) w.field(names.a2, ev.v2);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+}
+
+}  // namespace mecar::obs

@@ -1,0 +1,115 @@
+// Structured event tracing: a ring buffer of typed per-slot events emitted
+// by the LP, bandit, and online scheduling layers.
+//
+// Timestamps are simulated-slot indices, never wall-clock — exporting the
+// same seeded run twice produces byte-identical traces, and the default
+// (tracing disabled) runs skip everything behind one relaxed atomic load.
+// Tracing is an explicitly-enabled debugging aid, not an always-on path:
+// emit() takes a mutex when enabled, which is fine for --seeds=1 style
+// diagnostic runs and keeps multi-threaded sweeps safe (events from
+// different runs interleave in arrival order; exporters group by run id).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef MECAR_TELEMETRY_ENABLED
+#define MECAR_TELEMETRY_ENABLED 1
+#endif
+
+namespace mecar::obs {
+
+enum class EventKind : std::uint8_t {
+  kSlotBegin,        // v0 = pending requests entering the slot
+  kSlotEnd,          // v0 = slot reward, v1 = active streams
+  kLpSolve,          // v0 = pivots, v1 = refactorizations, v2 = warm (0/1)
+  kArmPull,          // v0 = arm index, v1 = threshold value
+  kArmElimination,   // v0 = arm index, v1 = active arms remaining
+  kAdmission,        // v0 = request id, v1 = station id
+  kPreemption,       // v0 = request id, v1 = station id it lost
+  kDisplacement,     // v0 = request id, v1 = cause (0 outage, 1 partition)
+  kFaultEpochBegin,  // v0 = epoch index, v1 = stations up
+  kFaultEpochEnd,    // v0 = epoch index, v1 = slots the epoch lasted
+};
+
+std::string_view to_string(EventKind kind);
+
+/// One trace record. `run` indexes the run registered via begin_run (one
+/// per simulator run when tracing); `slot` is the simulated slot at emit
+/// time (-1 before the first set_slot). Payload meanings per kind above.
+struct Event {
+  EventKind kind = EventKind::kSlotBegin;
+  std::uint16_t run = 0;
+  std::int32_t slot = -1;
+  double v0 = 0.0;
+  double v1 = 0.0;
+  double v2 = 0.0;
+};
+
+/// Global ring buffer of events. Disabled by default: emit() is a single
+/// relaxed atomic load then return. enable(capacity) arms it; when the ring
+/// fills, the oldest events are overwritten and `dropped` counts them.
+class EventTrace {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  EventTrace();
+  ~EventTrace();
+  EventTrace(const EventTrace&) = delete;
+  EventTrace& operator=(const EventTrace&) = delete;
+
+  /// Arms tracing with a ring of `capacity` events (clears prior state).
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable();
+  bool enabled() const noexcept;
+
+  /// Drops all recorded events and run registrations, keeps enabled state.
+  void clear();
+
+  /// Registers a run (one simulator execution) and makes it this thread's
+  /// current run context; subsequent set_slot/emit on this thread attach
+  /// to it. `slot_ms` scales slot indices to microseconds for the chrome
+  /// exporter. No-op (returns -1) when disabled.
+  int begin_run(std::string label, double slot_ms);
+
+  /// Sets the current simulated slot for this thread's run context.
+  void set_slot(std::int32_t slot) noexcept;
+
+  /// Appends an event bound to this thread's run/slot context.
+  void emit(EventKind kind, double v0 = 0.0, double v1 = 0.0,
+            double v2 = 0.0) noexcept;
+
+  struct Snapshot {
+    std::vector<Event> events;  // oldest first
+    std::vector<std::string> run_labels;
+    std::vector<double> run_slot_ms;
+    std::uint64_t dropped = 0;
+  };
+
+  /// Copies the ring in emission order. Safe to call while disabled.
+  Snapshot snapshot() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Process-global trace; armed by exp::run_with_telemetry when a trace
+/// export is requested, otherwise it stays disabled.
+EventTrace& trace();
+
+/// Plain JSON export: {"dropped": N, "runs": [...], "events": [...]}.
+void write_trace_json(const EventTrace::Snapshot& snapshot,
+                      std::ostream& os);
+
+/// chrome://tracing (trace-event format) export on simulated time: slots
+/// become "X" complete events of one slot duration, everything else an
+/// instant event; runs map to tids with thread_name metadata.
+void write_chrome_trace(const EventTrace::Snapshot& snapshot,
+                        std::ostream& os);
+
+}  // namespace mecar::obs

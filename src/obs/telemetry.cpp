@@ -1,0 +1,509 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/json_writer.h"
+#include "util/stats.h"
+
+namespace mecar::obs {
+
+std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Monotonic id shared by every registry instance ever constructed; lets
+/// the thread-local shard cache detect a stale entry whose registry was
+/// destroyed and another allocated at the same address.
+std::atomic<std::uint64_t>& generation_source() {
+  static std::atomic<std::uint64_t> gen{0};
+  return gen;
+}
+
+struct HistData {
+  std::vector<std::uint64_t> counts;  // boundaries.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+struct MetricRegistry::Shard {
+  struct GaugeCell {
+    double value = 0.0;
+    std::uint64_t version = 0;  // 0 = never set
+  };
+  std::vector<double> counters;
+  std::vector<GaugeCell> gauges;
+  std::vector<HistData> hists;
+};
+
+struct MetricRegistry::Impl {
+  struct CounterDef {
+    std::string name, help;
+  };
+  struct GaugeDef {
+    std::string name, help;
+  };
+  struct HistDef {
+    std::string name, help;
+    std::vector<double> boundaries;
+  };
+
+  mutable std::mutex mutex;
+  std::uint64_t generation = 0;
+  std::vector<CounterDef> counter_defs;
+  std::vector<GaugeDef> gauge_defs;
+  std::vector<HistDef> hist_defs;
+  std::vector<std::unique_ptr<Shard>> shards;
+  /// Global version source for gauge last-write-wins resolution.
+  std::atomic<std::uint64_t> gauge_version{0};
+};
+
+namespace {
+
+/// Thread-local shard cache: (registry address, generation) -> shard. The
+/// generation check keeps a recycled registry address from resurrecting a
+/// destroyed registry's shard pointer.
+struct TlsEntry {
+  const void* reg = nullptr;
+  std::uint64_t generation = 0;
+  void* shard = nullptr;  // MetricRegistry::Shard* (private type)
+};
+thread_local std::vector<TlsEntry> tls_shards;
+
+}  // namespace
+
+MetricRegistry::MetricRegistry() : impl_(std::make_unique<Impl>()) {
+  impl_->generation = generation_source().fetch_add(1) + 1;
+}
+
+MetricRegistry::~MetricRegistry() = default;
+
+MetricRegistry::Shard& MetricRegistry::local_shard() const {
+  for (TlsEntry& entry : tls_shards) {
+    if (entry.reg == this && entry.generation == impl_->generation) {
+      return *static_cast<Shard*>(entry.shard);
+    }
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto shard = std::make_unique<Shard>();
+  shard->counters.assign(impl_->counter_defs.size(), 0.0);
+  shard->gauges.assign(impl_->gauge_defs.size(), Shard::GaugeCell{});
+  shard->hists.resize(impl_->hist_defs.size());
+  for (std::size_t h = 0; h < impl_->hist_defs.size(); ++h) {
+    shard->hists[h].counts.assign(impl_->hist_defs[h].boundaries.size() + 1,
+                                  0);
+  }
+  Shard* raw = shard.get();
+  impl_->shards.push_back(std::move(shard));
+  // Replace a stale entry for this address, if any.
+  for (TlsEntry& entry : tls_shards) {
+    if (entry.reg == this) {
+      entry.generation = impl_->generation;
+      entry.shard = raw;
+      return *raw;
+    }
+  }
+  tls_shards.push_back(TlsEntry{this, impl_->generation, raw});
+  return *raw;
+}
+
+Counter MetricRegistry::counter(std::string_view name,
+                                std::string_view help) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& def : impl_->gauge_defs) {
+    if (def.name == name) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' already registered as a gauge");
+    }
+  }
+  for (const auto& def : impl_->hist_defs) {
+    if (def.name == name) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' already registered as a histogram");
+    }
+  }
+  for (std::size_t i = 0; i < impl_->counter_defs.size(); ++i) {
+    if (impl_->counter_defs[i].name == name) {
+      return Counter(this, static_cast<int>(i));
+    }
+  }
+  impl_->counter_defs.push_back(
+      Impl::CounterDef{std::string(name), std::string(help)});
+  return Counter(this, static_cast<int>(impl_->counter_defs.size()) - 1);
+}
+
+Gauge MetricRegistry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& def : impl_->counter_defs) {
+    if (def.name == name) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' already registered as a counter");
+    }
+  }
+  for (const auto& def : impl_->hist_defs) {
+    if (def.name == name) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' already registered as a histogram");
+    }
+  }
+  for (std::size_t i = 0; i < impl_->gauge_defs.size(); ++i) {
+    if (impl_->gauge_defs[i].name == name) {
+      return Gauge(this, static_cast<int>(i));
+    }
+  }
+  impl_->gauge_defs.push_back(
+      Impl::GaugeDef{std::string(name), std::string(help)});
+  return Gauge(this, static_cast<int>(impl_->gauge_defs.size()) - 1);
+}
+
+Histogram MetricRegistry::histogram(std::string_view name,
+                                    std::vector<double> boundaries,
+                                    std::string_view help) {
+  if (boundaries.empty()) {
+    throw std::invalid_argument("histogram '" + std::string(name) +
+                                "': no boundaries");
+  }
+  if (!std::is_sorted(boundaries.begin(), boundaries.end())) {
+    throw std::invalid_argument("histogram '" + std::string(name) +
+                                "': boundaries not sorted");
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& def : impl_->counter_defs) {
+    if (def.name == name) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' already registered as a counter");
+    }
+  }
+  for (const auto& def : impl_->gauge_defs) {
+    if (def.name == name) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' already registered as a gauge");
+    }
+  }
+  for (std::size_t i = 0; i < impl_->hist_defs.size(); ++i) {
+    if (impl_->hist_defs[i].name == name) {
+      if (impl_->hist_defs[i].boundaries != boundaries) {
+        throw std::logic_error("histogram '" + std::string(name) +
+                               "' re-registered with different boundaries");
+      }
+      return Histogram(this, static_cast<int>(i));
+    }
+  }
+  impl_->hist_defs.push_back(Impl::HistDef{std::string(name),
+                                           std::string(help),
+                                           std::move(boundaries)});
+  return Histogram(this, static_cast<int>(impl_->hist_defs.size()) - 1);
+}
+
+void MetricRegistry::record_counter(int id, double delta) const noexcept {
+  Shard& shard = local_shard();
+  if (static_cast<std::size_t>(id) >= shard.counters.size()) {
+    shard.counters.resize(static_cast<std::size_t>(id) + 1, 0.0);
+  }
+  shard.counters[static_cast<std::size_t>(id)] += delta;
+}
+
+void MetricRegistry::record_gauge(int id, double value) const noexcept {
+  Shard& shard = local_shard();
+  if (static_cast<std::size_t>(id) >= shard.gauges.size()) {
+    shard.gauges.resize(static_cast<std::size_t>(id) + 1);
+  }
+  Shard::GaugeCell& cell = shard.gauges[static_cast<std::size_t>(id)];
+  cell.value = value;
+  cell.version =
+      impl_->gauge_version.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void MetricRegistry::record_histogram(int id, double value) const noexcept {
+  Shard& shard = local_shard();
+  std::size_t num_bounds = 0;
+  {
+    // The boundary list is immutable after registration; reading its size
+    // without the lock is safe because the def vector only grows and the
+    // recording thread's handle proves the def exists.
+    num_bounds = impl_->hist_defs[static_cast<std::size_t>(id)]
+                     .boundaries.size();
+  }
+  if (static_cast<std::size_t>(id) >= shard.hists.size()) {
+    shard.hists.resize(static_cast<std::size_t>(id) + 1);
+  }
+  HistData& h = shard.hists[static_cast<std::size_t>(id)];
+  if (h.counts.size() != num_bounds + 1) h.counts.assign(num_bounds + 1, 0);
+  const auto& bounds =
+      impl_->hist_defs[static_cast<std::size_t>(id)].boundaries;
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds.begin());
+  ++h.counts[bucket];
+  ++h.count;
+  h.sum += value;
+  h.min = std::min(h.min, value);
+  h.max = std::max(h.max, value);
+}
+
+void Counter::add(double delta) const noexcept {
+#if MECAR_TELEMETRY_ENABLED
+  if (reg_ != nullptr) reg_->record_counter(id_, delta);
+#else
+  (void)delta;
+#endif
+}
+
+void Gauge::set(double value) const noexcept {
+#if MECAR_TELEMETRY_ENABLED
+  if (reg_ != nullptr) reg_->record_gauge(id_, value);
+#else
+  (void)value;
+#endif
+}
+
+void Histogram::observe(double value) const noexcept {
+#if MECAR_TELEMETRY_ENABLED
+  if (reg_ != nullptr) reg_->record_histogram(id_, value);
+#else
+  (void)value;
+#endif
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MetricsSnapshot out;
+  out.counters.reserve(impl_->counter_defs.size());
+  for (std::size_t i = 0; i < impl_->counter_defs.size(); ++i) {
+    CounterSnapshot c;
+    c.name = impl_->counter_defs[i].name;
+    c.help = impl_->counter_defs[i].help;
+    for (const auto& shard : impl_->shards) {
+      if (i < shard->counters.size()) c.value += shard->counters[i];
+    }
+    out.counters.push_back(std::move(c));
+  }
+  out.gauges.reserve(impl_->gauge_defs.size());
+  for (std::size_t i = 0; i < impl_->gauge_defs.size(); ++i) {
+    GaugeSnapshot g;
+    g.name = impl_->gauge_defs[i].name;
+    g.help = impl_->gauge_defs[i].help;
+    std::uint64_t best_version = 0;
+    for (const auto& shard : impl_->shards) {
+      if (i >= shard->gauges.size()) continue;
+      const Shard::GaugeCell& cell = shard->gauges[i];
+      if (cell.version > best_version) {
+        best_version = cell.version;
+        g.value = cell.value;
+      }
+    }
+    g.ever_set = best_version > 0;
+    out.gauges.push_back(std::move(g));
+  }
+  out.histograms.reserve(impl_->hist_defs.size());
+  for (std::size_t i = 0; i < impl_->hist_defs.size(); ++i) {
+    HistogramSnapshot h;
+    h.name = impl_->hist_defs[i].name;
+    h.help = impl_->hist_defs[i].help;
+    h.boundaries = impl_->hist_defs[i].boundaries;
+    h.counts.assign(h.boundaries.size() + 1, 0);
+    for (const auto& shard : impl_->shards) {
+      if (i >= shard->hists.size()) continue;
+      const HistData& data = shard->hists[i];
+      if (data.count == 0) continue;
+      for (std::size_t b = 0;
+           b < data.counts.size() && b < h.counts.size(); ++b) {
+        h.counts[b] += data.counts[b];
+      }
+      h.count += data.count;
+      h.sum += data.sum;
+      h.min = std::min(h.min, data.min);
+      h.max = std::max(h.max, data.max);
+    }
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& shard : impl_->shards) {
+    std::fill(shard->counters.begin(), shard->counters.end(), 0.0);
+    std::fill(shard->gauges.begin(), shard->gauges.end(),
+              Shard::GaugeCell{});
+    for (HistData& h : shard->hists) {
+      std::fill(h.counts.begin(), h.counts.end(), 0);
+      h.count = 0;
+      h.sum = 0.0;
+      h.min = std::numeric_limits<double>::infinity();
+      h.max = -std::numeric_limits<double>::infinity();
+    }
+  }
+}
+
+std::vector<MetricDescriptor> MetricRegistry::descriptors() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<MetricDescriptor> out;
+  out.reserve(impl_->counter_defs.size() + impl_->gauge_defs.size() +
+              impl_->hist_defs.size());
+  for (const auto& def : impl_->counter_defs) {
+    out.push_back(MetricDescriptor{def.name, def.help, MetricKind::kCounter,
+                                   {}});
+  }
+  for (const auto& def : impl_->gauge_defs) {
+    out.push_back(MetricDescriptor{def.name, def.help, MetricKind::kGauge,
+                                   {}});
+  }
+  for (const auto& def : impl_->hist_defs) {
+    out.push_back(MetricDescriptor{def.name, def.help,
+                                   MetricKind::kHistogram, def.boundaries});
+  }
+  return out;
+}
+
+double HistogramSnapshot::percentile(double pct) const {
+  if (count == 0) return 0.0;
+  const double est = util::histogram_percentile(boundaries, counts, pct);
+  return std::clamp(est, min, max);
+}
+
+bool MetricsSnapshot::empty() const noexcept {
+  for (const CounterSnapshot& c : counters) {
+    if (c.value != 0.0) return false;
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.ever_set) return false;
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.count > 0) return false;
+  }
+  return true;
+}
+
+const CounterSnapshot* MetricsSnapshot::find_counter(
+    std::string_view name) const noexcept {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* MetricsSnapshot::find_gauge(
+    std::string_view name) const noexcept {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    std::string_view name) const noexcept {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricRegistry& registry() {
+  static MetricRegistry global;
+  return global;
+}
+
+namespace {
+
+/// `lp.pivots` -> `mecar_lp_pivots` (Prometheus metric-name charset).
+std::string prometheus_name(std::string_view name) {
+  std::string out = "mecar_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void prometheus_header(std::ostream& os, const std::string& name,
+                       const std::string& help, std::string_view type) {
+  if (!help.empty()) os << "# HELP " << name << ' ' << help << '\n';
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& os) {
+  for (const CounterSnapshot& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name);
+    prometheus_header(os, name, c.help, "counter");
+    os << name << ' ' << util::json_number(c.value) << '\n';
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    const std::string name = prometheus_name(g.name);
+    prometheus_header(os, name, g.help, "gauge");
+    os << name << ' ' << util::json_number(g.value) << '\n';
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string name = prometheus_name(h.name);
+    prometheus_header(os, name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.boundaries.size(); ++b) {
+      cumulative += h.counts[b];
+      os << name << "_bucket{le=\"" << util::json_number(h.boundaries[b])
+         << "\"} " << cumulative << '\n';
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << name << "_sum " << util::json_number(h.sum) << '\n';
+    os << name << "_count " << h.count << '\n';
+  }
+}
+
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& os) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const CounterSnapshot& c : snapshot.counters) {
+    w.field(c.name, c.value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    w.field(g.name, g.value);
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    w.key(h.name).begin_object();
+    w.key("boundaries").begin_array();
+    for (double b : h.boundaries) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (std::uint64_t c : h.counts) {
+      w.value(static_cast<std::int64_t>(c));
+    }
+    w.end_array();
+    w.field("count", static_cast<std::int64_t>(h.count));
+    w.field("sum", h.sum);
+    if (h.count > 0) {
+      w.field("min", h.min);
+      w.field("max", h.max);
+      w.field("p50", h.percentile(50.0));
+      w.field("p95", h.percentile(95.0));
+      w.field("p99", h.percentile(99.0));
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace mecar::obs

@@ -8,6 +8,8 @@
 #include "bandit/ucb1.h"
 #include "core/slot_lp.h"
 #include "lp/revised_simplex.h"
+#include "obs/catalog.h"
+#include "obs/event_trace.h"
 #include "util/log.h"
 
 namespace mecar::sim {
@@ -96,6 +98,10 @@ SlotDecision DynamicRrPolicy::decide(const SlotView& view) {
       learn(mean_reward / scale);
     }
     last_threshold_ = next_threshold();
+    obs::EventTrace& tr = obs::trace();
+    if (tr.enabled()) {
+      tr.emit(obs::EventKind::kArmPull, played_arm_, last_threshold_);
+    }
     window_open_ = true;
     window_pos_ = 0;
     window_reward_ = 0.0;
@@ -289,6 +295,7 @@ void DynamicRrPolicy::admit_new(const mec::Topology& topo,
       // into an empty assignment — every batch entry falls through to the
       // per-request greedy path below.
       ++degradation_.lp_fallbacks;
+      obs::metrics().sim_lp_fallbacks.add();
       util::log_debug() << "DynamicRR: LP-PT not optimal ("
                         << lp::to_string(res.status) << "), greedy fallback";
     }

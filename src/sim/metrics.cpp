@@ -22,8 +22,8 @@ DetailedSummary summarize(const OnlineMetrics& metrics) {
   if (!metrics.completed_latencies_ms.empty()) {
     std::vector<double> sorted = metrics.completed_latencies_ms;
     std::sort(sorted.begin(), sorted.end());
-    out.latency_p50_ms = util::quantile(sorted, 0.5);
-    out.latency_p95_ms = util::quantile(sorted, 0.95);
+    out.latency_p50_ms = util::percentile(sorted, 50.0);
+    out.latency_p95_ms = util::percentile(sorted, 95.0);
     out.latency_max_ms = sorted.back();
   }
   out.service_fairness = jain_index(metrics.service_ratios);

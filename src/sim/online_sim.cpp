@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "mec/topology_overlay.h"
+#include "obs/catalog.h"
+#include "obs/event_trace.h"
 #include "util/log.h"
 
 namespace mecar::sim {
@@ -118,6 +120,20 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
   metrics.per_slot_reward.assign(
       static_cast<std::size_t>(params_.horizon_slots), 0.0);
 
+  // Telemetry. Counters are always cheap; the event trace is armed only
+  // when an export was requested (exp::run_with_telemetry), so default
+  // runs pay one relaxed load per slot.
+  const obs::Metrics& om = obs::metrics();
+  obs::EventTrace& tr = obs::trace();
+  const bool tracing = tr.enabled();
+  if (tracing) tr.begin_run(policy.name(), params_.slot_ms);
+  // Preemption = a served, placed stream that was active last slot but not
+  // re-activated this slot (transition-counted, not per-idle-slot).
+  std::vector<char> was_active(states.size(), 0);
+  // Fault-epoch trace bookkeeping: the slot the current epoch began.
+  int epoch_index = -1;
+  int epoch_begin_slot = 0;
+
   // Fault attribution state (see DropCause): per request, the minimal
   // placement latency over live stations of the *faulted* network, the
   // number of slots in which only faults blocked a budget-feasible
@@ -168,6 +184,8 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
   };
 
   for (int t = 0; t < params_.horizon_slots; ++t) {
+    om.sim_slots.add();
+    if (tracing) tr.set_slot(t);
     // Mobility: re-attach moved users (before drop checks, so a move into
     // better coverage can save a request from starvation this very slot).
     for (const MobilityEvent& move : params_.mobility) {
@@ -181,6 +199,7 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
       if (req.home_station == move.new_home) continue;
       req.home_station = move.new_home;
       ++metrics.handovers;
+      om.sim_handovers.add();
       double best = std::numeric_limits<double>::infinity();
       for (int bs = 0; bs < topo_.num_stations(); ++bs) {
         best = std::min(best, mec::placement_latency_ms(topo_, req, bs));
@@ -206,6 +225,19 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
         for (std::size_t j = 0; j < requests.size(); ++j) {
           eff_min[j] = eff_min_of(requests[j]);
         }
+        om.sim_fault_epochs.add();
+        if (tracing) {
+          if (epoch_index >= 0) {
+            tr.emit(obs::EventKind::kFaultEpochEnd, epoch_index,
+                    t - epoch_begin_slot);
+          }
+          ++epoch_index;
+          epoch_begin_slot = t;
+          int stations_up = 0;
+          for (char u : up) stations_up += u;
+          tr.emit(obs::EventKind::kFaultEpochBegin, epoch_index,
+                  stations_up);
+        }
       }
       prev_up = up;
     }
@@ -219,6 +251,11 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
       if (!station_down && !unreachable) continue;
       st.station = -1;  // displaced; policy must re-place
       ++metrics.displaced;
+      om.sim_displacements.add();
+      if (tracing) {
+        tr.emit(obs::EventKind::kDisplacement, static_cast<double>(j),
+                station_down ? 0.0 : 1.0);
+      }
       if (station_down) {
         ++metrics.resilience.displaced_outage;
       } else {
@@ -250,6 +287,7 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
           st.phase = Phase::kDropped;  // starved: deadline unmeetable
           dropped_expected += req.demand.expected_reward();
           account_drop(j);
+          om.sim_drops.add();
           continue;
         }
         if (chaos && wait_ms + eff_min[j] > req.latency_budget_ms) {
@@ -262,6 +300,11 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
       } else if (st.phase == Phase::kServed) {
         view.pending.push_back(static_cast<int>(j));
       }
+    }
+
+    if (tracing) {
+      tr.emit(obs::EventKind::kSlotBegin,
+              static_cast<double>(view.pending.size()));
     }
 
     // 2. Policy decision.
@@ -299,6 +342,11 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
         }
         const std::size_t level = realized_[j];
         st.phase = Phase::kServed;
+        om.sim_admissions.add();
+        if (tracing) {
+          tr.emit(obs::EventKind::kAdmission, static_cast<double>(j),
+                  act.station);
+        }
         st.station = act.station;
         st.first_service_slot = t;
         st.realized_level = level;
@@ -324,6 +372,20 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
         }
       }
       st.active_this_slot = true;
+    }
+
+    // Preemptions: placed streams the policy served last slot but left
+    // idle this slot (displacements already zeroed their station above).
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      const RequestState& st = states[j];
+      if (was_active[j] != 0 && !st.active_this_slot &&
+          st.phase == Phase::kServed && st.station >= 0) {
+        om.sim_preemptions.add();
+        if (tracing) {
+          tr.emit(obs::EventKind::kPreemption, static_cast<double>(j),
+                  st.station);
+        }
+      }
     }
 
     // 4. Per-station max-min fair allocation among active streams.
@@ -357,6 +419,7 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
         slot_allocated += alloc[k];
         if (st.work_done >= st.work_total - 1e-9) {
           st.phase = Phase::kCompleted;
+          om.sim_completions.add();
           st.reward = requests[ids[k]].demand.level(st.realized_level).reward;
           slot_reward += st.reward;
           if (params_.collect_detail) {
@@ -367,6 +430,18 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
     }
     metrics.per_slot_reward[static_cast<std::size_t>(t)] = slot_reward;
     metrics.total_reward += slot_reward;
+    om.sim_slot_reward.observe(slot_reward);
+    int active_streams = 0;
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      const RequestState& st = states[j];
+      const bool active_now =
+          st.active_this_slot && st.phase == Phase::kServed;
+      active_streams += active_now ? 1 : 0;
+      was_active[j] = active_now ? 1 : 0;
+    }
+    if (tracing) {
+      tr.emit(obs::EventKind::kSlotEnd, slot_reward, active_streams);
+    }
     if (params_.collect_detail) {
       metrics.per_slot_utilization.push_back(
           slot_allocated / topo_.total_capacity_mhz());
@@ -399,6 +474,7 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
       case Phase::kWaiting:
         ++metrics.dropped;  // never scheduled within the horizon
         account_drop(j);
+        om.sim_drops.add();
         break;
       case Phase::kServed:
         ++metrics.unfinished;
@@ -414,6 +490,10 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
         recovery_slots_total / metrics.resilience.recovered;
   }
   if (overlay) metrics.resilience.fault_epochs = overlay->epochs();
+  if (tracing && epoch_index >= 0) {
+    tr.emit(obs::EventKind::kFaultEpochEnd, epoch_index,
+            params_.horizon_slots - epoch_begin_slot);
+  }
   return metrics;
 }
 

@@ -62,6 +62,66 @@ double quantile_unsorted(std::span<const double> samples, double q) {
   return quantile(copy, q);
 }
 
+double percentile(std::span<const double> sorted_samples, double pct) {
+  if (pct < 0.0 || pct > 100.0) {
+    throw std::invalid_argument("percentile: pct outside [0,100]");
+  }
+  return quantile(sorted_samples, pct / 100.0);
+}
+
+double percentile_unsorted(std::span<const double> samples, double pct) {
+  std::vector<double> copy(samples.begin(), samples.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile(copy, pct);
+}
+
+PercentileSummary percentile_summary(std::span<const double> samples) {
+  std::vector<double> copy(samples.begin(), samples.end());
+  std::sort(copy.begin(), copy.end());
+  PercentileSummary out;
+  out.p50 = percentile(copy, 50.0);
+  out.p95 = percentile(copy, 95.0);
+  out.p99 = percentile(copy, 99.0);
+  return out;
+}
+
+double histogram_percentile(std::span<const double> boundaries,
+                            std::span<const std::uint64_t> counts,
+                            double pct) {
+  if (pct < 0.0 || pct > 100.0) {
+    throw std::invalid_argument("histogram_percentile: pct outside [0,100]");
+  }
+  if (boundaries.empty() || counts.size() != boundaries.size() + 1) {
+    throw std::invalid_argument(
+        "histogram_percentile: counts must have boundaries.size()+1 buckets");
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) {
+    throw std::invalid_argument("histogram_percentile: empty histogram");
+  }
+  const double rank = pct / 100.0 * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (cumulative + in_bucket < rank || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (b == boundaries.size()) {
+      // Overflow bucket has no upper edge; the best bounded estimate is
+      // the last boundary.
+      return boundaries.back();
+    }
+    const double lower = b == 0 ? std::min(0.0, boundaries[0])
+                                : boundaries[b - 1];
+    const double upper = boundaries[b];
+    const double frac = (rank - cumulative) / in_bucket;
+    return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+  }
+  return boundaries.back();
+}
+
 double mean(std::span<const double> samples) noexcept {
   if (samples.empty()) return 0.0;
   return sum(samples) / static_cast<double>(samples.size());

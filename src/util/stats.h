@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
@@ -42,6 +43,36 @@ double quantile(std::span<const double> sorted_samples, double q);
 
 /// Sorts a copy of `samples` and returns the q-th quantile.
 double quantile_unsorted(std::span<const double> samples, double q);
+
+/// Percentile convenience over quantile: pct in [0,100].
+/// percentile(s, 95.0) == quantile(s, 0.95) bit-for-bit (pct/100.0 rounds
+/// to the same double for the percentiles we use), so callers can migrate
+/// without perturbing golden outputs.
+double percentile(std::span<const double> sorted_samples, double pct);
+
+/// Sorts a copy of `samples` and returns the pct-th percentile.
+double percentile_unsorted(std::span<const double> samples, double pct);
+
+/// The three tail percentiles every latency report wants, in one pass over
+/// an unsorted sample. Throws std::invalid_argument when empty.
+struct PercentileSummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+PercentileSummary percentile_summary(std::span<const double> samples);
+
+/// Percentile estimate from a fixed-boundary histogram, as produced by
+/// obs::MetricRegistry snapshots: `counts` has boundaries.size() + 1
+/// buckets, the last being the overflow bucket (boundaries.back(), +inf).
+/// Linear interpolation inside the target bucket; the first bucket's lower
+/// edge is taken as min(0, boundaries[0]) and ranks landing in the
+/// overflow bucket return boundaries.back() (there is no upper edge to
+/// interpolate toward). Throws std::invalid_argument on an empty
+/// histogram, mismatched sizes, or pct outside [0,100].
+double histogram_percentile(std::span<const double> boundaries,
+                            std::span<const std::uint64_t> counts,
+                            double pct);
 
 /// Arithmetic mean; 0 for an empty span.
 double mean(std::span<const double> samples) noexcept;

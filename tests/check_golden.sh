@@ -14,7 +14,14 @@ check() {
   name=$1
   filter=${2:-}
   if [ ! -x "$build/bench/$name" ]; then
-    echo "MISSING: $build/bench/$name" >&2
+    echo "MISSING BINARY: $build/bench/$name is absent or not executable" >&2
+    echo "  (build it first: cmake --build $build --target $name)" >&2
+    fail=1
+    return
+  fi
+  if [ ! -f "$root/tests/golden/$name.txt" ]; then
+    echo "MISSING GOLDEN: $root/tests/golden/$name.txt does not exist" >&2
+    echo "  (capture it from a known-good build: $build/bench/$name > tests/golden/$name.txt)" >&2
     fail=1
     return
   fi

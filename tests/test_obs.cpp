@@ -1,0 +1,444 @@
+// Telemetry subsystem tests: metric registry semantics (registration,
+// recording, sharded aggregation, reset), event-trace ring behavior, both
+// exporters' text formats, the well-known metric catalog, and the
+// run_with_telemetry export round-trip. Value assertions that require
+// recording to be compiled in are gated on MECAR_TELEMETRY_ENABLED so the
+// suite also passes under -DMECAR_TELEMETRY=OFF (values stay zero there).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/registry.h"
+#include "exp/runner.h"
+#include "exp/scenario.h"
+#include "exp/telemetry.h"
+#include "obs/catalog.h"
+#include "obs/event_trace.h"
+#include "obs/telemetry.h"
+
+namespace {
+
+using namespace mecar;
+
+// ---- metric registry ------------------------------------------------------
+
+TEST(MetricRegistry, CountersAccumulateAndSnapshot) {
+  obs::MetricRegistry reg;
+  obs::Counter c = reg.counter("test.count", "a counter");
+  c.add();
+  c.add(2.5);
+  // Re-registering the same name yields a handle to the same metric.
+  obs::Counter same = reg.counter("test.count");
+  same.add(0.5);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  const obs::CounterSnapshot* found = snap.find_counter("test.count");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->help, "a counter");
+#if MECAR_TELEMETRY_ENABLED
+  EXPECT_DOUBLE_EQ(found->value, 4.0);
+  EXPECT_FALSE(snap.empty());
+#else
+  EXPECT_DOUBLE_EQ(found->value, 0.0);
+  EXPECT_TRUE(snap.empty());
+#endif
+  EXPECT_EQ(snap.find_counter("no.such"), nullptr);
+}
+
+TEST(MetricRegistry, GaugeIsLastWriteWins) {
+  obs::MetricRegistry reg;
+  obs::Gauge g = reg.gauge("test.gauge");
+  const obs::MetricsSnapshot before = reg.snapshot();
+  ASSERT_NE(before.find_gauge("test.gauge"), nullptr);
+  EXPECT_FALSE(before.find_gauge("test.gauge")->ever_set);
+  g.set(7.0);
+  g.set(3.0);
+  const obs::MetricsSnapshot after = reg.snapshot();
+  const obs::GaugeSnapshot* found = after.find_gauge("test.gauge");
+  ASSERT_NE(found, nullptr);
+#if MECAR_TELEMETRY_ENABLED
+  EXPECT_TRUE(found->ever_set);
+  EXPECT_DOUBLE_EQ(found->value, 3.0);
+#else
+  EXPECT_FALSE(found->ever_set);
+#endif
+}
+
+TEST(MetricRegistry, HistogramBucketsAndStats) {
+  obs::MetricRegistry reg;
+  obs::Histogram h = reg.histogram("test.hist", {1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.5, 1.5, 3.0, 100.0}) h.observe(v);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::HistogramSnapshot* found = snap.find_histogram("test.hist");
+  ASSERT_NE(found, nullptr);
+  ASSERT_EQ(found->boundaries.size(), 3u);
+  ASSERT_EQ(found->counts.size(), 4u);  // 3 finite buckets + overflow
+#if MECAR_TELEMETRY_ENABLED
+  EXPECT_EQ(found->counts[0], 1u);  // (-inf, 1]
+  EXPECT_EQ(found->counts[1], 2u);  // (1, 2]
+  EXPECT_EQ(found->counts[2], 1u);  // (2, 4]
+  EXPECT_EQ(found->counts[3], 1u);  // (4, +inf)
+  EXPECT_EQ(found->count, 5u);
+  EXPECT_DOUBLE_EQ(found->sum, 106.5);
+  EXPECT_DOUBLE_EQ(found->min, 0.5);
+  EXPECT_DOUBLE_EQ(found->max, 100.0);
+  // Percentiles interpolate inside buckets and clamp to [min, max].
+  const double p50 = found->percentile(50.0);
+  EXPECT_GE(p50, found->min);
+  EXPECT_LE(p50, 2.0);
+  // p100 lands in the overflow bucket, whose best bounded estimate is the
+  // last finite boundary (then clamped into [min, max]).
+  EXPECT_DOUBLE_EQ(found->percentile(100.0), 4.0);
+  EXPECT_DOUBLE_EQ(found->percentile(0.0), found->min);
+#else
+  EXPECT_EQ(found->count, 0u);
+  EXPECT_DOUBLE_EQ(found->percentile(50.0), 0.0);
+#endif
+}
+
+TEST(MetricRegistry, KindMismatchThrows) {
+  obs::MetricRegistry reg;
+  (void)reg.counter("mixed.name");
+  EXPECT_THROW((void)reg.gauge("mixed.name"), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("mixed.name", {1.0}), std::logic_error);
+  (void)reg.histogram("hist.name", {1.0, 2.0});
+  // Same kind, different boundaries: also a conflict.
+  EXPECT_THROW((void)reg.histogram("hist.name", {1.0, 3.0}),
+               std::logic_error);
+  // Identical re-registration is fine.
+  EXPECT_NO_THROW((void)reg.histogram("hist.name", {1.0, 2.0}));
+}
+
+TEST(MetricRegistry, ResetZeroesButKeepsRegistrations) {
+  obs::MetricRegistry reg;
+  obs::Counter c = reg.counter("reset.count");
+  obs::Histogram h = reg.histogram("reset.hist", {1.0});
+  c.add(5.0);
+  h.observe(0.5);
+  reg.reset();
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_NE(snap.find_counter("reset.count"), nullptr);
+  ASSERT_NE(snap.find_histogram("reset.hist"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find_counter("reset.count")->value, 0.0);
+  EXPECT_EQ(snap.find_histogram("reset.hist")->count, 0u);
+  EXPECT_TRUE(snap.empty());
+  // Handles stay valid after reset.
+  c.add(1.0);
+#if MECAR_TELEMETRY_ENABLED
+  EXPECT_DOUBLE_EQ(reg.snapshot().find_counter("reset.count")->value, 1.0);
+#endif
+}
+
+TEST(MetricRegistry, DescriptorsListEveryMetricInOrder) {
+  obs::MetricRegistry reg;
+  (void)reg.counter("a.first");
+  (void)reg.gauge("b.gauge");
+  (void)reg.counter("a.second");
+  (void)reg.histogram("c.hist", {1.0, 2.0}, "with help");
+  const std::vector<obs::MetricDescriptor> descs = reg.descriptors();
+  ASSERT_EQ(descs.size(), 4u);
+  EXPECT_EQ(descs[0].name, "a.first");
+  EXPECT_EQ(descs[0].kind, obs::MetricKind::kCounter);
+  EXPECT_EQ(descs[1].name, "a.second");
+  EXPECT_EQ(descs[2].name, "b.gauge");
+  EXPECT_EQ(descs[2].kind, obs::MetricKind::kGauge);
+  EXPECT_EQ(descs[3].name, "c.hist");
+  EXPECT_EQ(descs[3].kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(descs[3].help, "with help");
+  EXPECT_EQ(descs[3].boundaries, (std::vector<double>{1.0, 2.0}));
+}
+
+#if MECAR_TELEMETRY_ENABLED
+TEST(MetricRegistry, CrossThreadCounterSumsAreExact) {
+  obs::MetricRegistry reg;
+  obs::Counter c = reg.counter("mt.count");
+  obs::Histogram h = reg.histogram("mt.hist", {10.0, 100.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(static_cast<double>(i % 200));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // Integral increments sum exactly regardless of thread schedule.
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.find_counter("mt.count")->value,
+                   static_cast<double>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.find_histogram("mt.hist")->count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+#endif
+
+// ---- exporters ------------------------------------------------------------
+
+TEST(MetricExporters, PrometheusFormat) {
+  obs::MetricRegistry reg;
+  reg.counter("lp.pivots", "total pivots").add(12.0);
+  reg.gauge("bandit.active_arms").set(3.0);
+  reg.histogram("sim.reward", {1.0, 2.0}).observe(1.5);
+  std::ostringstream os;
+  obs::write_prometheus(reg.snapshot(), os);
+  const std::string text = os.str();
+  // Dots become underscores under a mecar_ prefix.
+  EXPECT_NE(text.find("# TYPE mecar_lp_pivots counter"), std::string::npos);
+  EXPECT_NE(text.find("# HELP mecar_lp_pivots total pivots"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mecar_bandit_active_arms gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mecar_sim_reward histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("mecar_sim_reward_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("mecar_sim_reward_count"), std::string::npos);
+#if MECAR_TELEMETRY_ENABLED
+  EXPECT_NE(text.find("mecar_lp_pivots 12"), std::string::npos);
+#endif
+}
+
+TEST(MetricExporters, JsonFormatIsWellFormed) {
+  obs::MetricRegistry reg;
+  reg.counter("a.count").add(2.0);
+  reg.gauge("b.gauge").set(1.5);
+  reg.histogram("c.hist", {1.0}).observe(0.5);
+  std::ostringstream os;
+  obs::write_metrics_json(reg.snapshot(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(text.find("\"a.count\""), std::string::npos);
+  // Balanced braces/brackets — a cheap structural sanity check.
+  long braces = 0;
+  long brackets = 0;
+  for (char ch : text) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+// ---- event trace ----------------------------------------------------------
+
+TEST(EventTrace, DisabledEmitIsANoOp) {
+  obs::EventTrace tr;
+  EXPECT_FALSE(tr.enabled());
+  EXPECT_EQ(tr.begin_run("ignored", 1.0), -1);
+  tr.emit(obs::EventKind::kAdmission, 1.0, 2.0);
+  const obs::EventTrace::Snapshot snap = tr.snapshot();
+  EXPECT_TRUE(snap.events.empty());
+  EXPECT_TRUE(snap.run_labels.empty());
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST(EventTrace, RecordsRunSlotContext) {
+  obs::EventTrace tr;
+  tr.enable(64);
+  const int run = tr.begin_run("policyA", 5.0);
+  EXPECT_EQ(run, 0);
+  tr.set_slot(3);
+  tr.emit(obs::EventKind::kLpSolve, 12.0, 1.0, 1.0);
+  tr.set_slot(4);
+  tr.emit(obs::EventKind::kArmPull, 2.0, 800.0);
+  const obs::EventTrace::Snapshot snap = tr.snapshot();
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_EQ(snap.events[0].kind, obs::EventKind::kLpSolve);
+  EXPECT_EQ(snap.events[0].run, 0);
+  EXPECT_EQ(snap.events[0].slot, 3);
+  EXPECT_DOUBLE_EQ(snap.events[0].v0, 12.0);
+  EXPECT_EQ(snap.events[1].kind, obs::EventKind::kArmPull);
+  EXPECT_EQ(snap.events[1].slot, 4);
+  ASSERT_EQ(snap.run_labels.size(), 1u);
+  EXPECT_EQ(snap.run_labels[0], "policyA");
+  EXPECT_DOUBLE_EQ(snap.run_slot_ms[0], 5.0);
+  tr.disable();
+}
+
+TEST(EventTrace, RingWrapsAndCountsDropped) {
+  obs::EventTrace tr;
+  tr.enable(4);
+  (void)tr.begin_run("wrap", 1.0);
+  for (int i = 0; i < 10; ++i) {
+    tr.set_slot(i);
+    tr.emit(obs::EventKind::kSlotBegin, static_cast<double>(i));
+  }
+  const obs::EventTrace::Snapshot snap = tr.snapshot();
+  ASSERT_EQ(snap.events.size(), 4u);
+  EXPECT_EQ(snap.dropped, 6u);
+  // Oldest-first: the survivors are the last four emitted.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap.events[static_cast<std::size_t>(i)].slot, 6 + i);
+  }
+  tr.clear();
+  EXPECT_TRUE(tr.snapshot().events.empty());
+  EXPECT_TRUE(tr.enabled());
+  tr.disable();
+}
+
+TEST(EventTrace, StaleThreadContextAfterClearIsIgnored) {
+  obs::EventTrace tr;
+  tr.enable(16);
+  (void)tr.begin_run("first", 1.0);
+  tr.clear();  // bumps the generation; this thread's context is now stale
+  tr.emit(obs::EventKind::kAdmission, 1.0);
+  EXPECT_TRUE(tr.snapshot().events.empty());
+  tr.disable();
+}
+
+TEST(TraceExporters, JsonAndChromeFormats) {
+  obs::EventTrace tr;
+  tr.enable(32);
+  (void)tr.begin_run("DynamicRR", 10.0);
+  tr.set_slot(0);
+  tr.emit(obs::EventKind::kArmPull, 1.0, 750.0);
+  tr.emit(obs::EventKind::kSlotEnd, 2.5, 3.0);
+  const obs::EventTrace::Snapshot snap = tr.snapshot();
+  tr.disable();
+
+  std::ostringstream js;
+  obs::write_trace_json(snap, js);
+  const std::string plain = js.str();
+  EXPECT_NE(plain.find("\"dropped\""), std::string::npos);
+  EXPECT_NE(plain.find("\"arm_pull\""), std::string::npos);
+  EXPECT_NE(plain.find("\"DynamicRR\""), std::string::npos);
+
+  std::ostringstream cs;
+  obs::write_chrome_trace(snap, cs);
+  const std::string chrome = cs.str();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  // Run 0 gets a thread_name metadata record on tid 1.
+  EXPECT_NE(chrome.find("\"thread_name\""), std::string::npos);
+  // Slot-end renders as a complete span named "slot" with the slot
+  // duration in microseconds (slot_ms = 10 -> dur = 10000).
+  EXPECT_NE(chrome.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"dur\": 10000"), std::string::npos);
+  // Instant events carry named args, not v0/v1.
+  EXPECT_NE(chrome.find("\"threshold\": 750"), std::string::npos);
+  EXPECT_EQ(chrome.find("\"v0\""), std::string::npos);
+}
+
+// ---- catalog --------------------------------------------------------------
+
+TEST(Catalog, RegistersTheWellKnownMetrics) {
+  (void)obs::metrics();  // force registration in the global registry
+  const std::vector<obs::MetricDescriptor> descs =
+      obs::registry().descriptors();
+  const auto has = [&descs](std::string_view name) {
+    for (const obs::MetricDescriptor& d : descs) {
+      if (d.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("lp.pivots"));
+  EXPECT_TRUE(has("lp.warm_start_hits"));
+  EXPECT_TRUE(has("bandit.arm_pulls"));
+  EXPECT_TRUE(has("bandit.active_arms"));
+  EXPECT_TRUE(has("sim.preemptions"));
+  EXPECT_TRUE(has("sim.slot_reward"));
+  EXPECT_TRUE(has("exp.trials"));
+}
+
+// ---- run_with_telemetry round-trip ----------------------------------------
+
+namespace fs_helpers {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace fs_helpers
+
+TEST(RunWithTelemetry, ExportsMetricsAndTrace) {
+  exp::ScenarioSpec spec;
+  spec.name = "obs_roundtrip";
+  spec.axis = exp::SweepAxis::kRequests;
+  spec.points = {20};
+  spec.horizon = 40;
+  spec.policies = {{"DynamicRR", "DynamicRR"}};
+  spec.metrics = {"reward"};
+  exp::Runner runner(spec);
+  runner.set_seeds(1);
+
+  const std::string metrics_path =
+      testing::TempDir() + "obs_metrics.json";
+  const std::string trace_path = testing::TempDir() + "obs_trace.json";
+  exp::TelemetryExportOptions options;
+  options.metrics_path = metrics_path;
+  options.trace_path = trace_path;
+  const exp::Report report = exp::run_with_telemetry(runner, options);
+  EXPECT_FALSE(report.policies().empty());
+  // The trace must be disarmed again after the run.
+  EXPECT_FALSE(obs::trace().enabled());
+
+  const std::string metrics = fs_helpers::slurp(metrics_path);
+  const std::string trace = fs_helpers::slurp(trace_path);
+  EXPECT_NE(metrics.find("\"lp.pivots\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"sim.preemptions\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"bandit.arm_pulls\""), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+#if MECAR_TELEMETRY_ENABLED
+  // A real run must have moved the LP counters (JsonWriter indents with a
+  // space after the colon; a zero counter would print exactly this).
+  EXPECT_EQ(metrics.find("\"lp.pivots\": 0,"), std::string::npos)
+      << "lp.pivots stayed zero across a full scenario run";
+#endif
+  EXPECT_NE(trace.find("\"slot_begin\""), std::string::npos);
+  std::remove(metrics_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(RunWithTelemetry, PrometheusSuffixSelectsTextFormat) {
+  exp::ScenarioSpec spec;
+  spec.name = "obs_prom";
+  spec.axis = exp::SweepAxis::kRequests;
+  spec.points = {15};
+  spec.horizon = 20;
+  spec.policies = {{"online:Greedy", "Greedy"}};
+  spec.metrics = {"reward"};
+  exp::Runner runner(spec);
+  runner.set_seeds(1);
+
+  const std::string metrics_path = testing::TempDir() + "obs_metrics.prom";
+  exp::TelemetryExportOptions options;
+  options.metrics_path = metrics_path;
+  (void)exp::run_with_telemetry(runner, options);
+  const std::string metrics = fs_helpers::slurp(metrics_path);
+  EXPECT_NE(metrics.find("# TYPE mecar_lp_pivots counter"),
+            std::string::npos);
+  std::remove(metrics_path.c_str());
+}
+
+TEST(RunWithTelemetry, ThrowsOnUnwritableOutput) {
+  exp::ScenarioSpec spec;
+  spec.name = "obs_badpath";
+  spec.axis = exp::SweepAxis::kRequests;
+  spec.points = {15};
+  spec.horizon = 10;
+  spec.policies = {{"online:Greedy", "Greedy"}};
+  spec.metrics = {"reward"};
+  exp::Runner runner(spec);
+  runner.set_seeds(1);
+  exp::TelemetryExportOptions options;
+  options.metrics_path = "/nonexistent-dir/metrics.json";
+  EXPECT_THROW((void)exp::run_with_telemetry(runner, options),
+               std::runtime_error);
+}
+
+}  // namespace

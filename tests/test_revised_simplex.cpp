@@ -214,8 +214,19 @@ TEST(WarmStart, EngagesAndReducesPivotsAcrossSlots) {
     const auto cold = solver.solve(models[t]);
     const auto warmed = solver.solve(models[t], warm);
     ASSERT_TRUE(warmed.optimal());
-    cold_pivots += cold.iterations;
-    warm_pivots += warmed.iterations;
+    // The SolveStats breakdown must reconcile with the legacy totals.
+    EXPECT_EQ(cold.stats.pivots(), cold.iterations);
+    EXPECT_EQ(warmed.stats.pivots(), warmed.iterations);
+    EXPECT_FALSE(cold.stats.warm_start_attempted);
+    // t == 0 has an empty basis to reuse, so nothing is attempted yet.
+    EXPECT_EQ(warmed.stats.warm_start_attempted, t > 0);
+    EXPECT_EQ(warmed.stats.warm_start_used, warmed.warm_started);
+    if (warmed.warm_started) {
+      // An adopted basis is artificial-free and feasible: no phase 1.
+      EXPECT_EQ(warmed.stats.phase1_iterations, 0) << "slot " << t;
+    }
+    cold_pivots += cold.stats.pivots();
+    warm_pivots += warmed.stats.pivots();
     if (t == 0) {
       // Nothing to reuse yet.
       EXPECT_FALSE(warmed.warm_started);
@@ -227,6 +238,39 @@ TEST(WarmStart, EngagesAndReducesPivotsAcrossSlots) {
       << "the basis never carried over on a shape-stable sequence";
   EXPECT_LT(warm_pivots, cold_pivots)
       << "warm starts should strictly reduce total pivots";
+}
+
+TEST(SolveStats, CountsPhasesAndRefactorizations) {
+  // An equality row forces artificials, so phase 1 must do work.
+  Model m;
+  const int x = m.add_variable("x", 2.0);
+  const int y = m.add_variable("y", 3.0);
+  m.add_constraint("eq", Sense::kEq, 4.0, {{x, 1.0}, {y, 1.0}});
+  m.add_constraint("le", Sense::kLe, 2.0, {{x, 1.0}, {y, -1.0}});
+  const auto res = RevisedSimplexSolver().solve(m);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_GT(res.stats.phase1_iterations, 0);
+  EXPECT_EQ(res.stats.pivots(), res.iterations);
+  EXPECT_FALSE(res.stats.warm_start_attempted);
+  EXPECT_FALSE(res.stats.warm_start_used);
+
+  // The dense tableau fills the same phase split.
+  const auto dense = SimplexSolver().solve(m);
+  ASSERT_TRUE(dense.optimal());
+  EXPECT_GT(dense.stats.phase1_iterations, 0);
+  EXPECT_EQ(dense.stats.pivots(), dense.iterations);
+  EXPECT_EQ(dense.stats.refactorizations, 0);
+}
+
+TEST(SolveStats, RecordsRefactorizationsAtShortInterval) {
+  RevisedSimplexOptions options;
+  options.refactor_interval = 2;
+  const auto models = warm_slot_sequence(40, 1, 11);
+  const auto res = RevisedSimplexSolver(options).solve(models[0]);
+  ASSERT_TRUE(res.optimal());
+  if (res.iterations >= 2) {
+    EXPECT_GT(res.stats.refactorizations, 0);
+  }
 }
 
 TEST(WarmStart, ColdFallbackOnDimensionChange) {

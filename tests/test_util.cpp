@@ -2,8 +2,11 @@
 // sanity, streaming statistics, tables, CLI parsing, logging.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "util/cli.h"
@@ -377,6 +380,100 @@ TEST(Timer, MeasuresNonNegativeDurations) {
   EXPECT_GE(t.elapsed_ms(), 0.0);
   t.restart();
   EXPECT_LT(t.elapsed_seconds(), 1.0);
+}
+
+TEST(Timer, ElapsedIsMonotonicallyNonDecreasing) {
+  Timer t;
+  double last = t.elapsed_seconds();
+  for (int i = 0; i < 100; ++i) {
+    const double now = t.elapsed_seconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  // restart() rewinds: the new reading cannot precede zero.
+  t.restart();
+  EXPECT_GE(t.elapsed_seconds(), 0.0);
+}
+
+TEST(ScopedTimerMs, AccumulatesAcrossScopes) {
+  double total_ms = 0.0;
+  {
+    ScopedTimerMs scope(total_ms);
+    double sink = 0.0;
+    for (int i = 0; i < 10000; ++i) sink += std::sqrt(static_cast<double>(i));
+    (void)sink;
+  }
+  const double after_first = total_ms;
+  EXPECT_GE(after_first, 0.0);
+  {
+    ScopedTimerMs scope(total_ms);
+  }
+  // The second scope adds to the running total, never resets it.
+  EXPECT_GE(total_ms, after_first);
+}
+
+TEST(Percentile, MatchesQuantileBitForBit) {
+  const std::vector<double> sorted{1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double pct : {0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(percentile(sorted, pct), quantile(sorted, pct / 100.0))
+        << "pct " << pct;
+  }
+  const std::vector<double> unsorted{8.0, 1.0, 16.0, 2.0, 4.0};
+  EXPECT_EQ(percentile_unsorted(unsorted, 50.0), percentile(sorted, 50.0));
+}
+
+TEST(Percentile, RejectsBadInput) {
+  const std::vector<double> sorted{1.0, 2.0};
+  EXPECT_THROW((void)percentile(sorted, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(sorted, 100.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(PercentileSummary, ComputesAllThreeTails) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(static_cast<double>(i));
+  const PercentileSummary s = percentile_summary(samples);
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(s.p50, percentile(sorted, 50.0));
+  EXPECT_EQ(s.p95, percentile(sorted, 95.0));
+  EXPECT_EQ(s.p99, percentile(sorted, 99.0));
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_THROW((void)percentile_summary({}), std::invalid_argument);
+}
+
+TEST(HistogramPercentile, InterpolatesInsideBuckets) {
+  // Buckets (-inf,10]:0, (10,20]:10, (20,+inf):0 — mass is uniform on
+  // (10,20], so p50 lands mid-bucket.
+  const std::vector<double> boundaries{10.0, 20.0};
+  const std::vector<std::uint64_t> counts{0, 10, 0};
+  EXPECT_NEAR(histogram_percentile(boundaries, counts, 50.0), 15.0, 1e-9);
+  EXPECT_NEAR(histogram_percentile(boundaries, counts, 0.0), 10.0, 1e-9);
+  EXPECT_NEAR(histogram_percentile(boundaries, counts, 100.0), 20.0, 1e-9);
+}
+
+TEST(HistogramPercentile, OverflowBucketReturnsLastBoundary) {
+  const std::vector<double> boundaries{1.0, 2.0};
+  const std::vector<std::uint64_t> counts{0, 0, 5};  // all mass overflows
+  EXPECT_EQ(histogram_percentile(boundaries, counts, 99.0), 2.0);
+}
+
+TEST(HistogramPercentile, RejectsBadInput) {
+  const std::vector<double> boundaries{1.0, 2.0};
+  const std::vector<std::uint64_t> counts{1, 1, 1};
+  EXPECT_THROW((void)histogram_percentile(boundaries, counts, -5.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)histogram_percentile(boundaries, counts, 101.0),
+               std::invalid_argument);
+  // counts must be boundaries.size() + 1.
+  const std::vector<std::uint64_t> short_counts{1, 1};
+  EXPECT_THROW((void)histogram_percentile(boundaries, short_counts, 50.0),
+               std::invalid_argument);
+  // No observations: nothing to interpolate.
+  const std::vector<std::uint64_t> empty_counts{0, 0, 0};
+  EXPECT_THROW((void)histogram_percentile(boundaries, empty_counts, 50.0),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 //               (scripted --plan=FILE or seeded --chaos=INTENSITY) and
 //               print the resilience metrics per policy
 //   experiment  run a declarative scenario file through the scenario
-//               engine (see scenarios/*.scenario) and print its tables
+//               engine (see scenarios/*.scenario) and print its tables;
+//               --metrics-out/--trace-out export telemetry
+//   metrics     list every registered telemetry metric (the inventory)
 //   list        print the policy registry and the scenario-file keys
 //   topology    generate a topology and print its stations/links as CSV
 //   trace       synthesize a frame-level AR session trace as CSV
@@ -15,6 +17,7 @@
 //
 // Common flags: --seed=N --requests=N --stations=N. Subcommand-specific
 // flags are listed by `mecar_cli <subcommand> --help`.
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -23,6 +26,9 @@
 #include "exp/registry.h"
 #include "exp/runner.h"
 #include "exp/scenario.h"
+#include "exp/telemetry.h"
+#include "obs/catalog.h"
+#include "obs/telemetry.h"
 #include "baselines/heu_kkt.h"
 #include "baselines/ocorp.h"
 #include "core/appro.h"
@@ -317,7 +323,20 @@ int cmd_experiment(const util::Cli& cli) {
   if (cli.has("horizon")) {
     runner.set_horizon(static_cast<int>(cli.get_int_or("horizon", 0)));
   }
-  const exp::Report report = runner.run();
+  exp::TelemetryExportOptions telemetry;
+  telemetry.metrics_path = cli.get_or("metrics-out", "");
+  telemetry.trace_path = cli.get_or("trace-out", "");
+  if (cli.has("trace-capacity")) {
+    const std::int64_t capacity = cli.get_int_or("trace-capacity", 0);
+    if (capacity <= 0) {
+      std::cerr << "mecar_cli: --trace-capacity must be positive\n";
+      return 1;
+    }
+    telemetry.trace_capacity = static_cast<std::size_t>(capacity);
+  }
+  const exp::Report report = telemetry.any()
+                                 ? exp::run_with_telemetry(runner, telemetry)
+                                 : runner.run();
   for (const std::string& metric : report.metrics()) {
     report.print_metric_table(std::cout,
                               report.scenario_name() + ": " + metric, metric,
@@ -335,6 +354,27 @@ int cmd_experiment(const util::Cli& cli) {
     }
     std::cout << "json: " << json_path << '\n';
   }
+  if (!telemetry.metrics_path.empty()) {
+    std::cout << "metrics: " << telemetry.metrics_path << '\n';
+  }
+  if (!telemetry.trace_path.empty()) {
+    std::cout << "trace: " << telemetry.trace_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_metrics(const util::Cli&) {
+  // Touching the catalog registers every well-known metric, so the
+  // inventory is complete without running anything.
+  obs::metrics();
+  util::Table table({"metric", "kind", "help"});
+  for (const obs::MetricDescriptor& d : obs::registry().descriptors()) {
+    table.add_row({d.name, std::string(obs::to_string(d.kind)), d.help});
+  }
+  table.print(std::cout,
+              std::string("telemetry metrics (recording ") +
+                  (MECAR_TELEMETRY_ENABLED ? "enabled" : "compiled out") +
+                  ")");
   return 0;
 }
 
@@ -362,14 +402,18 @@ int cmd_list(const util::Cli&) {
 void usage() {
   std::cout <<
       "usage: mecar_cli "
-      "<offline|online|resilience|experiment|list|topology|trace|lp> "
-      "[flags]\n"
+      "<offline|online|resilience|experiment|metrics|list|topology|trace"
+      "|lp> [flags]\n"
       "  common flags: --seed=N --requests=N --stations=N\n"
       "  online:       --horizon=N\n"
       "  resilience:   --horizon=N --plan=FILE | --chaos=INTENSITY "
       "[--emit-plan]\n"
       "  experiment:   --spec=FILE [--seeds=N] [--horizon=N] "
       "[--json[=PATH]]\n"
+      "                [--metrics-out=FILE(.prom|.json)] "
+      "[--trace-out=FILE]\n"
+      "                [--trace-capacity=N]\n"
+      "  metrics:      (no flags) telemetry metric inventory\n"
       "  list:         (no flags) policy registry + scenario keys\n"
       "  trace:        --duration=SECONDS --frame-kb=KB\n";
 }
@@ -388,6 +432,7 @@ int main(int argc, char** argv) {
     if (command == "online") return cmd_online(cli);
     if (command == "resilience") return cmd_resilience(cli);
     if (command == "experiment") return cmd_experiment(cli);
+    if (command == "metrics") return cmd_metrics(cli);
     if (command == "list") return cmd_list(cli);
     if (command == "topology") return cmd_topology(cli);
     if (command == "trace") return cmd_trace(cli);
