@@ -1,9 +1,26 @@
-// Micro-benchmarks (google-benchmark) for the LP/MIP substrate: simplex
-// solve time vs model size, slot-LP construction, warm vs cold solves over
-// a slot sequence, branch-and-bound on knapsack-style binary programs.
+// Micro-benchmarks for the LP/MIP substrate: simplex solve time vs model
+// size, slot-LP construction, warm vs cold solves over a slot sequence,
+// branch-and-bound on knapsack-style binary programs.
+//
+// Three entry modes:
+//   ./bench/micro_lp                google-benchmark timings
+//   ./bench/micro_lp --smoke        fast correctness checks (ctest): sparse
+//                                   engine == dense engine objectives, warm
+//                                   == cold, eta file engaged; exit 0 on
+//                                   pass
+//   ./bench/micro_lp --snapshot[=path]
+//                                   writes the BENCH_lp.json engine
+//                                   comparison (dense vs sparse cold vs
+//                                   sparse warm over the slot sequence,
+//                                   pivot/eta/refactorization counters)
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/slot_lp.h"
 #include "mec/topology.h"
@@ -11,7 +28,9 @@
 #include "lp/revised_simplex.h"
 #include "lp/simplex.h"
 #include "mec/workload.h"
+#include "util/json_writer.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -196,6 +215,186 @@ void BM_BranchAndBoundKnapsack(benchmark::State& state) {
 }
 BENCHMARK(BM_BranchAndBoundKnapsack)->Arg(8)->Arg(12)->Arg(16);
 
+// ---------------------------------------------------------------------------
+// --smoke: fast correctness checks, wired into ctest.
+
+int run_smoke() {
+  int failures = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::cout << (ok ? "  ok: " : "FAIL: ") << what << '\n';
+    if (!ok) ++failures;
+  };
+
+  // Sparse engine == dense engine on the real slot LPs (same optimum; the
+  // vertex may differ on alternate optima, the objective may not).
+  {
+    bool agree = true;
+    for (int n : {30, 60}) {
+      const auto models = slot_sequence_models(n, 2);
+      for (const auto& model : models) {
+        const auto dense = lp::SimplexSolver().solve(model);
+        const auto sparse = lp::RevisedSimplexSolver().solve(model);
+        agree = agree && dense.optimal() && sparse.optimal() &&
+                std::abs(dense.objective - sparse.objective) <=
+                    1e-6 * std::max(1.0, std::abs(dense.objective));
+      }
+    }
+    check(agree, "sparse LU engine matches dense tableau objectives");
+  }
+
+  // Warm == cold across the slot sequence, and the warm path engages.
+  {
+    const auto models = slot_sequence_models(40, 4);
+    lp::RevisedSimplexSolver solver;
+    lp::WarmStartBasis warm;
+    bool objectives_match = true;
+    bool warm_engaged = false;
+    long cold_pivots = 0;
+    long warm_pivots = 0;
+    for (std::size_t t = 0; t < models.size(); ++t) {
+      const auto cold = solver.solve(models[t]);
+      const auto warmres = solver.solve(models[t], warm);
+      objectives_match = objectives_match && cold.optimal() &&
+                         warmres.optimal() &&
+                         std::abs(cold.objective - warmres.objective) < 1e-9;
+      cold_pivots += cold.iterations;
+      warm_pivots += warmres.iterations;
+      if (t > 0) warm_engaged = warm_engaged || warmres.warm_started;
+    }
+    check(objectives_match, "warm LP objective == cold LP objective");
+    check(warm_engaged, "warm start engaged after the first slot");
+    check(warm_pivots < cold_pivots, "warm sequence needs fewer pivots");
+  }
+
+  // The eta file absorbs pivots between refactorizations.
+  {
+    const auto models = slot_sequence_models(60, 1);
+    const auto res = lp::RevisedSimplexSolver().solve(models[0]);
+    check(res.optimal() && res.stats.eta_pivots > 0 &&
+              res.stats.eta_len_max > 0,
+          "eta-file updates engaged (nonzero reuse between refactors)");
+  }
+
+  std::cout << (failures == 0 ? "smoke: all checks passed\n"
+                              : "smoke: FAILURES\n");
+  return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// --snapshot: the BENCH_lp.json engine-comparison snapshot.
+
+struct EngineTiming {
+  double dense_ms = 0.0;
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  long cold_pivots = 0;
+  long warm_pivots = 0;
+  int warm_adoptions = 0;
+  int eta_pivots = 0;
+  int eta_len_max = 0;
+  int refactorizations = 0;
+  int bound_flips = 0;
+  int pricing_mode = 0;
+};
+
+EngineTiming time_engines(const std::vector<lp::Model>& models) {
+  EngineTiming out;
+  {
+    lp::SimplexSolver dense;
+    util::Timer t;
+    for (const auto& model : models) {
+      auto res = dense.solve(model);
+      benchmark::DoNotOptimize(res.objective);
+    }
+    out.dense_ms = t.elapsed_ms();
+  }
+  lp::RevisedSimplexSolver sparse;
+  {
+    util::Timer t;
+    for (const auto& model : models) {
+      auto res = sparse.solve(model);
+      out.cold_pivots += res.iterations;
+      out.eta_pivots += res.stats.eta_pivots;
+      out.eta_len_max = std::max(out.eta_len_max, res.stats.eta_len_max);
+      out.refactorizations += res.stats.refactorizations;
+      out.bound_flips += res.stats.bound_flips;
+      out.pricing_mode = res.stats.pricing_mode;
+      benchmark::DoNotOptimize(res.objective);
+    }
+    out.cold_ms = t.elapsed_ms();
+  }
+  {
+    lp::WarmStartBasis warm;
+    util::Timer t;
+    for (const auto& model : models) {
+      auto res = sparse.solve(model, warm);
+      out.warm_pivots += res.iterations;
+      if (res.warm_started) ++out.warm_adoptions;
+      benchmark::DoNotOptimize(res.objective);
+    }
+    out.warm_ms = t.elapsed_ms();
+  }
+  return out;
+}
+
+int run_snapshot(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: could not write " << path << '\n';
+    return 1;
+  }
+  util::JsonWriter json(os);
+  json.begin_object();
+  json.field("bench", "micro_lp");
+  json.field("units", "ms per 8-slot sequence");
+  json.key("slot_lp_sequence").begin_array();
+  for (int n : {50, 100, 150}) {
+    const int slots = 8;
+    const auto models = slot_sequence_models(n, slots);
+    time_engines(models);  // warm-up: page in code and data
+    const EngineTiming r = time_engines(models);
+    const double per_slot = static_cast<double>(models.size());
+    json.begin_object();
+    json.field("requests", n);
+    json.field("slots", slots);
+    json.field("rows", models[0].num_constraints());
+    json.field("cols", models[0].num_variables());
+    json.field("dense_ms", r.dense_ms);
+    json.field("sparse_cold_ms", r.cold_ms);
+    json.field("sparse_warm_ms", r.warm_ms);
+    json.field("cold_pivots_per_slot",
+               static_cast<double>(r.cold_pivots) / per_slot);
+    json.field("warm_pivots_per_slot",
+               static_cast<double>(r.warm_pivots) / per_slot);
+    json.field("warm_adoptions", r.warm_adoptions);
+    json.field("eta_pivots", r.eta_pivots);
+    json.field("eta_len_max", r.eta_len_max);
+    json.field("refactorizations", r.refactorizations);
+    json.field("bound_flips", r.bound_flips);
+    json.field("pricing_mode", r.pricing_mode);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+  std::cout << "wrote " << path << '\n';
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+    if (std::strncmp(argv[i], "--snapshot", 10) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return run_snapshot(eq != nullptr ? std::string(eq + 1)
+                                        : std::string("BENCH_lp.json"));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -85,19 +85,24 @@ SlotLpInstance build_slot_lp(const mec::Topology& topo,
             params.c_unit;
         const double er = req.demand.expected_reward_within(rate_cap);
         if (er <= 0.0) continue;  // no level fits from this slot onward
+        // The per-stream share is a true column bound (0 <= y <= 1), not a
+        // row: the revised simplex handles it natively and the basis stays
+        // at the real constraint count.
         const int col = inst.model.add_variable(
             "y_" + std::to_string(req.id) + "_" + std::to_string(bs) + "_" +
                 std::to_string(l),
-            er);
+            er, 1.0);
         inst.vars.push_back(SlotVar{static_cast<int>(j), bs, l, er, latency});
         inst.request_columns[j].push_back(col);
       }
     }
   }
 
-  // (9): per-request assignment rows.
+  // (9): per-request assignment rows. A request with a single candidate
+  // column needs no row at all — its constraint is exactly the column's
+  // upper bound, so the polytope is unchanged with one row fewer.
   for (std::size_t j = 0; j < requests.size(); ++j) {
-    if (inst.request_columns[j].empty()) continue;
+    if (inst.request_columns[j].size() < 2) continue;
     std::vector<lp::Term> terms;
     terms.reserve(inst.request_columns[j].size());
     for (int col : inst.request_columns[j]) {

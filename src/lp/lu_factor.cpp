@@ -1,0 +1,166 @@
+#include "lp/lu_factor.h"
+
+#include <cmath>
+
+namespace mecar::lp {
+
+void BasisLu::clear() {
+  m_ = 0;
+  pivrow_.clear();
+  rowpos_.clear();
+  lcols_.clear();
+  ucols_.clear();
+  udiag_.clear();
+  etas_.clear();
+  factor_nnz_ = 0;
+}
+
+bool BasisLu::factorize(const std::vector<SparseCol>& cols,
+                        const std::vector<int>& basis, double pivot_tol) {
+  const int m = static_cast<int>(basis.size());
+  m_ = m;
+  etas_.clear();
+  pivrow_.assign(static_cast<std::size_t>(m), -1);
+  rowpos_.assign(static_cast<std::size_t>(m), -1);
+  lcols_.assign(static_cast<std::size_t>(m), {});
+  ucols_.assign(static_cast<std::size_t>(m), {});
+  udiag_.assign(static_cast<std::size_t>(m), 0.0);
+  scratch_.assign(static_cast<std::size_t>(m), 0.0);
+  factor_nnz_ = m;
+
+  // Left-looking elimination: work holds the current column with all
+  // earlier pivots applied. The per-step scans over elimination steps and
+  // rows are O(m) of cheap loads; the arithmetic is proportional to the
+  // factor nonzeros, which is what matters on the ~4-nonzeros-per-column
+  // slot LPs.
+  std::vector<double>& work = scratch_;
+  for (int k = 0; k < m; ++k) {
+    for (const Term& t : cols[static_cast<std::size_t>(basis[k])].entries) {
+      work[static_cast<std::size_t>(t.col)] = t.coeff;
+    }
+    for (int j = 0; j < k; ++j) {
+      const double t = work[static_cast<std::size_t>(pivrow_[j])];
+      if (t == 0.0) continue;
+      ucols_[static_cast<std::size_t>(k)].push_back(Entry{j, t});
+      for (const Entry& e : lcols_[static_cast<std::size_t>(j)]) {
+        work[static_cast<std::size_t>(e.idx)] -= e.val * t;
+      }
+      work[static_cast<std::size_t>(pivrow_[j])] = 0.0;
+    }
+    int prow = -1;
+    double best = pivot_tol;
+    for (int r = 0; r < m; ++r) {
+      if (rowpos_[static_cast<std::size_t>(r)] >= 0) continue;
+      const double v = std::abs(work[static_cast<std::size_t>(r)]);
+      if (v > best) {
+        best = v;
+        prow = r;
+      }
+    }
+    if (prow < 0) {
+      // Singular (or hopelessly ill-conditioned) basis: wipe the dense
+      // workspace so a later factorize starts clean, and report failure.
+      for (int r = 0; r < m; ++r) work[static_cast<std::size_t>(r)] = 0.0;
+      clear();
+      return false;
+    }
+    pivrow_[static_cast<std::size_t>(k)] = prow;
+    rowpos_[static_cast<std::size_t>(prow)] = k;
+    const double pivot = work[static_cast<std::size_t>(prow)];
+    udiag_[static_cast<std::size_t>(k)] = pivot;
+    work[static_cast<std::size_t>(prow)] = 0.0;
+    for (int r = 0; r < m; ++r) {
+      if (rowpos_[static_cast<std::size_t>(r)] >= 0) continue;
+      const double v = work[static_cast<std::size_t>(r)];
+      if (v != 0.0) {
+        lcols_[static_cast<std::size_t>(k)].push_back(Entry{r, v / pivot});
+        work[static_cast<std::size_t>(r)] = 0.0;
+      }
+    }
+    factor_nnz_ += static_cast<int>(lcols_[static_cast<std::size_t>(k)].size() +
+                                    ucols_[static_cast<std::size_t>(k)].size());
+  }
+  return true;
+}
+
+void BasisLu::ftran(std::vector<double>& x) {
+  // 1. Apply the L eliminations in pivot order (row space).
+  for (int k = 0; k < m_; ++k) {
+    const double t = x[static_cast<std::size_t>(pivrow_[k])];
+    if (t == 0.0) continue;
+    for (const Entry& e : lcols_[static_cast<std::size_t>(k)]) {
+      x[static_cast<std::size_t>(e.idx)] -= e.val * t;
+    }
+  }
+  // 2. Backward U solve into position space.
+  std::vector<double>& z = scratch_;
+  for (int k = m_ - 1; k >= 0; --k) {
+    const double v = x[static_cast<std::size_t>(pivrow_[k])] /
+                     udiag_[static_cast<std::size_t>(k)];
+    z[static_cast<std::size_t>(k)] = v;
+    if (v == 0.0) continue;
+    for (const Entry& e : ucols_[static_cast<std::size_t>(k)]) {
+      x[static_cast<std::size_t>(pivrow_[e.idx])] -= e.val * v;
+    }
+  }
+  for (int k = 0; k < m_; ++k) x[static_cast<std::size_t>(k)] = z[static_cast<std::size_t>(k)];
+  // 3. Apply the eta inverses in append order (position space).
+  for (const Eta& eta : etas_) {
+    const double t = x[static_cast<std::size_t>(eta.r)] / eta.pivot;
+    if (t != 0.0) {
+      for (const Entry& e : eta.terms) {
+        x[static_cast<std::size_t>(e.idx)] -= e.val * t;
+      }
+    }
+    x[static_cast<std::size_t>(eta.r)] = t;
+  }
+}
+
+void BasisLu::btran(std::vector<double>& x) {
+  // Transposed pipeline, reversed: etas backward, then U^T, then L^T.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double t = x[static_cast<std::size_t>(it->r)];
+    for (const Entry& e : it->terms) {
+      t -= e.val * x[static_cast<std::size_t>(e.idx)];
+    }
+    x[static_cast<std::size_t>(it->r)] = t / it->pivot;
+  }
+  // U^T forward solve (position space), scattered back to rows.
+  std::vector<double>& v = scratch_;
+  for (int k = 0; k < m_; ++k) {
+    double t = x[static_cast<std::size_t>(k)];
+    for (const Entry& e : ucols_[static_cast<std::size_t>(k)]) {
+      t -= e.val * v[static_cast<std::size_t>(e.idx)];
+    }
+    v[static_cast<std::size_t>(k)] = t / udiag_[static_cast<std::size_t>(k)];
+  }
+  for (int k = 0; k < m_; ++k) {
+    x[static_cast<std::size_t>(pivrow_[k])] = v[static_cast<std::size_t>(k)];
+  }
+  // L^T backward (row space).
+  for (int k = m_ - 1; k >= 0; --k) {
+    double t = x[static_cast<std::size_t>(pivrow_[k])];
+    for (const Entry& e : lcols_[static_cast<std::size_t>(k)]) {
+      t -= e.val * x[static_cast<std::size_t>(e.idx)];
+    }
+    x[static_cast<std::size_t>(pivrow_[k])] = t;
+  }
+}
+
+bool BasisLu::push_eta(const std::vector<double>& w, int leave,
+                       double unstable_tol, double drop_tol) {
+  const double pivot = w[static_cast<std::size_t>(leave)];
+  if (std::abs(pivot) <= unstable_tol) return false;
+  Eta eta;
+  eta.r = leave;
+  eta.pivot = pivot;
+  for (int i = 0; i < m_; ++i) {
+    if (i == leave) continue;
+    const double v = w[static_cast<std::size_t>(i)];
+    if (std::abs(v) > drop_tol) eta.terms.push_back(Entry{i, v});
+  }
+  etas_.push_back(std::move(eta));
+  return true;
+}
+
+}  // namespace mecar::lp

@@ -1,0 +1,93 @@
+// Sparse LU factorization of a simplex basis with an eta-file of
+// product-form updates.
+//
+// The revised simplex never materializes B^{-1}. It keeps
+//   B = L U            (sparse triangular factors, row-permuted)
+//   B' = B F_1 ... F_k (one elementary "eta" matrix F per pivot since the
+//                       last refactorization; F is the identity with one
+//                       column replaced by the pivot spectrum w = B^{-1}a_q)
+// and answers the two solves every iteration needs:
+//   FTRAN  x = B'^{-1} a   (pivot column for the ratio test)
+//   BTRAN  y = B'^{-T} c   (pricing vector, steepest-edge rows)
+// A pivot appends one eta vector in O(nnz(w)) instead of the O(m^2)
+// explicit-inverse update the previous engine paid; when the eta file
+// reaches the refactorization interval (or an update pivot is too small to
+// be stable) the caller refactorizes from scratch, which also re-anchors
+// the basic solution numerically. This is the classic eta-file /
+// product-form scheme (cf. the chuffed `LUFactor` row etas referenced in
+// SNIPPETS.md §3); Forrest–Tomlin-style factor repair is a possible later
+// refinement, the interface would not change.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.h"
+
+namespace mecar::lp {
+
+/// One sparse column of the constraint matrix: (row, value) entries, using
+/// Term with `col` holding the row index. Shared with the simplex engine.
+struct SparseCol {
+  std::vector<Term> entries;
+};
+
+/// Sparse LU factors of a basis matrix plus the eta file appended since the
+/// last factorize(). All vectors handed to ftran/btran are dense, length m.
+class BasisLu {
+ public:
+  /// Factorizes B whose k-th column is `cols[basis[k]]`. Left-looking
+  /// elimination with partial (max-magnitude) row pivoting; deterministic.
+  /// Clears the eta file. Returns false when the basis is numerically
+  /// singular (a pivot below `pivot_tol`); the previous factors are then
+  /// unusable and the caller must restore a known-good basis.
+  bool factorize(const std::vector<SparseCol>& cols,
+                 const std::vector<int>& basis, double pivot_tol);
+
+  /// x := B'^{-1} x. Input is row-indexed (a scattered constraint column);
+  /// output is basis-position-indexed (coefficients over basic columns).
+  void ftran(std::vector<double>& x);
+
+  /// x := B'^{-T} x. Input is basis-position-indexed (costs of the basic
+  /// columns); output is row-indexed (the pricing vector y).
+  void btran(std::vector<double>& x);
+
+  /// Appends the eta for a pivot replacing basis position `leave` with the
+  /// column whose FTRAN spectrum is `w`. Entries below `drop_tol` are
+  /// dropped (they cannot affect any later solve above roundoff). Returns
+  /// false — and leaves the file untouched — when |w[leave]| <= unstable_tol,
+  /// signalling the caller to refactorize instead.
+  bool push_eta(const std::vector<double>& w, int leave, double unstable_tol,
+                double drop_tol = 1e-13);
+
+  int m() const noexcept { return m_; }
+  bool empty() const noexcept { return m_ == 0 && etas_.empty(); }
+  /// Etas appended since the last factorize (pivots absorbed cheaply).
+  int eta_len() const noexcept { return static_cast<int>(etas_.size()); }
+  /// Nonzeros in L + U (diagonal included): fill-in diagnostic.
+  int factor_nnz() const noexcept { return factor_nnz_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    int idx = 0;  // row index (L) or elimination step (U)
+    double val = 0.0;
+  };
+  struct Eta {
+    int r = 0;  // basis position whose column was replaced
+    double pivot = 0.0;
+    std::vector<Entry> terms;  // w restricted to positions != r
+  };
+
+  int m_ = 0;
+  std::vector<int> pivrow_;                // elimination step -> row
+  std::vector<int> rowpos_;                // row -> elimination step
+  std::vector<std::vector<Entry>> lcols_;  // strictly-below-pivot multipliers
+  std::vector<std::vector<Entry>> ucols_;  // above-diagonal U, by column
+  std::vector<double> udiag_;
+  std::vector<Eta> etas_;
+  std::vector<double> scratch_;
+  int factor_nnz_ = 0;
+};
+
+}  // namespace mecar::lp

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <istream>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -33,6 +34,10 @@ std::vector<std::string> tokens(const std::string& line) {
 
 void write_mps(const Model& model, std::ostream& os,
                const std::string& name) {
+  // Shortest-round-trip precision: a re-read model must carry bit-equal
+  // coefficients, bounds, and rhs values, not 6-significant-digit copies.
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
   os << "* OBJSENSE MAX\n";
   os << "NAME          " << sanitize(name, "MECAR") << '\n';
   os << "ROWS\n";
@@ -96,16 +101,22 @@ void write_mps(const Model& model, std::ostream& os,
   os << "BOUNDS\n";
   for (int j = 0; j < model.num_variables(); ++j) {
     const Variable& var = model.variable(j);
-    if (std::isfinite(var.upper)) {
-      os << " UP BND1  " << sanitize(var.name, "C" + std::to_string(j))
-         << "  " << var.upper << '\n';
+    const std::string cname = sanitize(var.name, "C" + std::to_string(j));
+    if (model.is_fixed(j)) {
+      // A with_fixed column re-reads as the same fixed value (the
+      // objective constant itself has no MPS record and is lost).
+      os << " FX BND1  " << cname << "  "
+         << model.fixed_values()[static_cast<std::size_t>(j)] << '\n';
+    } else if (std::isfinite(var.upper)) {
+      os << " UP BND1  " << cname << "  " << var.upper << '\n';
     }
   }
   os << "ENDATA\n";
+  os.precision(old_precision);
 }
 
 Model read_mps(std::istream& is) {
-  enum class Section { kNone, kRows, kColumns, kRhs, kBounds, kDone };
+  enum class Section { kNone, kRows, kColumns, kRhs, kRanges, kBounds, kDone };
   Section section = Section::kNone;
   int line_no = 0;
   // Strict numeric field: the whole token must parse (no trailing junk).
@@ -123,7 +134,9 @@ Model read_mps(std::istream& is) {
   std::map<std::string, double> objective;   // column -> obj coefficient
   std::map<std::string, std::map<std::string, double>> matrix;  // row->col
   std::map<std::string, double> rhs;
+  std::map<std::string, double> ranges;  // row -> RANGES value
   std::map<std::string, double> uppers;
+  std::map<std::string, double> fixed;   // column -> FX value
   std::map<std::string, bool> integral;
   std::vector<std::string> col_order;
   bool in_int_block = false;
@@ -143,9 +156,7 @@ Model read_mps(std::istream& is) {
       if (head == "COLUMNS") { section = Section::kColumns; continue; }
       if (head == "RHS") { section = Section::kRhs; continue; }
       if (head == "BOUNDS") { section = Section::kBounds; continue; }
-      if (head == "RANGES") {
-        throw MpsParseError(line_no, "RANGES not supported");
-      }
+      if (head == "RANGES") { section = Section::kRanges; continue; }
       if (head == "ENDATA") { section = Section::kDone; break; }
       throw MpsParseError(line_no, "unknown section " + head);
     }
@@ -205,21 +216,74 @@ Model read_mps(std::istream& is) {
         }
         break;
       }
+      case Section::kRanges: {
+        if (toks.size() < 3 || toks.size() % 2 == 0) {
+          throw MpsParseError(
+              line_no, "malformed RANGES line (want 'SET ROW VAL ...')");
+        }
+        for (std::size_t k = 1; k + 1 < toks.size(); k += 2) {
+          if (!row_sense.contains(toks[k])) {
+            throw MpsParseError(line_no, "unknown row " + toks[k]);
+          }
+          ranges[toks[k]] = numeric(toks[k + 1], "range");
+        }
+        break;
+      }
       case Section::kBounds: {
         if (toks.size() < 3) {
           throw MpsParseError(line_no, "malformed BOUNDS line");
         }
-        if (toks[0] == "UP") {
+        const std::string& type = toks[0];
+        const std::string& col = toks[2];
+        if (!col_ids.contains(col)) {
+          throw MpsParseError(line_no, "bound on unknown column " + col);
+        }
+        const auto bound_value = [&](const char* kind) -> double {
           if (toks.size() != 4) {
-            throw MpsParseError(line_no,
-                                "malformed UP bound (want 'UP SET COL VAL')");
+            throw MpsParseError(line_no, std::string("malformed ") + kind +
+                                             " bound (want '" + kind +
+                                             " SET COL VAL')");
           }
-          uppers[toks[2]] = numeric(toks[3], "upper bound");
-        } else if (toks[0] == "BV") {
-          integral[toks[2]] = true;
-          uppers[toks[2]] = 1.0;
+          return numeric(toks[3], (std::string(kind) + " bound").c_str());
+        };
+        if (type == "UP") {
+          const double v = bound_value("UP");
+          if (v < 0.0) {
+            throw MpsParseError(
+                line_no, "negative UP bound (lower bounds are fixed at 0)");
+          }
+          uppers[col] = v;
+        } else if (type == "LO") {
+          // The model's lower bound is structurally 0; only a redundant
+          // LO 0 can be represented.
+          if (bound_value("LO") != 0.0) {
+            throw MpsParseError(line_no,
+                                "nonzero LO bound unsupported (variables "
+                                "have a fixed lower bound of 0)");
+          }
+        } else if (type == "FX") {
+          const double v = bound_value("FX");
+          if (v < 0.0) {
+            throw MpsParseError(
+                line_no, "negative FX bound (lower bounds are fixed at 0)");
+          }
+          fixed[col] = v;
+          uppers[col] = v;
+        } else if (type == "PL") {
+          if (toks.size() != 3) {
+            throw MpsParseError(line_no,
+                                "malformed PL bound (want 'PL SET COL')");
+          }
+          // +infinity upper bound: the default; nothing to record.
+        } else if (type == "BV") {
+          integral[col] = true;
+          uppers[col] = 1.0;
+        } else if (type == "FR" || type == "MI") {
+          throw MpsParseError(line_no, "unsupported bound " + type +
+                                           " (free/negative lower bounds "
+                                           "are not representable)");
         } else {
-          throw MpsParseError(line_no, "unsupported bound " + toks[0]);
+          throw MpsParseError(line_no, "unsupported bound " + type);
         }
         break;
       }
@@ -241,9 +305,34 @@ Model read_mps(std::istream& is) {
         terms.push_back(Term{col_ids.at(col), value});
       }
     }
-    model.add_constraint(row, row_sense.at(row),
-                         rhs.contains(row) ? rhs.at(row) : 0.0,
-                         std::move(terms));
+    const Sense sense = row_sense.at(row);
+    const double b = rhs.contains(row) ? rhs.at(row) : 0.0;
+    const auto range = ranges.find(row);
+    if (range == ranges.end()) {
+      model.add_constraint(row, sense, b, std::move(terms));
+      continue;
+    }
+    // RANGES turns a row into a two-sided constraint; the model has no
+    // native row ranges, so the second side becomes a companion row
+    // (name suffixed "~rng"). Standard interpretation: an L row b gets
+    // lower bound b-|r|, a G row b gets upper bound b+|r|, an E row b
+    // spans [b, b+r] for r >= 0 and [b+r, b] otherwise.
+    const double r = range->second;
+    double lower, upper;
+    switch (sense) {
+      case Sense::kLe: lower = b - std::abs(r); upper = b; break;
+      case Sense::kGe: lower = b; upper = b + std::abs(r); break;
+      case Sense::kEq:
+      default:
+        lower = r >= 0.0 ? b : b + r;
+        upper = r >= 0.0 ? b + r : b;
+        break;
+    }
+    model.add_constraint(row + "~rng", Sense::kLe, upper, terms);
+    model.add_constraint(row, Sense::kGe, lower, std::move(terms));
+  }
+  for (const auto& [col, value] : fixed) {
+    model = model.with_fixed(col_ids.at(col), value);
   }
   return model;
 }

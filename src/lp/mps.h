@@ -3,9 +3,10 @@
 // Lets a slot-indexed LP be dumped for inspection or cross-checked against
 // an external solver, and lets externally authored models drive the in-repo
 // engines. The dialect written is the widely accepted free MPS subset:
-// NAME / ROWS / COLUMNS / RHS / RANGES(omitted) / BOUNDS / ENDATA, with a
-// MAXIMIZE comment convention (MPS has no objective-sense record; we write
-// `* OBJSENSE MAX` and honour it on read).
+// NAME / ROWS / COLUMNS / RHS / BOUNDS / ENDATA, with a MAXIMIZE comment
+// convention (MPS has no objective-sense record; we write `* OBJSENSE MAX`
+// and honour it on read). The reader additionally accepts RANGES (expanded
+// into companion rows) and the full bound menu the model can represent.
 #pragma once
 
 #include <iosfwd>
@@ -38,10 +39,14 @@ void write_mps(const Model& model, std::ostream& os,
                const std::string& name = "MECAR");
 
 /// Parses the subset written by write_mps (objective sense comment, N/L/G/E
-/// rows, COLUMNS with integer markers, RHS, UP/BV bounds). Throws
-/// MpsParseError (carrying the offending line number and naming the bad
-/// field) on malformed input or unsupported records; never lets a raw
-/// conversion exception escape.
+/// rows, COLUMNS with integer markers, RHS) plus RANGES (each ranged row
+/// becomes the original row and a companion row named `<row>~rng` bounding
+/// the other side) and BOUNDS records UP / LO (0 only — the model's lower
+/// bounds are structurally 0) / FX (applied via Model::with_fixed) / PL /
+/// BV. FR and MI are rejected: a free or negative lower bound is not
+/// representable. Throws MpsParseError (carrying the offending line number
+/// and naming the bad field) on malformed input or unsupported records;
+/// never lets a raw conversion exception escape.
 Model read_mps(std::istream& is);
 
 }  // namespace mecar::lp

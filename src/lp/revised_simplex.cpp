@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "lp/lu_factor.h"
 #include "obs/catalog.h"
 #include "obs/event_trace.h"
 #include "util/log.h"
@@ -25,6 +25,8 @@ void record_solve(const SolveResult& result) {
     }
   }
   m.lp_pivots_per_solve.observe(result.iterations);
+  m.lp_eta_len.observe(result.stats.eta_len_max);
+  m.lp_pricing_mode.set(result.stats.pricing_mode);
   obs::EventTrace& tr = obs::trace();
   if (tr.enabled()) {
     tr.emit(obs::EventKind::kLpSolve, result.iterations,
@@ -33,17 +35,21 @@ void record_solve(const SolveResult& result) {
   }
 }
 
-}  // namespace
-
-namespace {
-
-struct SparseCol {
-  std::vector<Term> entries;  // (row, value)
-};
+/// Eta-update pivots smaller than this are numerically unstable; the
+/// engine refactorizes instead of appending the eta.
+constexpr double kEtaPivotTol = 1e-8;
+/// LU elimination pivot floor: below this the basis is declared singular.
+constexpr double kFactorPivotTol = 1e-12;
+/// Steepest-edge self-check: a stored reference weight this far (ratio)
+/// from the entering column's exact edge norm counts as a drift event.
+constexpr double kWeightDriftRatio = 100.0;
+/// Drift events tolerated before steepest edge drops to devex.
+constexpr int kWeightDriftLimit = 8;
 
 class Engine {
  public:
-  Engine(const Model& model, const RevisedSimplexOptions& opt) : opt_(opt) {
+  Engine(const Model& model, const RevisedSimplexOptions& opt)
+      : opt_(opt), mode_(opt.pricing) {
     build(model);
   }
 
@@ -54,33 +60,53 @@ class Engine {
   SolveStatus iterate(const std::vector<double>& costs, int& iterations,
                       int max_iterations);
   bool refactorize();
-  bool adopt_warm_basis(const std::vector<int>& warm);
-  void reset_to_cold_basis(const std::vector<int>& cold_basis);
+  void cold_start();
+  bool adopt_warm_basis(const WarmStartBasis& warm);
+  void compute_xb();
   void compute_y(const std::vector<double>& costs);
   int price(const std::vector<double>& costs, bool bland) const;
-  void column_times_binv(int col, std::vector<double>& w) const;
+  void ftran_column(int col);
+  double sparse_dot(int col, const std::vector<double>& row_vec) const;
+  void update_pricing_weights(int entering, int leave, int leaving_col,
+                              double gamma_q);
+  bool absorb_pivot(int leave);
   void drive_out_artificials();
   double basic_value(const std::vector<double>& costs) const;
+  void fill_stats(SolveResult& result) const;
 
   RevisedSimplexOptions opt_;
+  PricingMode mode_;
   int m_ = 0;
   int total_cols_ = 0;
   int art_begin_ = 0;
   int price_limit_ = 0;
   std::vector<SparseCol> cols_;
   std::vector<double> rhs_;
-  std::vector<int> basis_;
+  std::vector<double> upper_;  // per tableau column; +inf when unbounded
+  std::vector<int> basis_;     // basis position -> column
+  std::vector<int> cold_basis_;
   std::vector<char> in_basis_;
-  std::vector<double> binv_;  // row-major m x m
-  std::vector<double> xb_;
-  std::vector<double> y_;  // pricing vector
-  std::vector<double> w_;  // pivot column scratch (B^{-1} a_j)
-  std::vector<double> refac_work_;  // refactorization scratch: B copy
-  std::vector<double> refac_inv_;   // refactorization scratch: -> B^{-1}
+  std::vector<char> at_upper_;  // nonbasic rest point (1 = upper bound)
+  BasisLu lu_;
+  std::vector<double> xb_;     // basic values, position-indexed
+  std::vector<double> y_;      // pricing vector, row-indexed
+  std::vector<double> w_;      // FTRAN pivot column B^{-1} a_j
+  std::vector<double> rho_;    // BTRAN of e_r (steepest edge / devex)
+  std::vector<double> sev_;    // BTRAN of w (steepest edge only)
+  std::vector<double> gamma_;  // pricing reference weights, per column
   std::vector<int> tab_to_model_;
   std::vector<double> phase2_costs_;
-  int pivots_since_refactor_ = 0;
   int refactorizations_ = 0;
+  int eta_pivots_ = 0;
+  int eta_len_max_ = 0;
+  int bound_flips_ = 0;
+  int drift_events_ = 0;
+  /// True while the steepest-edge weights are exact edge norms (cold start
+  /// from the identity basis, maintained by the Goldfarb update). Warm
+  /// starts and artificial drive-out seed/leave approximate reference
+  /// weights, where a mismatch with the exact norm is expected and must
+  /// not count as numerical drift.
+  bool gamma_exact_ = false;
 };
 
 void Engine::build(const Model& model) {
@@ -111,17 +137,9 @@ void Engine::build(const Model& model) {
     }
     rows.push_back(std::move(spec));
   }
-  for (int j = 0; j < n_model; ++j) {
-    const double u = model.variable(j).upper;
-    const int lv = live[static_cast<std::size_t>(j)];
-    if (lv >= 0 && std::isfinite(u)) {
-      RowSpec spec;
-      spec.sense = Sense::kLe;
-      spec.rhs = u;
-      spec.terms.push_back(Term{lv, 1.0});
-      rows.push_back(std::move(spec));
-    }
-  }
+  // Finite variable upper bounds become column bounds, not rows: the basis
+  // stays at the true constraint count. (The previous engine appended one
+  // explicit <= row per finite bound here.)
   for (RowSpec& row : rows) {
     if (row.rhs < 0.0) {
       row.rhs = -row.rhs;
@@ -142,8 +160,14 @@ void Engine::build(const Model& model) {
 
   cols_.resize(static_cast<std::size_t>(total_cols_));
   rhs_.resize(static_cast<std::size_t>(m_));
+  upper_.assign(static_cast<std::size_t>(total_cols_), kInf);
+  for (int c = 0; c < n_live; ++c) {
+    upper_[static_cast<std::size_t>(c)] =
+        model.variable(tab_to_model_[static_cast<std::size_t>(c)]).upper;
+  }
   basis_.assign(static_cast<std::size_t>(m_), -1);
   in_basis_.assign(static_cast<std::size_t>(total_cols_), 0);
+  at_upper_.assign(static_cast<std::size_t>(total_cols_), 0);
 
   // Structural columns, transposed from rows.
   for (int r = 0; r < m_; ++r) {
@@ -176,18 +200,15 @@ void Engine::build(const Model& model) {
         break;
     }
   }
+  cold_basis_ = basis_;
   for (int b : basis_) in_basis_[static_cast<std::size_t>(b)] = 1;
 
-  // Initial basis is the identity.
-  binv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_),
-               0.0);
-  for (int r = 0; r < m_; ++r) {
-    binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) +
-          static_cast<std::size_t>(r)] = 1.0;
-  }
-  xb_ = rhs_;
+  xb_.assign(static_cast<std::size_t>(m_), 0.0);
   y_.assign(static_cast<std::size_t>(m_), 0.0);
   w_.assign(static_cast<std::size_t>(m_), 0.0);
+  rho_.assign(static_cast<std::size_t>(m_), 0.0);
+  sev_.assign(static_cast<std::size_t>(m_), 0.0);
+  gamma_.assign(static_cast<std::size_t>(total_cols_), 1.0);
 
   phase2_costs_.assign(static_cast<std::size_t>(total_cols_), 0.0);
   for (int c = 0; c < n_live; ++c) {
@@ -196,177 +217,222 @@ void Engine::build(const Model& model) {
   }
 }
 
-bool Engine::refactorize() {
-  // Gauss-Jordan inversion of the current basis matrix. The scratch
-  // buffers are engine members so repeated refactorizations (and warm
-  // starts) reuse one allocation instead of two fresh m x m vectors each.
-  const auto mm = static_cast<std::size_t>(m_);
-  refac_work_.assign(mm * mm, 0.0);
-  refac_inv_.assign(mm * mm, 0.0);
-  std::vector<double>& work = refac_work_;  // B
-  std::vector<double>& inv = refac_inv_;    // -> B^{-1}
-  for (int r = 0; r < m_; ++r) inv[static_cast<std::size_t>(r) * mm + r] = 1.0;
-  for (int c = 0; c < m_; ++c) {
-    for (const Term& t :
-         cols_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(c)])]
-             .entries) {
-      work[static_cast<std::size_t>(t.col) * mm + static_cast<std::size_t>(c)] =
-          t.coeff;
-    }
-  }
-  for (int col = 0; col < m_; ++col) {
-    // Partial pivoting.
-    int pivot = col;
-    double best = std::abs(work[static_cast<std::size_t>(col) * mm + col]);
-    for (int r = col + 1; r < m_; ++r) {
-      const double v = std::abs(work[static_cast<std::size_t>(r) * mm + col]);
-      if (v > best) {
-        best = v;
-        pivot = r;
-      }
-    }
-    if (best < 1e-12) {
-      util::log_warn() << "revised simplex: singular basis at refactor";
-      return false;  // keep the incrementally updated inverse
-    }
-    if (pivot != col) {
-      for (int k = 0; k < m_; ++k) {
-        std::swap(work[static_cast<std::size_t>(pivot) * mm + k],
-                  work[static_cast<std::size_t>(col) * mm + k]);
-        std::swap(inv[static_cast<std::size_t>(pivot) * mm + k],
-                  inv[static_cast<std::size_t>(col) * mm + k]);
-      }
-    }
-    const double p = work[static_cast<std::size_t>(col) * mm + col];
-    const double ip = 1.0 / p;
-    for (int k = 0; k < m_; ++k) {
-      work[static_cast<std::size_t>(col) * mm + k] *= ip;
-      inv[static_cast<std::size_t>(col) * mm + k] *= ip;
-    }
-    for (int r = 0; r < m_; ++r) {
-      if (r == col) continue;
-      const double f = work[static_cast<std::size_t>(r) * mm + col];
-      if (f == 0.0) continue;
-      for (int k = 0; k < m_; ++k) {
-        work[static_cast<std::size_t>(r) * mm + k] -=
-            f * work[static_cast<std::size_t>(col) * mm + k];
-        inv[static_cast<std::size_t>(r) * mm + k] -=
-            f * inv[static_cast<std::size_t>(col) * mm + k];
-      }
-    }
-  }
-  binv_.swap(refac_inv_);  // no reallocation; old binv_ becomes scratch
-  ++refactorizations_;
-  // xb = B^{-1} rhs.
+void Engine::compute_xb() {
+  // xb = B^{-1}(b - sum over nonbasic-at-upper columns of u_j a_j).
   for (int r = 0; r < m_; ++r) {
-    double acc = 0.0;
-    for (int k = 0; k < m_; ++k) {
-      acc += binv_[static_cast<std::size_t>(r) * mm + k] *
-             rhs_[static_cast<std::size_t>(k)];
-    }
-    xb_[static_cast<std::size_t>(r)] = acc;
+    xb_[static_cast<std::size_t>(r)] = rhs_[static_cast<std::size_t>(r)];
   }
-  pivots_since_refactor_ = 0;
+  for (int j = 0; j < total_cols_; ++j) {
+    if (in_basis_[static_cast<std::size_t>(j)] ||
+        !at_upper_[static_cast<std::size_t>(j)]) {
+      continue;
+    }
+    const double u = upper_[static_cast<std::size_t>(j)];
+    for (const Term& t : cols_[static_cast<std::size_t>(j)].entries) {
+      xb_[static_cast<std::size_t>(t.col)] -= u * t.coeff;
+    }
+  }
+  lu_.ftran(xb_);
+}
+
+bool Engine::refactorize() {
+  if (!lu_.factorize(cols_, basis_, kFactorPivotTol)) {
+    util::log_warn() << "revised simplex: singular basis at refactor";
+    return false;
+  }
+  ++refactorizations_;
+  // Recomputing the basic solution from scratch re-anchors it numerically
+  // (the incremental updates drift by one rounding per pivot).
+  compute_xb();
   return true;
 }
 
-void Engine::reset_to_cold_basis(const std::vector<int>& cold_basis) {
-  basis_ = cold_basis;
+void Engine::cold_start() {
+  basis_ = cold_basis_;
   std::fill(in_basis_.begin(), in_basis_.end(), 0);
+  std::fill(at_upper_.begin(), at_upper_.end(), 0);
   for (int b : basis_) in_basis_[static_cast<std::size_t>(b)] = 1;
-  const auto mm = static_cast<std::size_t>(m_);
-  binv_.assign(mm * mm, 0.0);
-  for (int r = 0; r < m_; ++r) {
-    binv_[static_cast<std::size_t>(r) * mm + static_cast<std::size_t>(r)] =
-        1.0;
-  }
+  // The cold basis is a signed identity (unit slack/artificial columns), so
+  // this factorization cannot fail and FTRAN of the rhs is the rhs itself.
+  lu_.factorize(cols_, basis_, kFactorPivotTol);
   xb_ = rhs_;
-  pivots_since_refactor_ = 0;
+  // With B = I the edge norm of every column is exactly 1 + ||a_j||^2, so
+  // steepest edge starts from true weights (and the drift self-check is
+  // meaningful from the first pivot).
+  for (int j = 0; j < total_cols_; ++j) {
+    double norm2 = 0.0;
+    for (const Term& t : cols_[static_cast<std::size_t>(j)].entries) {
+      norm2 += t.coeff * t.coeff;
+    }
+    gamma_[static_cast<std::size_t>(j)] = 1.0 + norm2;
+  }
+  gamma_exact_ = true;
 }
 
-bool Engine::adopt_warm_basis(const std::vector<int>& warm) {
-  if (static_cast<int>(warm.size()) != m_) return false;
+bool Engine::adopt_warm_basis(const WarmStartBasis& warm) {
+  if (static_cast<int>(warm.basis.size()) != m_) return false;
+  if (!warm.at_upper.empty() &&
+      static_cast<int>(warm.at_upper.size()) != total_cols_) {
+    return false;
+  }
   // Only structural and slack columns may seed a warm basis: an artificial
   // would force a phase-1 pass and defeat the point.
   std::vector<char> seen(static_cast<std::size_t>(art_begin_), 0);
-  for (int b : warm) {
+  for (int b : warm.basis) {
     if (b < 0 || b >= art_begin_ || seen[static_cast<std::size_t>(b)]) {
       return false;
     }
     seen[static_cast<std::size_t>(b)] = 1;
   }
-  const std::vector<int> cold_basis = basis_;
-  basis_ = warm;
+  basis_ = warm.basis;
   std::fill(in_basis_.begin(), in_basis_.end(), 0);
   for (int b : basis_) in_basis_[static_cast<std::size_t>(b)] = 1;
-  bool ok = refactorize();
-  if (ok) {
-    // The adopted basis must still be primal feasible for this model's
-    // rhs; otherwise phase 2 cannot start from it.
-    for (double v : xb_) {
-      if (v < -opt_.feas_tol) {
-        ok = false;
-        break;
-      }
-    }
+  for (int j = 0; j < total_cols_; ++j) {
+    const bool up = !warm.at_upper.empty() &&
+                    warm.at_upper[static_cast<std::size_t>(j)] != 0 &&
+                    !in_basis_[static_cast<std::size_t>(j)] &&
+                    std::isfinite(upper_[static_cast<std::size_t>(j)]);
+    at_upper_[static_cast<std::size_t>(j)] = up ? 1 : 0;
   }
-  if (!ok) {
-    reset_to_cold_basis(cold_basis);
+  if (!refactorize()) {
+    cold_start();
     return false;
   }
-  for (double& v : xb_) v = std::max(v, 0.0);
+  // The adopted basis must still be feasible for this model's rhs and
+  // bounds; otherwise phase 2 cannot start from it.
+  for (int r = 0; r < m_; ++r) {
+    const double v = xb_[static_cast<std::size_t>(r)];
+    const double u = upper_[static_cast<std::size_t>(
+        basis_[static_cast<std::size_t>(r)])];
+    if (v < -opt_.feas_tol || v > u + opt_.feas_tol) {
+      cold_start();
+      return false;
+    }
+  }
+  for (int r = 0; r < m_; ++r) {
+    double& v = xb_[static_cast<std::size_t>(r)];
+    v = std::max(v, 0.0);
+    const double u = upper_[static_cast<std::size_t>(
+        basis_[static_cast<std::size_t>(r)])];
+    if (std::isfinite(u)) v = std::min(v, u);
+  }
+  // Reference-framework weights: exact norms for the adopted basis would
+  // cost one FTRAN per column, so the warm path prices against the devex
+  // approximation (safeguarded from below, converges to useful values in a
+  // few pivots — and warm solves take only a few pivots).
+  std::fill(gamma_.begin(), gamma_.end(), 1.0);
+  gamma_exact_ = false;
   return true;
 }
 
 void Engine::compute_y(const std::vector<double>& costs) {
-  const auto mm = static_cast<std::size_t>(m_);
-  std::fill(y_.begin(), y_.end(), 0.0);
   for (int r = 0; r < m_; ++r) {
-    const double cb =
+    y_[static_cast<std::size_t>(r)] =
         costs[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
-    if (cb == 0.0) continue;
-    const double* row = &binv_[static_cast<std::size_t>(r) * mm];
-    for (int k = 0; k < m_; ++k) y_[static_cast<std::size_t>(k)] += cb * row[k];
   }
+  lu_.btran(y_);
 }
 
 int Engine::price(const std::vector<double>& costs, bool bland) const {
   int best = -1;
-  double best_d = opt_.opt_tol;
+  double best_score = 0.0;
   for (int j = 0; j < price_limit_; ++j) {
     if (in_basis_[static_cast<std::size_t>(j)]) continue;
     double d = costs[static_cast<std::size_t>(j)];
     for (const Term& t : cols_[static_cast<std::size_t>(j)].entries) {
       d -= y_[static_cast<std::size_t>(t.col)] * t.coeff;
     }
-    if (d > opt_.opt_tol) {
-      if (bland) return j;
-      if (d > best_d) {
-        best_d = d;
-        best = j;
-      }
+    // A column at its lower bound improves the (max) objective by
+    // increasing when d > 0; one at its upper bound by decreasing when
+    // d < 0.
+    const bool eligible = at_upper_[static_cast<std::size_t>(j)]
+                              ? d < -opt_.opt_tol
+                              : d > opt_.opt_tol;
+    if (!eligible) continue;
+    if (bland) return j;
+    const double score = mode_ == PricingMode::kDantzig
+                             ? std::abs(d)
+                             : d * d / gamma_[static_cast<std::size_t>(j)];
+    if (score > best_score) {
+      best_score = score;
+      best = j;
     }
   }
   return best;
 }
 
-void Engine::column_times_binv(int col, std::vector<double>& w) const {
-  const auto mm = static_cast<std::size_t>(m_);
-  std::fill(w.begin(), w.end(), 0.0);
+void Engine::ftran_column(int col) {
+  std::fill(w_.begin(), w_.end(), 0.0);
   for (const Term& t : cols_[static_cast<std::size_t>(col)].entries) {
-    const double v = t.coeff;
-    for (int r = 0; r < m_; ++r) {
-      w[static_cast<std::size_t>(r)] +=
-          binv_[static_cast<std::size_t>(r) * mm +
-                static_cast<std::size_t>(t.col)] *
-          v;
+    w_[static_cast<std::size_t>(t.col)] = t.coeff;
+  }
+  lu_.ftran(w_);
+}
+
+double Engine::sparse_dot(int col, const std::vector<double>& row_vec) const {
+  double acc = 0.0;
+  for (const Term& t : cols_[static_cast<std::size_t>(col)].entries) {
+    acc += row_vec[static_cast<std::size_t>(t.col)] * t.coeff;
+  }
+  return acc;
+}
+
+/// Maintains the pricing reference weights across the pivot that moves
+/// `entering` into basis position `leave` (evicting `leaving_col`).
+/// Steepest edge uses the Goldfarb update with the exact entering norm
+/// `gamma_q` = 1 + ||B^{-1}a_q||^2 (two BTRANs: rho = B^{-T}e_r and
+/// v = B^{-T}w); devex keeps only the rho BTRAN and grows weights
+/// monotonically. Both are safeguarded from below, so a stale weight can
+/// bias the entering choice but never break correctness. Must run before
+/// the eta push: the BTRANs are against the pre-pivot basis.
+void Engine::update_pricing_weights(int entering, int leave, int leaving_col,
+                                    double gamma_q) {
+  const double wr = w_[static_cast<std::size_t>(leave)];
+  std::fill(rho_.begin(), rho_.end(), 0.0);
+  rho_[static_cast<std::size_t>(leave)] = 1.0;
+  lu_.btran(rho_);
+  const bool se = mode_ == PricingMode::kSteepestEdge;
+  if (se) {
+    sev_ = w_;
+    lu_.btran(sev_);
+  }
+  for (int j = 0; j < price_limit_; ++j) {
+    if (in_basis_[static_cast<std::size_t>(j)] || j == entering) continue;
+    const double alpha = sparse_dot(j, rho_);
+    if (alpha == 0.0) continue;
+    const double beta = alpha / wr;
+    double& g = gamma_[static_cast<std::size_t>(j)];
+    if (se) {
+      const double av = sparse_dot(j, sev_);
+      g = std::max(g - 2.0 * beta * av + beta * beta * gamma_q,
+                   1.0 + beta * beta);
+    } else {
+      g = std::max(g, beta * beta * gamma_q);
     }
   }
+  gamma_[static_cast<std::size_t>(leaving_col)] =
+      se ? std::max(gamma_q / (wr * wr), 1.0 + 1.0 / (wr * wr))
+         : std::max(gamma_q / (wr * wr), 1.0);
+}
+
+/// Folds the pivot column w_ (position `leave` replaced) into the basis
+/// representation: appends an eta when stable, refactorizes otherwise or
+/// when the eta file hit the interval. Returns false only when a required
+/// refactorization found the basis singular — an unrecoverable state.
+bool Engine::absorb_pivot(int leave) {
+  if (lu_.push_eta(w_, leave, kEtaPivotTol)) {
+    ++eta_pivots_;
+    eta_len_max_ = std::max(eta_len_max_, lu_.eta_len());
+    if (lu_.eta_len() >= std::max(1, opt_.refactor_interval)) {
+      return refactorize();
+    }
+    return true;
+  }
+  return refactorize();
 }
 
 SolveStatus Engine::iterate(const std::vector<double>& costs, int& iterations,
                             int max_iterations) {
-  std::vector<double>& w = w_;  // member scratch, reused across phases
   bool bland = false;
   int degenerate_streak = 0;
   while (true) {
@@ -374,50 +440,99 @@ SolveStatus Engine::iterate(const std::vector<double>& costs, int& iterations,
     const int entering = price(costs, bland);
     if (entering < 0) return SolveStatus::kOptimal;
 
-    column_times_binv(entering, w);
+    ftran_column(entering);  // w_ = B^{-1} a_q, position-indexed
+    const bool from_upper = at_upper_[static_cast<std::size_t>(entering)] != 0;
+    const double sigma = from_upper ? -1.0 : 1.0;
+
+    // Ratio test over the basic variables: the entering column moves away
+    // from its bound by t, each basic value moves by -t*sigma*w_i and may
+    // hit either of its own bounds. Ties break to the lowest column index
+    // for determinism.
     int leave = -1;
     double best_ratio = 0.0;
     int best_basis = -1;
+    bool leave_to_upper = false;
     for (int r = 0; r < m_; ++r) {
-      const double wr = w[static_cast<std::size_t>(r)];
-      if (wr <= opt_.pivot_tol) continue;
-      const double ratio = xb_[static_cast<std::size_t>(r)] / wr;
+      const double d = sigma * w_[static_cast<std::size_t>(r)];
+      double ratio;
+      bool to_upper;
+      if (d > opt_.pivot_tol) {
+        ratio = xb_[static_cast<std::size_t>(r)] / d;
+        to_upper = false;
+      } else if (d < -opt_.pivot_tol) {
+        const double ub = upper_[static_cast<std::size_t>(
+            basis_[static_cast<std::size_t>(r)])];
+        if (!std::isfinite(ub)) continue;
+        ratio = (ub - xb_[static_cast<std::size_t>(r)]) / (-d);
+        to_upper = true;
+      } else {
+        continue;
+      }
       if (leave < 0 || ratio < best_ratio - opt_.pivot_tol ||
           (ratio < best_ratio + opt_.pivot_tol &&
            basis_[static_cast<std::size_t>(r)] < best_basis)) {
         leave = r;
         best_ratio = ratio;
         best_basis = basis_[static_cast<std::size_t>(r)];
+        leave_to_upper = to_upper;
       }
     }
-    if (leave < 0) return SolveStatus::kUnbounded;
 
-    const bool degenerate = xb_[static_cast<std::size_t>(leave)] <=
-                            opt_.pivot_tol;
-
-    // Pivot: update basis inverse and basic solution.
-    const auto mm = static_cast<std::size_t>(m_);
-    const double p = w[static_cast<std::size_t>(leave)];
-    const double ip = 1.0 / p;
-    double* leave_row = &binv_[static_cast<std::size_t>(leave) * mm];
-    for (int k = 0; k < m_; ++k) leave_row[k] *= ip;
-    xb_[static_cast<std::size_t>(leave)] *= ip;
-    for (int r = 0; r < m_; ++r) {
-      if (r == leave) continue;
-      const double f = w[static_cast<std::size_t>(r)];
-      if (f == 0.0) continue;
-      double* row = &binv_[static_cast<std::size_t>(r) * mm];
-      for (int k = 0; k < m_; ++k) row[k] -= f * leave_row[k];
-      xb_[static_cast<std::size_t>(r)] -=
-          f * xb_[static_cast<std::size_t>(leave)];
+    const double uq = upper_[static_cast<std::size_t>(entering)];
+    if (leave < 0 && !std::isfinite(uq)) return SolveStatus::kUnbounded;
+    // The entering column can also hit its own opposite bound first: a
+    // bound flip, no basis change, no eta.
+    const bool flip =
+        leave < 0 || (std::isfinite(uq) && uq <= best_ratio);
+    bool degenerate = false;
+    if (flip) {
+      const double t = uq;
+      for (int r = 0; r < m_; ++r) {
+        xb_[static_cast<std::size_t>(r)] -=
+            t * sigma * w_[static_cast<std::size_t>(r)];
+      }
+      at_upper_[static_cast<std::size_t>(entering)] = from_upper ? 0 : 1;
+      ++bound_flips_;
+    } else {
+      const double t = best_ratio;
+      degenerate = t <= opt_.pivot_tol;
+      const int leaving_col = basis_[static_cast<std::size_t>(leave)];
+      if (mode_ != PricingMode::kDantzig) {
+        double norm2 = 0.0;
+        for (int r = 0; r < m_; ++r) {
+          const double v = w_[static_cast<std::size_t>(r)];
+          norm2 += v * v;
+        }
+        const double gamma_q = 1.0 + norm2;
+        if (mode_ == PricingMode::kSteepestEdge && gamma_exact_) {
+          const double stored = gamma_[static_cast<std::size_t>(entering)];
+          if (stored > kWeightDriftRatio * gamma_q ||
+              gamma_q > kWeightDriftRatio * stored) {
+            if (++drift_events_ > kWeightDriftLimit) {
+              mode_ = PricingMode::kDevex;
+              util::log_debug()
+                  << "revised simplex: steepest-edge weights drifted, "
+                     "falling back to devex";
+            }
+          }
+        }
+        update_pricing_weights(entering, leave, leaving_col, gamma_q);
+      }
+      for (int r = 0; r < m_; ++r) {
+        xb_[static_cast<std::size_t>(r)] -=
+            t * sigma * w_[static_cast<std::size_t>(r)];
+      }
+      xb_[static_cast<std::size_t>(leave)] = from_upper ? uq - t : t;
+      in_basis_[static_cast<std::size_t>(leaving_col)] = 0;
+      at_upper_[static_cast<std::size_t>(leaving_col)] =
+          leave_to_upper ? 1 : 0;
+      basis_[static_cast<std::size_t>(leave)] = entering;
+      in_basis_[static_cast<std::size_t>(entering)] = 1;
+      at_upper_[static_cast<std::size_t>(entering)] = 0;
+      if (!absorb_pivot(leave)) return SolveStatus::kIterationLimit;
     }
-    in_basis_[static_cast<std::size_t>(
-        basis_[static_cast<std::size_t>(leave)])] = 0;
-    basis_[static_cast<std::size_t>(leave)] = entering;
-    in_basis_[static_cast<std::size_t>(entering)] = 1;
 
     ++iterations;
-    if (++pivots_since_refactor_ >= opt_.refactor_interval) refactorize();
     if (iterations >= max_iterations) return SolveStatus::kIterationLimit;
     if (degenerate) {
       if (++degenerate_streak >= opt_.stall_threshold && !bland) {
@@ -434,38 +549,35 @@ SolveStatus Engine::iterate(const std::vector<double>& costs, int& iterations,
 void Engine::drive_out_artificials() {
   for (int r = 0; r < m_; ++r) {
     if (basis_[static_cast<std::size_t>(r)] < art_begin_) continue;
-    const auto mm = static_cast<std::size_t>(m_);
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+    rho_[static_cast<std::size_t>(r)] = 1.0;
+    lu_.btran(rho_);  // row r of B^{-1}A via one BTRAN, then sparse dots
     for (int j = 0; j < art_begin_; ++j) {
-      if (in_basis_[static_cast<std::size_t>(j)]) continue;
-      double wr = 0.0;
-      for (const Term& t : cols_[static_cast<std::size_t>(j)].entries) {
-        wr += binv_[static_cast<std::size_t>(r) * mm +
-                    static_cast<std::size_t>(t.col)] *
-              t.coeff;
+      if (in_basis_[static_cast<std::size_t>(j)] ||
+          at_upper_[static_cast<std::size_t>(j)]) {
+        continue;
       }
-      if (std::abs(wr) <= 1e-7) continue;
-      // Pivot j into row r.
-      std::vector<double>& w = w_;
-      column_times_binv(j, w);
-      const double p = w[static_cast<std::size_t>(r)];
-      if (std::abs(p) <= 1e-9) continue;
-      const double ipv = 1.0 / p;
-      double* leave_row = &binv_[static_cast<std::size_t>(r) * mm];
-      for (int k = 0; k < m_; ++k) leave_row[k] *= ipv;
-      xb_[static_cast<std::size_t>(r)] *= ipv;
-      for (int rr = 0; rr < m_; ++rr) {
-        if (rr == r) continue;
-        const double f = w[static_cast<std::size_t>(rr)];
-        if (f == 0.0) continue;
-        double* row = &binv_[static_cast<std::size_t>(rr) * mm];
-        for (int k = 0; k < m_; ++k) row[k] -= f * leave_row[k];
-        xb_[static_cast<std::size_t>(rr)] -=
-            f * xb_[static_cast<std::size_t>(r)];
+      if (std::abs(sparse_dot(j, rho_)) <= 1e-7) continue;
+      ftran_column(j);
+      const double wr = w_[static_cast<std::size_t>(r)];
+      if (std::abs(wr) <= 1e-9) continue;
+      // Degenerate pivot: the artificial's residual value (~0 after a
+      // feasible phase 1) moves onto the entering column.
+      const double t = xb_[static_cast<std::size_t>(r)] / wr;
+      for (int i = 0; i < m_; ++i) {
+        if (i == r) continue;
+        xb_[static_cast<std::size_t>(i)] -=
+            t * w_[static_cast<std::size_t>(i)];
       }
+      xb_[static_cast<std::size_t>(r)] = t;
       in_basis_[static_cast<std::size_t>(
           basis_[static_cast<std::size_t>(r)])] = 0;
       basis_[static_cast<std::size_t>(r)] = j;
       in_basis_[static_cast<std::size_t>(j)] = 1;
+      // This pivot bypasses update_pricing_weights: the stored weights are
+      // approximations from here on and must not trip the drift check.
+      gamma_exact_ = false;
+      if (!absorb_pivot(r)) return;
       break;
     }
   }
@@ -478,7 +590,22 @@ double Engine::basic_value(const std::vector<double>& costs) const {
                 basis_[static_cast<std::size_t>(r)])] *
              xb_[static_cast<std::size_t>(r)];
   }
+  for (int j = 0; j < total_cols_; ++j) {
+    if (!in_basis_[static_cast<std::size_t>(j)] &&
+        at_upper_[static_cast<std::size_t>(j)]) {
+      value += costs[static_cast<std::size_t>(j)] *
+               upper_[static_cast<std::size_t>(j)];
+    }
+  }
   return value;
+}
+
+void Engine::fill_stats(SolveResult& result) const {
+  result.stats.refactorizations = refactorizations_;
+  result.stats.eta_pivots = eta_pivots_;
+  result.stats.eta_len_max = eta_len_max_;
+  result.stats.bound_flips = bound_flips_;
+  result.stats.pricing_mode = static_cast<int>(mode_);
 }
 
 SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
@@ -488,14 +615,15 @@ SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
                               : 200 * (m_ + total_cols_) + 2000;
 
   // Warm start: re-enter at the previous solve's basis when the tableau
-  // kept its shape. An adopted basis is artificial-free and primal
-  // feasible, so phase 1 is provably unnecessary.
+  // kept its shape. An adopted basis is artificial-free and feasible for
+  // the bounds, so phase 1 is provably unnecessary.
   if (warm != nullptr && !warm->empty() && warm->m == m_ &&
       warm->total_cols == total_cols_) {
     result.stats.warm_start_attempted = true;
-    result.warm_started = adopt_warm_basis(warm->basis);
+    result.warm_started = adopt_warm_basis(*warm);
     result.stats.warm_start_used = result.warm_started;
   }
+  if (!result.warm_started) cold_start();
 
   if (!result.warm_started && art_begin_ < total_cols_) {
     price_limit_ = total_cols_;
@@ -507,12 +635,12 @@ SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
     result.stats.phase1_iterations = result.iterations;
     if (st == SolveStatus::kIterationLimit) {
       result.status = st;
-      result.stats.refactorizations = refactorizations_;
+      fill_stats(result);
       return result;
     }
     if (basic_value(phase1) < -opt_.feas_tol) {
       result.status = SolveStatus::kInfeasible;
-      result.stats.refactorizations = refactorizations_;
+      fill_stats(result);
       return result;
     }
     drive_out_artificials();
@@ -523,7 +651,7 @@ SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
       iterate(phase2_costs_, result.iterations, max_iterations);
   result.stats.phase2_iterations =
       result.iterations - result.stats.phase1_iterations;
-  result.stats.refactorizations = refactorizations_;
+  fill_stats(result);
   result.status = st;
   if (st != SolveStatus::kOptimal) return result;
 
@@ -531,15 +659,27 @@ SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
     warm->m = m_;
     warm->total_cols = total_cols_;
     warm->basis = basis_;
+    warm->at_upper = at_upper_;
   }
 
+  const int n_live = static_cast<int>(tab_to_model_.size());
   result.x.assign(static_cast<std::size_t>(model.num_variables()), 0.0);
+  for (int j = 0; j < n_live; ++j) {
+    if (!in_basis_[static_cast<std::size_t>(j)] &&
+        at_upper_[static_cast<std::size_t>(j)]) {
+      result.x[static_cast<std::size_t>(
+          tab_to_model_[static_cast<std::size_t>(j)])] =
+          upper_[static_cast<std::size_t>(j)];
+    }
+  }
   for (int r = 0; r < m_; ++r) {
     const int b = basis_[static_cast<std::size_t>(r)];
-    if (b < static_cast<int>(tab_to_model_.size())) {
+    if (b < n_live) {
+      double v = std::max(0.0, xb_[static_cast<std::size_t>(r)]);
+      const double u = upper_[static_cast<std::size_t>(b)];
+      if (std::isfinite(u)) v = std::min(v, u);
       result.x[static_cast<std::size_t>(
-          tab_to_model_[static_cast<std::size_t>(b)])] =
-          std::max(0.0, xb_[static_cast<std::size_t>(r)]);
+          tab_to_model_[static_cast<std::size_t>(b)])] = v;
     }
   }
   for (int j = 0; j < model.num_variables(); ++j) {

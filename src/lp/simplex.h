@@ -52,6 +52,18 @@ struct SolveStats {
   bool warm_start_attempted = false;
   /// The offered basis was adopted (phase 1 skipped).
   bool warm_start_used = false;
+  /// Pivots absorbed as eta-file updates, i.e. without refactorizing
+  /// (revised simplex only). Nonzero means the factorization was reused
+  /// across pivots, the whole point of the eta scheme.
+  int eta_pivots = 0;
+  /// Peak eta-file length reached between refactorizations.
+  int eta_len_max = 0;
+  /// Bound-to-bound moves of a nonbasic column (no basis change; counted
+  /// in the phase iteration totals like any other pivot).
+  int bound_flips = 0;
+  /// PricingMode the solve finished with, as its integer value (steepest
+  /// edge may drop to devex mid-solve after weight drift).
+  int pricing_mode = 0;
   /// Total pivots across both phases.
   int pivots() const noexcept {
     return phase1_iterations + phase2_iterations;

@@ -22,6 +22,12 @@ Metrics make_metrics() {
       "lp.pivots_per_solve",
       {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0},
       "pivot count distribution per solve");
+  m.lp_eta_len = reg.histogram(
+      "lp.eta_len", {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0},
+      "peak eta-file length per revised-simplex solve");
+  m.lp_pricing_mode = reg.gauge(
+      "lp.pricing_mode",
+      "pricing rule of the latest solve (0=dantzig 1=devex 2=steepest-edge)");
 
   m.bandit_arm_pulls =
       reg.counter("bandit.arm_pulls", "learner updates (arm feedback)");

@@ -22,6 +22,8 @@ struct Metrics {
   Counter lp_warm_start_misses;  // lp.warm_start_misses
   Counter lp_slot_models;        // lp.slot_models
   Histogram lp_pivots_per_solve;  // lp.pivots_per_solve
+  Histogram lp_eta_len;           // lp.eta_len
+  Gauge lp_pricing_mode;          // lp.pricing_mode
 
   // --- bandit: learner dynamics ---------------------------------------
   Counter bandit_arm_pulls;         // bandit.arm_pulls

@@ -14,6 +14,16 @@
 
 namespace mecar::sim {
 
+namespace {
+
+lp::RevisedSimplexOptions slot_lp_options(const DynamicRrParams& params) {
+  lp::RevisedSimplexOptions opt;
+  opt.max_iterations = params.lp_max_iterations;
+  return opt;
+}
+
+}  // namespace
+
 DynamicRrPolicy::DynamicRrPolicy(const mec::Topology& topo,
                                  core::AlgorithmParams alg,
                                  DynamicRrParams params, util::Rng rng)
@@ -21,6 +31,7 @@ DynamicRrPolicy::DynamicRrPolicy(const mec::Topology& topo,
       alg_(alg),
       params_(params),
       rng_(rng),
+      lp_solver_(slot_lp_options(params)),
       grid_(params.threshold_min_mhz, params.threshold_max_mhz,
             params.kappa) {
   switch (params_.learner) {

@@ -68,6 +68,12 @@ struct DynamicRrParams {
   /// unchanged — only the pivot count drops when consecutive batches keep
   /// their shape, which is the common case under a saturated queue.
   bool warm_start_lp = true;
+  /// Pivot budget handed to the per-slot LP solver; 0 picks the solver's
+  /// automatic limit. A solve that exhausts the budget returns
+  /// kIterationLimit and the batch falls back to greedy placement
+  /// (counted in DegradationStats::lp_fallbacks) — a latency guard for
+  /// deployments where a slot deadline beats an exact placement.
+  int lp_max_iterations = 0;
 };
 
 /// Graceful-degradation accounting of one DynamicRrPolicy instance: how

@@ -263,6 +263,36 @@ TEST_P(OutageSweep, PoliciesSurviveOutages) {
 
 INSTANTIATE_TEST_SUITE_P(Policies, OutageSweep, ::testing::Range(0, 4));
 
+TEST(GracefulDegradation, LpIterationLimitFallsBackToGreedy) {
+  // A one-pivot budget makes every nontrivial slot LP exit with
+  // kIterationLimit; the policy must place batches through the greedy
+  // failover instead of dropping them, and must account for every
+  // fallback.
+  util::Rng rng(41);
+  const mec::Topology topo = mec::generate_topology({}, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 120;
+  wparams.horizon_slots = 200;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto realized = core::realize_demand_levels(requests, rng);
+  OnlineParams params;
+  params.horizon_slots = 200;
+
+  DynamicRrParams rr;
+  rr.lp_max_iterations = 1;
+  DynamicRrPolicy policy(topo, core::AlgorithmParams{}, rr, util::Rng(42));
+  OnlineSimulator sim(topo, requests, realized, params);
+  const auto m = sim.run(policy);
+
+  const DegradationStats& deg = policy.degradation_stats();
+  EXPECT_GT(deg.lp_solves, 0);
+  EXPECT_GT(deg.lp_fallbacks, 0)
+      << "a 1-pivot budget never tripped the iteration limit";
+  // Service continues: the failover path still places requests.
+  EXPECT_GT(m.completed, 0);
+  EXPECT_EQ(m.completed + m.dropped + m.unfinished, m.arrived);
+}
+
 TEST(FailureInjection, OutageReducesButDoesNotZeroReward) {
   util::Rng rng(37);
   const mec::Topology topo = mec::generate_topology({}, rng);

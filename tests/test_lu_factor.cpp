@@ -1,0 +1,236 @@
+// Unit tests for the sparse LU basis factorization and its eta file,
+// checked against the defining identities: ftran output x satisfies
+// B x = a (B's k-th column is cols[basis[k]]), btran output y satisfies
+// B^T y = c. Eta updates are checked against a dense basis with the
+// replaced column.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/lu_factor.h"
+#include "util/rng.h"
+
+namespace mecar::lp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Dense m-vector of `cols[j]`.
+std::vector<double> dense_col(const SparseCol& col, int m) {
+  std::vector<double> out(static_cast<std::size_t>(m), 0.0);
+  for (const Term& t : col.entries) {
+    out[static_cast<std::size_t>(t.col)] += t.coeff;
+  }
+  return out;
+}
+
+/// B x for the basis matrix whose k-th column is cols[basis[k]].
+std::vector<double> apply_basis(const std::vector<SparseCol>& cols,
+                                const std::vector<int>& basis,
+                                const std::vector<double>& x) {
+  const int m = static_cast<int>(basis.size());
+  std::vector<double> out(static_cast<std::size_t>(m), 0.0);
+  for (int k = 0; k < m; ++k) {
+    for (const Term& t : cols[static_cast<std::size_t>(basis[k])].entries) {
+      out[static_cast<std::size_t>(t.col)] +=
+          t.coeff * x[static_cast<std::size_t>(k)];
+    }
+  }
+  return out;
+}
+
+/// B^T y: component k is cols[basis[k]] . y.
+std::vector<double> apply_basis_transpose(const std::vector<SparseCol>& cols,
+                                          const std::vector<int>& basis,
+                                          const std::vector<double>& y) {
+  const int m = static_cast<int>(basis.size());
+  std::vector<double> out(static_cast<std::size_t>(m), 0.0);
+  for (int k = 0; k < m; ++k) {
+    double dot = 0.0;
+    for (const Term& t : cols[static_cast<std::size_t>(basis[k])].entries) {
+      dot += t.coeff * y[static_cast<std::size_t>(t.col)];
+    }
+    out[static_cast<std::size_t>(k)] = dot;
+  }
+  return out;
+}
+
+void expect_near(const std::vector<double>& a, const std::vector<double>& b,
+                 double tol, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], tol) << what << " component " << i;
+  }
+}
+
+std::vector<SparseCol> random_cols(int m, int n, util::Rng& rng) {
+  // Row indices are unique within a column (the engine's scatter contract).
+  std::vector<SparseCol> cols(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    auto& entries = cols[static_cast<std::size_t>(j)].entries;
+    for (int r = 0; r < m; ++r) {
+      if (rng.bernoulli(0.4)) {
+        entries.push_back(Term{r, rng.uniform(-2.0, 2.0)});
+      }
+    }
+    // Guarantee a strong entry somewhere so random bases are usually
+    // nonsingular.
+    const int strong = static_cast<int>(rng.uniform_int(0, m - 1));
+    const double v = rng.bernoulli(0.5) ? 2.5 : -2.5;
+    bool found = false;
+    for (Term& t : entries) {
+      if (t.col == strong) {
+        t.coeff = v;
+        found = true;
+        break;
+      }
+    }
+    if (!found) entries.push_back(Term{strong, v});
+  }
+  return cols;
+}
+
+TEST(BasisLu, FactorizesAndSolvesKnownSystem) {
+  // B = [[2, 1, 0], [0, 3, 1], [1, 0, 2]] column by column.
+  std::vector<SparseCol> cols(3);
+  cols[0].entries = {{0, 2.0}, {2, 1.0}};
+  cols[1].entries = {{0, 1.0}, {1, 3.0}};
+  cols[2].entries = {{1, 1.0}, {2, 2.0}};
+  const std::vector<int> basis{0, 1, 2};
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(cols, basis, 1e-12));
+  EXPECT_EQ(lu.m(), 3);
+  EXPECT_EQ(lu.eta_len(), 0);
+  EXPECT_GT(lu.factor_nnz(), 0);
+
+  std::vector<double> x{5.0, 7.0, 4.0};  // row-indexed rhs a
+  const std::vector<double> a = x;
+  lu.ftran(x);
+  expect_near(apply_basis(cols, basis, x), a, kTol, "ftran");
+
+  std::vector<double> y{1.0, -2.0, 0.5};  // position-indexed costs c
+  const std::vector<double> c = y;
+  lu.btran(y);
+  expect_near(apply_basis_transpose(cols, basis, y), c, kTol, "btran");
+}
+
+TEST(BasisLu, PermutedBasisOrderStillSolves) {
+  // Same matrix, scrambled basis order: the factorization must handle a
+  // column order that needs row pivoting.
+  std::vector<SparseCol> cols(3);
+  cols[0].entries = {{1, 1.0}};            // e_1-ish
+  cols[1].entries = {{0, 4.0}, {1, 1.0}};  // dense-ish
+  cols[2].entries = {{2, -3.0}, {0, 0.5}};
+  const std::vector<int> basis{2, 0, 1};
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(cols, basis, 1e-12));
+  std::vector<double> x{1.0, 2.0, 3.0};
+  const auto a = x;
+  lu.ftran(x);
+  expect_near(apply_basis(cols, basis, x), a, kTol, "permuted ftran");
+}
+
+TEST(BasisLu, DetectsSingularBasis) {
+  std::vector<SparseCol> cols(2);
+  cols[0].entries = {{0, 1.0}, {1, 2.0}};
+  cols[1].entries = {{0, 2.0}, {1, 4.0}};  // linearly dependent
+  BasisLu lu;
+  EXPECT_FALSE(lu.factorize(cols, {0, 1}, 1e-12));
+}
+
+TEST(BasisLu, EtaUpdateMatchesRefactorizedBasis) {
+  util::Rng rng(5);
+  const int m = 8;
+  auto cols = random_cols(m, 16, rng);
+  std::vector<int> basis{0, 1, 2, 3, 4, 5, 6, 7};
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(cols, basis, 1e-12));
+
+  // Pivot column 12 into position 3: w = B^{-1} a_12 via ftran.
+  const int entering = 12;
+  const int leave = 3;
+  std::vector<double> w = dense_col(cols[entering], m);
+  lu.ftran(w);
+  ASSERT_GT(std::abs(w[leave]), 1e-8) << "test basis made a bad pivot";
+  ASSERT_TRUE(lu.push_eta(w, leave, 1e-8));
+  EXPECT_EQ(lu.eta_len(), 1);
+  basis[leave] = entering;
+
+  // Both solves must now answer for the updated basis.
+  std::vector<double> x{1.0, -1.0, 0.5, 2.0, 0.0, 3.0, -0.25, 1.5};
+  const auto a = x;
+  lu.ftran(x);
+  expect_near(apply_basis(cols, basis, x), a, 1e-8, "eta ftran");
+
+  std::vector<double> y{0.5, 1.0, 0.0, -2.0, 1.0, 0.0, 2.0, -1.0};
+  const auto c = y;
+  lu.btran(y);
+  expect_near(apply_basis_transpose(cols, basis, y), c, 1e-8, "eta btran");
+
+  // A refactorization of the updated basis agrees with the eta file.
+  BasisLu fresh;
+  ASSERT_TRUE(fresh.factorize(cols, basis, 1e-12));
+  std::vector<double> x2 = a;
+  fresh.ftran(x2);
+  expect_near(x, x2, 1e-8, "eta vs refactorized");
+}
+
+TEST(BasisLu, RejectsUnstableEtaPivot) {
+  std::vector<SparseCol> cols(2);
+  cols[0].entries = {{0, 1.0}};
+  cols[1].entries = {{1, 1.0}};
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(cols, {0, 1}, 1e-12));
+  std::vector<double> w{1.0, 1e-12};  // pivot entry below the threshold
+  EXPECT_FALSE(lu.push_eta(w, 1, 1e-8));
+  EXPECT_EQ(lu.eta_len(), 0);  // file untouched on rejection
+}
+
+TEST(BasisLu, RandomizedFtranBtranSweep) {
+  for (unsigned seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(seed);
+    const int m = static_cast<int>(rng.uniform_int(2, 12));
+    auto cols = random_cols(m, 2 * m, rng);
+    std::vector<int> basis;
+    for (int k = 0; k < m; ++k) basis.push_back(k);
+    BasisLu lu;
+    if (!lu.factorize(cols, basis, 1e-10)) continue;  // singular draw
+
+    std::vector<double> x, c;
+    for (int i = 0; i < m; ++i) {
+      x.push_back(rng.uniform(-3.0, 3.0));
+      c.push_back(rng.uniform(-3.0, 3.0));
+    }
+    const auto a = x;
+    lu.ftran(x);
+    expect_near(apply_basis(cols, basis, x), a, 1e-7, "sweep ftran");
+    auto y = c;
+    lu.btran(y);
+    expect_near(apply_basis_transpose(cols, basis, y), c, 1e-7,
+                "sweep btran");
+
+    // Chain a few eta updates and keep checking both solves.
+    for (int upd = 0; upd < 3; ++upd) {
+      const int entering = static_cast<int>(rng.uniform_int(m, 2 * m - 1));
+      std::vector<double> w = dense_col(cols[static_cast<std::size_t>(
+                                            entering)], m);
+      lu.ftran(w);
+      const int leave = static_cast<int>(rng.uniform_int(0, m - 1));
+      if (std::abs(w[static_cast<std::size_t>(leave)]) < 1e-6) continue;
+      ASSERT_TRUE(lu.push_eta(w, leave, 1e-8));
+      basis[static_cast<std::size_t>(leave)] = entering;
+
+      auto xx = a;
+      lu.ftran(xx);
+      expect_near(apply_basis(cols, basis, xx), a, 1e-6, "sweep eta ftran");
+      auto yy = c;
+      lu.btran(yy);
+      expect_near(apply_basis_transpose(cols, basis, yy), c, 1e-6,
+                  "sweep eta btran");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mecar::lp

@@ -2,6 +2,7 @@
 // optima, including integer blocks, bounds, and the slot-indexed LP.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "core/slot_lp.h"
@@ -111,7 +112,9 @@ TEST(Mps, ReaderRejectsMalformedInput) {
     EXPECT_THROW(read_mps(ss), std::invalid_argument);
   }
   {
-    std::stringstream ss("RANGES\n");
+    // RANGES is supported, but only on rows that exist.
+    std::stringstream ss(
+        "ROWS\n N  OBJ\n L  c\nRANGES\n    RNG1  nosuchrow  1.0\n");
     EXPECT_THROW(read_mps(ss), std::invalid_argument);
   }
   {
@@ -152,12 +155,157 @@ TEST(Mps, ParseErrorsCarryLineNumbersAndFieldNames) {
         "ROWS\n N  OBJ\n L  c\nCOLUMNS\n    x  c  1.0\n"
         "BOUNDS\n UP BND1  x  high\n");
     EXPECT_EQ(line, 7);
-    EXPECT_NE(what.find("upper bound"), std::string::npos);
+    EXPECT_NE(what.find("UP bound"), std::string::npos);
   }
   {
     const auto [line, what] = failure("FROBNICATE\n");
     EXPECT_EQ(line, 1);
     EXPECT_NE(what.find("unknown section"), std::string::npos);
+  }
+}
+
+TEST(Mps, ColumnBoundsSurviveRoundTrip) {
+  Model m;
+  m.add_variable("tight", 4.0, 0.25);
+  m.add_variable("loose", 1.0, 7.5);
+  m.add_variable("free_up", 2.0);  // +inf upper
+  m.add_constraint("c", Sense::kLe, 5.0, {{0, 1.0}, {1, 1.0}, {2, 1.0}});
+  const Model back = roundtrip(m);
+  ASSERT_EQ(back.num_variables(), 3);
+  EXPECT_DOUBLE_EQ(back.variable(0).upper, 0.25);
+  EXPECT_DOUBLE_EQ(back.variable(1).upper, 7.5);
+  EXPECT_FALSE(std::isfinite(back.variable(2).upper));
+  const auto a = SimplexSolver().solve(m);
+  const auto b = SimplexSolver().solve(back);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+}
+
+TEST(Mps, FixedColumnRoundTripsViaFxBound) {
+  Model m;
+  const int x = m.add_variable("x", 3.0, 5.0);
+  const int y = m.add_variable("y", 2.0, 4.0);
+  m.add_constraint("c", Sense::kLe, 6.0, {{x, 1.0}, {y, 1.0}});
+  const Model fixed = m.with_fixed(y, 1.5);
+  const Model back = roundtrip(fixed);
+  ASSERT_EQ(back.num_variables(), 2);
+  EXPECT_TRUE(back.is_fixed(1));
+  EXPECT_DOUBLE_EQ(back.fixed_values()[1], 1.5);
+  const auto a = SimplexSolver().solve(fixed);
+  const auto b = SimplexSolver().solve(back);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  // The fixed column's objective constant is not representable in MPS, so
+  // compare the variable part only.
+  EXPECT_NEAR(a.objective - fixed.fixed_objective(),
+              b.objective - back.fixed_objective(), 1e-9);
+  EXPECT_NEAR(b.x[1], 1.5, 1e-9);
+}
+
+TEST(Mps, RangesExpandIntoTwoSidedRows) {
+  // max x subject to 2 <= x <= 5 expressed three ways via RANGES.
+  const auto solve_text = [](const std::string& rows_and_data) {
+    std::stringstream ss(rows_and_data);
+    const Model m = read_mps(ss);
+    return SimplexSolver().solve(m);
+  };
+  {
+    // L row rhs 5, range 3: x in [2, 5].
+    const auto r = solve_text(
+        "ROWS\n N  OBJ\n L  c\nCOLUMNS\n    x  OBJ  1.0\n    x  c  1.0\n"
+        "RHS\n    RHS1  c  5\nRANGES\n    RNG1  c  3\nENDATA\n");
+    ASSERT_TRUE(r.optimal());
+    EXPECT_NEAR(r.objective, 5.0, 1e-9);
+  }
+  {
+    // G row rhs 2, range 3, minimizing direction via negative objective:
+    // -x maximized pushes x to its lower side 2.
+    const auto r = solve_text(
+        "ROWS\n N  OBJ\n G  c\nCOLUMNS\n    x  OBJ  -1.0\n    x  c  1.0\n"
+        "RHS\n    RHS1  c  2\nRANGES\n    RNG1  c  3\nENDATA\n");
+    ASSERT_TRUE(r.optimal());
+    EXPECT_NEAR(r.objective, -2.0, 1e-9);
+    EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  }
+  {
+    // E row rhs 2, range 3: [2, 5]; negative range -3: [  -1, 2] clips the
+    // column's structural lower bound 0, optimum 2.
+    const auto up = solve_text(
+        "ROWS\n N  OBJ\n E  c\nCOLUMNS\n    x  OBJ  1.0\n    x  c  1.0\n"
+        "RHS\n    RHS1  c  2\nRANGES\n    RNG1  c  3\nENDATA\n");
+    ASSERT_TRUE(up.optimal());
+    EXPECT_NEAR(up.objective, 5.0, 1e-9);
+    const auto down = solve_text(
+        "ROWS\n N  OBJ\n E  c\nCOLUMNS\n    x  OBJ  1.0\n    x  c  1.0\n"
+        "RHS\n    RHS1  c  2\nRANGES\n    RNG1  c  -3\nENDATA\n");
+    ASSERT_TRUE(down.optimal());
+    EXPECT_NEAR(down.objective, 2.0, 1e-9);
+  }
+}
+
+TEST(Mps, BoundRecordMenu) {
+  const auto read_text = [](const std::string& text) {
+    std::stringstream ss(text);
+    return read_mps(ss);
+  };
+  const std::string preamble =
+      "ROWS\n N  OBJ\n L  c\nCOLUMNS\n    x  OBJ  1.0\n    x  c  1.0\n"
+      "RHS\n    RHS1  c  9\n";
+  {
+    const Model m = read_text(preamble + "BOUNDS\n PL BND1  x\nENDATA\n");
+    EXPECT_FALSE(std::isfinite(m.variable(0).upper));
+  }
+  {
+    const Model m =
+        read_text(preamble + "BOUNDS\n LO BND1  x  0\nENDATA\n");
+    EXPECT_FALSE(std::isfinite(m.variable(0).upper));
+  }
+  {
+    const Model m = read_text(preamble + "BOUNDS\n BV BND1  x\nENDATA\n");
+    EXPECT_TRUE(m.variable(0).integral);
+    EXPECT_DOUBLE_EQ(m.variable(0).upper, 1.0);
+  }
+  const auto fail_line = [&](const std::string& bounds) {
+    try {
+      read_text(preamble + bounds);
+    } catch (const MpsParseError& e) {
+      return e.line();
+    }
+    return -1;
+  };
+  EXPECT_EQ(fail_line("BOUNDS\n LO BND1  x  1.5\nENDATA\n"), 10);
+  EXPECT_EQ(fail_line("BOUNDS\n FR BND1  x\nENDATA\n"), 10);
+  EXPECT_EQ(fail_line("BOUNDS\n MI BND1  x\nENDATA\n"), 10);
+  EXPECT_EQ(fail_line("BOUNDS\n UP BND1  x  -2\nENDATA\n"), 10);
+  EXPECT_EQ(fail_line("BOUNDS\n FX BND1  x  -1\nENDATA\n"), 10);
+  EXPECT_EQ(fail_line("BOUNDS\n XX BND1  x  1\nENDATA\n"), 10);
+  EXPECT_EQ(fail_line("BOUNDS\n UP BND1  ghost  1\nENDATA\n"), 10);
+}
+
+TEST(Mps, SlotLpBoundedModelRereadsIdentically) {
+  util::Rng rng(21);
+  mec::TopologyParams tparams;
+  tparams.num_stations = 5;
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 16;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  const auto inst =
+      core::build_slot_lp(topo, requests, core::AlgorithmParams{});
+  const Model back = roundtrip(inst.model);
+  ASSERT_EQ(back.num_variables(), inst.model.num_variables());
+  ASSERT_EQ(back.num_constraints(), inst.model.num_constraints());
+  for (int j = 0; j < back.num_variables(); ++j) {
+    // Every y column carries its true 0..1 bound through the file.
+    EXPECT_DOUBLE_EQ(back.variable(j).upper, inst.model.variable(j).upper);
+    EXPECT_NEAR(back.variable(j).objective, inst.model.variable(j).objective,
+                1e-12);
+  }
+  for (int r = 0; r < back.num_constraints(); ++r) {
+    EXPECT_EQ(back.row(r).sense, inst.model.row(r).sense);
+    EXPECT_NEAR(back.row(r).rhs, inst.model.row(r).rhs, 1e-12);
+    ASSERT_EQ(back.row(r).terms.size(), inst.model.row(r).terms.size());
   }
 }
 

@@ -345,6 +345,9 @@ TEST(Catalog, RegistersTheWellKnownMetrics) {
   };
   EXPECT_TRUE(has("lp.pivots"));
   EXPECT_TRUE(has("lp.warm_start_hits"));
+  EXPECT_TRUE(has("lp.refactorizations"));
+  EXPECT_TRUE(has("lp.eta_len"));
+  EXPECT_TRUE(has("lp.pricing_mode"));
   EXPECT_TRUE(has("bandit.arm_pulls"));
   EXPECT_TRUE(has("bandit.active_arms"));
   EXPECT_TRUE(has("sim.preemptions"));

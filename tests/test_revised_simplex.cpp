@@ -296,6 +296,127 @@ TEST(WarmStart, ColdFallbackOnDimensionChange) {
   EXPECT_EQ(warm.total_cols, other.num_variables() + 3);
 }
 
+// Beale's classic cycling example. Dantzig pricing with a naive tie rule
+// cycles forever on it; the degenerate-stall detector must hand over to
+// Bland's rule and terminate at the optimum 1/20.
+Model beale_lp() {
+  Model m;
+  const int x1 = m.add_variable("x1", 0.75);
+  const int x2 = m.add_variable("x2", -150.0);
+  const int x3 = m.add_variable("x3", 0.02, 1.0);  // x3 <= 1 as column bound
+  const int x4 = m.add_variable("x4", -6.0);
+  m.add_constraint("r1", Sense::kLe, 0.0,
+                   {{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}});
+  m.add_constraint("r2", Sense::kLe, 0.0,
+                   {{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}});
+  return m;
+}
+
+class AntiCycling : public ::testing::TestWithParam<PricingMode> {};
+
+TEST_P(AntiCycling, BealeTerminatesAtOptimum) {
+  RevisedSimplexOptions options;
+  options.pricing = GetParam();
+  // Hair-trigger stall detection: Bland's rule engages on the first
+  // degenerate streak, which Beale's LP hits immediately.
+  options.stall_threshold = 2;
+  const auto res = RevisedSimplexSolver(options).solve(beale_lp());
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.objective, 0.05, kTol);
+  EXPECT_EQ(res.stats.pricing_mode, static_cast<int>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, AntiCycling,
+                         ::testing::Values(PricingMode::kDantzig,
+                                           PricingMode::kDevex,
+                                           PricingMode::kSteepestEdge));
+
+TEST(AntiCyclingStats, DegenerateSolveStaysFiniteAtDefaults) {
+  // The default stall threshold must also terminate (just later).
+  const auto res = RevisedSimplexSolver().solve(beale_lp());
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.objective, 0.05, kTol);
+}
+
+TEST(IterationLimit, SurfacesAsStatusNotHang) {
+  RevisedSimplexOptions options;
+  options.max_iterations = 1;
+  const auto models = warm_slot_sequence(40, 1, 11);
+  const auto res = RevisedSimplexSolver(options).solve(models[0]);
+  EXPECT_EQ(res.status, SolveStatus::kIterationLimit);
+  EXPECT_LE(res.iterations, 1);
+}
+
+TEST(BoundedVariables, PureBoundFlipModelNeedsNoRows) {
+  // No constraints at all: the optimum is attained entirely by flipping
+  // profitable columns to their upper bounds; the basis stays 0x0.
+  Model m;
+  m.add_variable("a", 2.0, 1.5);
+  m.add_variable("b", -1.0, 4.0);  // unprofitable: stays at 0
+  m.add_variable("c", 0.5, 2.0);
+  const auto res = RevisedSimplexSolver().solve(m);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.objective, 2.0 * 1.5 + 0.5 * 2.0, kTol);
+  EXPECT_NEAR(res.x[0], 1.5, kTol);
+  EXPECT_NEAR(res.x[1], 0.0, kTol);
+  EXPECT_NEAR(res.x[2], 2.0, kTol);
+  EXPECT_GT(res.stats.bound_flips, 0);
+  EXPECT_EQ(res.stats.eta_pivots, 0);  // no basis ever changed
+}
+
+TEST(BoundedVariables, FlipAndPivotMix) {
+  // One row, two bounded columns: the optimum needs both a bound flip and
+  // a genuine pivot. max 3a + b, a <= 2, b <= 10, a + b <= 5.
+  Model m;
+  const int a = m.add_variable("a", 3.0, 2.0);
+  const int b = m.add_variable("b", 1.0, 10.0);
+  m.add_constraint("c", Sense::kLe, 5.0, {{a, 1.0}, {b, 1.0}});
+  const auto res = RevisedSimplexSolver().solve(m);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.objective, 3.0 * 2.0 + 3.0, kTol);
+  EXPECT_NEAR(res.x[static_cast<std::size_t>(a)], 2.0, kTol);
+  EXPECT_NEAR(res.x[static_cast<std::size_t>(b)], 3.0, kTol);
+}
+
+class PricingAgreement : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PricingAgreement, AllRulesReachTheSameObjective) {
+  const auto models = warm_slot_sequence(30, 1, GetParam());
+  double reference = 0.0;
+  for (const PricingMode mode :
+       {PricingMode::kDantzig, PricingMode::kDevex,
+        PricingMode::kSteepestEdge}) {
+    RevisedSimplexOptions options;
+    options.pricing = mode;
+    const auto res = RevisedSimplexSolver(options).solve(models[0]);
+    ASSERT_TRUE(res.optimal());
+    EXPECT_EQ(res.stats.pricing_mode, static_cast<int>(mode));
+    if (mode == PricingMode::kDantzig) {
+      reference = res.objective;
+    } else {
+      EXPECT_NEAR(res.objective, reference,
+                  1e-6 * std::max(1.0, std::abs(reference)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PricingAgreement,
+                         ::testing::Range(11u, 16u));
+
+TEST(SolveStats, ReportsEtaFileActivity) {
+  const auto models = warm_slot_sequence(40, 1, 11);
+  const auto res = RevisedSimplexSolver().solve(models[0]);
+  ASSERT_TRUE(res.optimal());
+  // A 100+-pivot solve must have absorbed pivots into the eta file rather
+  // than refactorizing every step.
+  EXPECT_GT(res.stats.eta_pivots, 0);
+  EXPECT_GT(res.stats.eta_len_max, 0);
+  EXPECT_LE(res.stats.eta_len_max,
+            RevisedSimplexOptions{}.refactor_interval);
+  EXPECT_GE(res.stats.eta_pivots,
+            res.stats.eta_len_max);
+}
+
 TEST(SolveLpFrontend, PicksAnEngineAndSolves) {
   Model small;
   const int x = small.add_variable("x", 1.0, 2.0);
