@@ -19,7 +19,7 @@ struct ExactOptions {
 /// solver status.
 struct ExactResult {
   OffloadResult offload;
-  lp::SolveStatus status = lp::SolveStatus::kIterationLimit;
+  lp::SolveStatus status = lp::SolveStatus::kNotSolved;
   std::int64_t nodes_explored = 0;
 };
 

@@ -56,6 +56,8 @@ void Runner::set_seeds(int seeds) { seeds_override_ = seeds; }
 
 void Runner::set_horizon(int horizon) { horizon_override_ = horizon; }
 
+void Runner::set_lp_budget(int pivots) { lp_budget_override_ = pivots; }
+
 void Runner::set_observer(
     std::function<void(const TrialObservation&)> observer) {
   observer_ = std::move(observer);
@@ -118,6 +120,9 @@ Report Runner::run() const {
             sim::OnlineParams params;
             params.horizon_slots = horizon;
             sim::DynamicRrParams dparams = spec.rr;
+            if (lp_budget_override_ > 0) {
+              dparams.lp_pivot_budget = lp_budget_override_;
+            }
             if (k < arms) {
               dparams.kappa = 1;
               dparams.threshold_min_mhz = grid.value(static_cast<int>(k));
@@ -205,6 +210,7 @@ Report Runner::run() const {
     setup.offline_config = spec.base;
     setup.offline_config.horizon_slots = 0;
     setup.rr = spec.rr;
+    if (lp_budget_override_ > 0) setup.rr.lp_pivot_budget = lp_budget_override_;
     setup.chaos_intensity = spec.axis == SweepAxis::kChaosIntensity
                                 ? point
                                 : spec.chaos_intensity;

@@ -55,6 +55,9 @@ class Runner {
   /// CLI overrides (--seeds / --horizon); 0 / negative = keep the spec's.
   void set_seeds(int seeds);
   void set_horizon(int horizon);
+  /// CLI override (--lp-budget): anytime pivot budget for the per-slot LP
+  /// of every DynamicRR-family policy; 0 / negative = keep the spec's.
+  void set_lp_budget(int pivots);
 
   /// Called once per (point, seed, policy) during the serial reduction.
   void set_observer(std::function<void(const TrialObservation&)> observer);
@@ -68,6 +71,7 @@ class Runner {
   const PolicyRegistry* registry_;
   int seeds_override_ = 0;
   int horizon_override_ = -1;
+  int lp_budget_override_ = 0;
   std::function<void(const TrialObservation&)> observer_;
 };
 

@@ -306,6 +306,28 @@ ScenarioSpec read_scenario(std::istream& is) {
       want_args(1);
       spec.requests_per_slot = double_arg(0, "requests_per_slot");
       if (spec.requests_per_slot < 0.0) throw fail("requests_per_slot < 0");
+    } else if (key == "lp_max_iterations") {
+      want_args(1);
+      spec.rr.lp_max_iterations = int_arg(0, "lp_max_iterations");
+      if (spec.rr.lp_max_iterations < 0) {
+        throw fail("lp_max_iterations must be >= 0");
+      }
+    } else if (key == "lp_budget") {
+      // lp_budget PIVOTS [DEADLINE_MS] — the anytime solve budget.
+      if (args.size() != 1 && args.size() != 2) {
+        throw fail("'lp_budget' expects PIVOTS [DEADLINE_MS], got " +
+                   std::to_string(args.size()) + " field(s)");
+      }
+      spec.rr.lp_pivot_budget = int_arg(0, "lp_budget pivots");
+      if (spec.rr.lp_pivot_budget < 1) {
+        throw fail("lp_budget pivots must be >= 1");
+      }
+      if (args.size() == 2) {
+        spec.rr.lp_deadline_ms = double_arg(1, "lp_budget deadline_ms");
+        if (!(spec.rr.lp_deadline_ms > 0.0)) {
+          throw fail("lp_budget deadline_ms must be > 0");
+        }
+      }
     } else {
       throw fail("unknown key '" + key + "'");
     }
@@ -406,6 +428,16 @@ void write_scenario(const ScenarioSpec& spec, std::ostream& os) {
   if (spec.collect_detail) os << "collect_detail true\n";
   if (spec.requests_per_slot != 0.0) {
     os << "requests_per_slot " << format_value(spec.requests_per_slot) << '\n';
+  }
+  if (spec.rr.lp_max_iterations != defaults.rr.lp_max_iterations) {
+    os << "lp_max_iterations " << spec.rr.lp_max_iterations << '\n';
+  }
+  if (spec.rr.lp_pivot_budget != defaults.rr.lp_pivot_budget) {
+    os << "lp_budget " << spec.rr.lp_pivot_budget;
+    if (spec.rr.lp_deadline_ms != defaults.rr.lp_deadline_ms) {
+      os << ' ' << format_value(spec.rr.lp_deadline_ms);
+    }
+    os << '\n';
   }
 }
 

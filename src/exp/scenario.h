@@ -42,6 +42,12 @@
 //   backhaul_audit false            # audit offline results against links
 //   collect_detail false            # per-slot detail (p50/p95/fairness)
 //   requests_per_slot 0.5           # axis=horizon: |R| = T * this
+//   lp_max_iterations 0             # slot-LP pivot cap (0 = automatic);
+//                                   #   exhausting it -> greedy fallback
+//   lp_budget 32 [5.0]              # anytime slot-LP budget: pivots and
+//                                   #   optional wall-clock deadline (ms);
+//                                   #   exhausting it keeps the best
+//                                   #   feasible iterate (kDeadline)
 #pragma once
 
 #include <iosfwd>

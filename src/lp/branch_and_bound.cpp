@@ -47,13 +47,9 @@ void search(const Model& model, SearchState& state) {
 
   const SolveResult relax = state.solver->solve(model);
   if (relax.status == SolveStatus::kInfeasible) return;
-  if (relax.status == SolveStatus::kIterationLimit) {
-    state.iteration_trouble = true;
-    return;
-  }
-  if (relax.status == SolveStatus::kUnbounded) {
-    // An unbounded relaxation of a bounded MIP shouldn't happen in our
-    // models; treat conservatively as unexplorable.
+  if (relax.status != SolveStatus::kOptimal) {
+    // Iteration limit, numerical error, unbounded (shouldn't happen in our
+    // bounded models), deadline: the node cannot be trusted or explored.
     state.iteration_trouble = true;
     return;
   }

@@ -26,7 +26,7 @@ struct BranchAndBoundOptions {
 };
 
 struct MipResult {
-  SolveStatus status = SolveStatus::kIterationLimit;
+  SolveStatus status = SolveStatus::kNotSolved;
   double objective = 0.0;
   std::vector<double> x;
   std::int64_t nodes_explored = 0;

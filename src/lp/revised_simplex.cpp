@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "lp/lu_factor.h"
 #include "obs/catalog.h"
 #include "obs/event_trace.h"
 #include "util/log.h"
+#include "util/timer.h"
 
 namespace mecar::lp {
 namespace {
@@ -27,6 +29,12 @@ void record_solve(const SolveResult& result) {
   m.lp_pivots_per_solve.observe(result.iterations);
   m.lp_eta_len.observe(result.stats.eta_len_max);
   m.lp_pricing_mode.set(result.stats.pricing_mode);
+  if (result.stats.recoveries() > 0) {
+    m.lp_recoveries.add(result.stats.recoveries());
+  }
+  if (result.status == SolveStatus::kNumericalError) {
+    m.lp_numerical_errors.add();
+  }
   obs::EventTrace& tr = obs::trace();
   if (tr.enabled()) {
     tr.emit(obs::EventKind::kLpSolve, result.iterations,
@@ -45,6 +53,19 @@ constexpr double kFactorPivotTol = 1e-12;
 constexpr double kWeightDriftRatio = 100.0;
 /// Drift events tolerated before steepest edge drops to devex.
 constexpr int kWeightDriftLimit = 8;
+/// In-place recovery attempts (forced refactorizations after a NaN/Inf
+/// scan hit) tolerated within one attempt before the engine gives up and
+/// reports kNumericalError — the ladder then escalates outside iterate().
+constexpr int kMaxNanRecoveryRounds = 4;
+
+/// True when the vector holds no NaN/Inf. The per-pivot guardrail scans
+/// are pure reads: they change nothing unless corruption is present.
+bool finite_vec(const std::vector<double>& v) {
+  for (const double x : v) {
+    if (std::isnan(x) || std::isinf(x)) return false;
+  }
+  return true;
+}
 
 class Engine {
  public:
@@ -57,21 +78,32 @@ class Engine {
 
  private:
   void build(const Model& model);
+  SolveResult run_attempt(const Model& model, WarmStartBasis* warm,
+                          bool allow_warm);
   SolveStatus iterate(const std::vector<double>& costs, int& iterations,
                       int max_iterations);
   bool refactorize();
+  /// Rung 1 of the recovery ladder: a guardrail scan found NaN/Inf in an
+  /// engine vector. Forces a refactorization (dropping the eta file, the
+  /// usual corruption carrier) and re-derives the basic solution. False
+  /// when the rounds cap is hit or the basis is beyond repair.
+  bool recover_in_place();
   void cold_start();
   bool adopt_warm_basis(const WarmStartBasis& warm);
   void compute_xb();
   void compute_y(const std::vector<double>& costs);
   int price(const std::vector<double>& costs, bool bland) const;
   void ftran_column(int col);
+  /// Test/fuzzer fault injection hook, called after every entering-column
+  /// FTRAN. Does nothing unless the options arm it.
+  void maybe_inject_fault();
   double sparse_dot(int col, const std::vector<double>& row_vec) const;
   void update_pricing_weights(int entering, int leave, int leaving_col,
                               double gamma_q);
   bool absorb_pivot(int leave);
-  void drive_out_artificials();
+  bool drive_out_artificials();
   double basic_value(const std::vector<double>& costs) const;
+  void extract_solution(const Model& model, SolveResult& result) const;
   void fill_stats(SolveResult& result) const;
 
   RevisedSimplexOptions opt_;
@@ -101,6 +133,19 @@ class Engine {
   int eta_len_max_ = 0;
   int bound_flips_ = 0;
   int drift_events_ = 0;
+  // Recovery-ladder accounting (see SolveStats).
+  int recovery_refactorizations_ = 0;
+  int recovery_basis_resets_ = 0;
+  int recovery_dense_solves_ = 0;
+  /// Consecutive in-place recoveries without a clean pivot in between.
+  int nan_recovery_rounds_ = 0;
+  /// Entering-column FTRANs performed (the injection hooks key off this,
+  /// cumulatively across ladder attempts so a one-shot fault stays
+  /// one-shot).
+  int pivot_attempts_ = 0;
+  bool injected_ = false;
+  /// Started at construction; consulted only when budget.deadline_ms > 0.
+  util::Timer budget_timer_;
   /// True while the steepest-edge weights are exact edge norms (cold start
   /// from the identity basis, maintained by the Goldfarb update). Warm
   /// starts and artificial drive-out seed/leave approximate reference
@@ -244,7 +289,55 @@ bool Engine::refactorize() {
   // Recomputing the basic solution from scratch re-anchors it numerically
   // (the incremental updates drift by one rounding per pivot).
   compute_xb();
+  // Guardrail: the fresh factorization must reproduce a finite basic
+  // solution that actually solves B·x_B = b_eff. A violation means the
+  // factors are untrustworthy (near-singular basis slipped past the pivot
+  // floor) and the caller must escalate.
+  if (!finite_vec(xb_)) {
+    util::log_warn() << "revised simplex: non-finite basic solution "
+                        "after refactorization";
+    return false;
+  }
+  double rhs_max = 0.0;
+  std::vector<double> resid(static_cast<std::size_t>(m_));
+  for (int r = 0; r < m_; ++r) {
+    const double b = rhs_[static_cast<std::size_t>(r)];
+    rhs_max = std::max(rhs_max, std::abs(b));
+    resid[static_cast<std::size_t>(r)] = b;
+  }
+  for (int j = 0; j < total_cols_; ++j) {
+    if (in_basis_[static_cast<std::size_t>(j)] ||
+        !at_upper_[static_cast<std::size_t>(j)]) {
+      continue;
+    }
+    const double u = upper_[static_cast<std::size_t>(j)];
+    for (const Term& t : cols_[static_cast<std::size_t>(j)].entries) {
+      resid[static_cast<std::size_t>(t.col)] -= u * t.coeff;
+    }
+  }
+  for (int r = 0; r < m_; ++r) {
+    const double x = xb_[static_cast<std::size_t>(r)];
+    for (const Term& t :
+         cols_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])]
+             .entries) {
+      resid[static_cast<std::size_t>(t.col)] -= x * t.coeff;
+    }
+  }
+  double resid_max = 0.0;
+  for (const double r : resid) resid_max = std::max(resid_max, std::abs(r));
+  const double tol = opt_.residual_tol * (1.0 + rhs_max);
+  if (!(resid_max <= tol)) {  // negated compare catches NaN
+    util::log_warn() << "revised simplex: factorization residual "
+                     << resid_max << " exceeds " << tol;
+    return false;
+  }
   return true;
+}
+
+bool Engine::recover_in_place() {
+  if (++nan_recovery_rounds_ > kMaxNanRecoveryRounds) return false;
+  ++recovery_refactorizations_;
+  return refactorize();
 }
 
 void Engine::cold_start() {
@@ -369,6 +462,17 @@ void Engine::ftran_column(int col) {
   lu_.ftran(w_);
 }
 
+void Engine::maybe_inject_fault() {
+  ++pivot_attempts_;
+  if (w_.empty()) return;
+  const bool hit = opt_.inject_nan_every_pivot ||
+                   (opt_.inject_nan_at_pivot > 0 && !injected_ &&
+                    pivot_attempts_ >= opt_.inject_nan_at_pivot);
+  if (!hit) return;
+  injected_ = true;
+  w_[0] = std::numeric_limits<double>::quiet_NaN();
+}
+
 double Engine::sparse_dot(int col, const std::vector<double>& row_vec) const {
   double acc = 0.0;
   for (const Term& t : cols_[static_cast<std::size_t>(col)].entries) {
@@ -420,6 +524,16 @@ void Engine::update_pricing_weights(int entering, int leave, int leaving_col,
 /// when the eta file hit the interval. Returns false only when a required
 /// refactorization found the basis singular — an unrecoverable state.
 bool Engine::absorb_pivot(int leave) {
+  // Eta-file condition monitor: an update column with extreme element
+  // growth relative to its pivot poisons every later FTRAN/BTRAN through
+  // the product form. Refactorize instead of appending it.
+  const double wr = std::abs(w_[static_cast<std::size_t>(leave)]);
+  double wmax = 0.0;
+  for (const double v : w_) wmax = std::max(wmax, std::abs(v));
+  if (wr > 0.0 && wmax > opt_.eta_growth_limit * wr) {
+    ++recovery_refactorizations_;
+    return refactorize();
+  }
   if (lu_.push_eta(w_, leave, kEtaPivotTol)) {
     ++eta_pivots_;
     eta_len_max_ = std::max(eta_len_max_, lu_.eta_len());
@@ -435,12 +549,37 @@ SolveStatus Engine::iterate(const std::vector<double>& costs, int& iterations,
                             int max_iterations) {
   bool bland = false;
   int degenerate_streak = 0;
+  const bool budgeted = opt_.budget.limited();
   while (true) {
+    if (budgeted) {
+      // Anytime contract: stop at the budget and let the caller keep the
+      // current (primal-feasible, objective-monotone) iterate.
+      if (opt_.budget.max_pivots > 0 &&
+          iterations >= opt_.budget.max_pivots) {
+        return SolveStatus::kDeadline;
+      }
+      if (opt_.budget.deadline_ms > 0.0 &&
+          budget_timer_.elapsed_ms() >= opt_.budget.deadline_ms) {
+        return SolveStatus::kDeadline;
+      }
+    }
     compute_y(costs);
+    if (!finite_vec(y_)) {
+      // Corrupted pricing vector (typically a poisoned eta). Rung 1:
+      // rebuild the factors in place and retry the pivot.
+      if (!recover_in_place()) return SolveStatus::kNumericalError;
+      continue;
+    }
     const int entering = price(costs, bland);
     if (entering < 0) return SolveStatus::kOptimal;
 
     ftran_column(entering);  // w_ = B^{-1} a_q, position-indexed
+    maybe_inject_fault();
+    if (!finite_vec(w_)) {
+      // The pivot column is garbage; nothing was committed yet.
+      if (!recover_in_place()) return SolveStatus::kNumericalError;
+      continue;
+    }
     const bool from_upper = at_upper_[static_cast<std::size_t>(entering)] != 0;
     const double sigma = from_upper ? -1.0 : 1.0;
 
@@ -529,7 +668,14 @@ SolveStatus Engine::iterate(const std::vector<double>& costs, int& iterations,
       basis_[static_cast<std::size_t>(leave)] = entering;
       in_basis_[static_cast<std::size_t>(entering)] = 1;
       at_upper_[static_cast<std::size_t>(entering)] = 0;
-      if (!absorb_pivot(leave)) return SolveStatus::kIterationLimit;
+      if (!absorb_pivot(leave)) return SolveStatus::kNumericalError;
+    }
+    if (!finite_vec(xb_)) {
+      // The pivot is committed; a refactorization re-derives the basic
+      // solution from the (new) basis and discards the corrupted update.
+      if (!recover_in_place()) return SolveStatus::kNumericalError;
+    } else {
+      nan_recovery_rounds_ = 0;  // clean pivot: reset the escalation cap
     }
 
     ++iterations;
@@ -546,7 +692,7 @@ SolveStatus Engine::iterate(const std::vector<double>& costs, int& iterations,
   }
 }
 
-void Engine::drive_out_artificials() {
+bool Engine::drive_out_artificials() {
   for (int r = 0; r < m_; ++r) {
     if (basis_[static_cast<std::size_t>(r)] < art_begin_) continue;
     std::fill(rho_.begin(), rho_.end(), 0.0);
@@ -577,10 +723,14 @@ void Engine::drive_out_artificials() {
       // This pivot bypasses update_pricing_weights: the stored weights are
       // approximations from here on and must not trip the drift check.
       gamma_exact_ = false;
-      if (!absorb_pivot(r)) return;
+      // A singular basis here used to be swallowed silently, leaving the
+      // engine to price phase 2 against broken factors — a latent
+      // wrong-answer bug. Surface it so the caller escalates.
+      if (!absorb_pivot(r)) return false;
       break;
     }
   }
+  return true;
 }
 
 double Engine::basic_value(const std::vector<double>& costs) const {
@@ -606,62 +756,12 @@ void Engine::fill_stats(SolveResult& result) const {
   result.stats.eta_len_max = eta_len_max_;
   result.stats.bound_flips = bound_flips_;
   result.stats.pricing_mode = static_cast<int>(mode_);
+  result.stats.recovery_refactorizations = recovery_refactorizations_;
+  result.stats.recovery_basis_resets = recovery_basis_resets_;
+  result.stats.recovery_dense_solves = recovery_dense_solves_;
 }
 
-SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
-  SolveResult result;
-  const int max_iterations =
-      opt_.max_iterations > 0 ? opt_.max_iterations
-                              : 200 * (m_ + total_cols_) + 2000;
-
-  // Warm start: re-enter at the previous solve's basis when the tableau
-  // kept its shape. An adopted basis is artificial-free and feasible for
-  // the bounds, so phase 1 is provably unnecessary.
-  if (warm != nullptr && !warm->empty() && warm->m == m_ &&
-      warm->total_cols == total_cols_) {
-    result.stats.warm_start_attempted = true;
-    result.warm_started = adopt_warm_basis(*warm);
-    result.stats.warm_start_used = result.warm_started;
-  }
-  if (!result.warm_started) cold_start();
-
-  if (!result.warm_started && art_begin_ < total_cols_) {
-    price_limit_ = total_cols_;
-    std::vector<double> phase1(static_cast<std::size_t>(total_cols_), 0.0);
-    for (int c = art_begin_; c < total_cols_; ++c) {
-      phase1[static_cast<std::size_t>(c)] = -1.0;
-    }
-    const SolveStatus st = iterate(phase1, result.iterations, max_iterations);
-    result.stats.phase1_iterations = result.iterations;
-    if (st == SolveStatus::kIterationLimit) {
-      result.status = st;
-      fill_stats(result);
-      return result;
-    }
-    if (basic_value(phase1) < -opt_.feas_tol) {
-      result.status = SolveStatus::kInfeasible;
-      fill_stats(result);
-      return result;
-    }
-    drive_out_artificials();
-  }
-
-  price_limit_ = art_begin_;
-  const SolveStatus st =
-      iterate(phase2_costs_, result.iterations, max_iterations);
-  result.stats.phase2_iterations =
-      result.iterations - result.stats.phase1_iterations;
-  fill_stats(result);
-  result.status = st;
-  if (st != SolveStatus::kOptimal) return result;
-
-  if (warm != nullptr) {
-    warm->m = m_;
-    warm->total_cols = total_cols_;
-    warm->basis = basis_;
-    warm->at_upper = at_upper_;
-  }
-
+void Engine::extract_solution(const Model& model, SolveResult& result) const {
   const int n_live = static_cast<int>(tab_to_model_.size());
   result.x.assign(static_cast<std::size_t>(model.num_variables()), 0.0);
   for (int j = 0; j < n_live; ++j) {
@@ -689,7 +789,130 @@ SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
     }
   }
   result.objective = basic_value(phase2_costs_) + model.fixed_objective();
+}
+
+SolveResult Engine::run_attempt(const Model& model, WarmStartBasis* warm,
+                                bool allow_warm) {
+  SolveResult result;
+  nan_recovery_rounds_ = 0;
+  const int max_iterations =
+      opt_.max_iterations > 0 ? opt_.max_iterations
+                              : 200 * (m_ + total_cols_) + 2000;
+
+  // Warm start: re-enter at the previous solve's basis when the tableau
+  // kept its shape. An adopted basis is artificial-free and feasible for
+  // the bounds, so phase 1 is provably unnecessary.
+  if (allow_warm && warm != nullptr && !warm->empty() && warm->m == m_ &&
+      warm->total_cols == total_cols_) {
+    result.stats.warm_start_attempted = true;
+    result.warm_started = adopt_warm_basis(*warm);
+    result.stats.warm_start_used = result.warm_started;
+  }
+  if (!result.warm_started) cold_start();
+
+  if (!result.warm_started && art_begin_ < total_cols_) {
+    price_limit_ = total_cols_;
+    std::vector<double> phase1(static_cast<std::size_t>(total_cols_), 0.0);
+    for (int c = art_begin_; c < total_cols_; ++c) {
+      phase1[static_cast<std::size_t>(c)] = -1.0;
+    }
+    const SolveStatus st = iterate(phase1, result.iterations, max_iterations);
+    result.stats.phase1_iterations = result.iterations;
+    if (st == SolveStatus::kIterationLimit ||
+        st == SolveStatus::kDeadline ||
+        st == SolveStatus::kNumericalError) {
+      // No feasible iterate exists yet at a phase-1 stop: no x to keep.
+      result.status = st;
+      fill_stats(result);
+      return result;
+    }
+    if (basic_value(phase1) < -opt_.feas_tol) {
+      result.status = SolveStatus::kInfeasible;
+      fill_stats(result);
+      return result;
+    }
+    if (!drive_out_artificials()) {
+      result.status = SolveStatus::kNumericalError;
+      fill_stats(result);
+      return result;
+    }
+  }
+
+  price_limit_ = art_begin_;
+  const SolveStatus st =
+      iterate(phase2_costs_, result.iterations, max_iterations);
+  result.stats.phase2_iterations =
+      result.iterations - result.stats.phase1_iterations;
+  fill_stats(result);
+  result.status = st;
+  if (st == SolveStatus::kDeadline) {
+    // Anytime contract: phase 2 kept the iterate primal feasible and its
+    // objective monotone, so the current basis is the best seen. Export
+    // the iterate but NOT the basis — a non-optimal basis is no warm
+    // start for the next slot.
+    extract_solution(model, result);
+    return result;
+  }
+  if (st != SolveStatus::kOptimal) return result;
+
+  if (warm != nullptr) {
+    warm->m = m_;
+    warm->total_cols = total_cols_;
+    warm->basis = basis_;
+    warm->at_upper = at_upper_;
+  }
+  extract_solution(model, result);
   return result;
+}
+
+SolveResult Engine::run(const Model& model, WarmStartBasis* warm) {
+  SolveResult result;
+  if (!model_input_finite(model)) {
+    // Garbage in: no recovery ladder can conjure a meaningful answer from
+    // a NaN cost vector or rhs. Refuse immediately.
+    result.status = SolveStatus::kNumericalError;
+    return result;
+  }
+
+  result = run_attempt(model, warm, /*allow_warm=*/true);
+  if (result.status != SolveStatus::kNumericalError) return result;
+
+  // Rung 2 of the recovery ladder: reset to the slack/bound cold basis
+  // and redo the attempt from scratch. Contains transient corruption that
+  // in-place refactorization could not shake off (e.g. a poisoned warm
+  // basis). An optimal retry exports its basis as usual — it is genuine.
+  ++recovery_basis_resets_;
+  util::log_warn() << "revised simplex: numerical error, restarting from "
+                      "the cold basis";
+  SolveResult retry = run_attempt(model, warm, /*allow_warm=*/false);
+  retry.iterations += result.iterations;
+  retry.stats.phase1_iterations += result.stats.phase1_iterations;
+  retry.stats.phase2_iterations += result.stats.phase2_iterations;
+  retry.stats.warm_start_attempted = result.stats.warm_start_attempted;
+  if (retry.status != SolveStatus::kNumericalError) return retry;
+
+  // Rung 3: one-shot dense-Tableau cross-solve. A different algorithm
+  // with no shared factorization state — the last line of defence before
+  // reporting the slot LP unsolvable. The carried warm basis is cleared:
+  // the dense solver exports none, so the next solve must cold-start.
+  ++recovery_dense_solves_;
+  util::log_warn() << "revised simplex: cold restart failed too, "
+                      "cross-solving with the dense tableau";
+  SimplexOptions dopt;
+  dopt.pivot_tol = opt_.pivot_tol;
+  dopt.opt_tol = opt_.opt_tol;
+  dopt.feas_tol = opt_.feas_tol;
+  dopt.max_iterations = opt_.max_iterations;
+  dopt.stall_threshold = opt_.stall_threshold;
+  SolveResult dense = SimplexSolver(dopt).solve(model);
+  dense.iterations += retry.iterations;
+  dense.stats.refactorizations = refactorizations_;
+  dense.stats.recovery_refactorizations = recovery_refactorizations_;
+  dense.stats.recovery_basis_resets = recovery_basis_resets_;
+  dense.stats.recovery_dense_solves = recovery_dense_solves_;
+  dense.stats.warm_start_attempted = retry.stats.warm_start_attempted;
+  if (warm != nullptr) warm->clear();
+  return dense;
 }
 
 }  // namespace

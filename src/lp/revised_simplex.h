@@ -45,6 +45,24 @@ struct RevisedSimplexOptions {
   /// weights against the exact edge norm of each entering column and
   /// drops to devex for the rest of the solve after repeated drift.
   PricingMode pricing = PricingMode::kSteepestEdge;
+  /// Anytime work budget (pivots and/or wall clock); see lp::SolveBudget.
+  /// Unlimited by default — the budget path costs nothing when unset.
+  SolveBudget budget;
+  /// Relative tolerance of the post-factorization residual check
+  /// ‖B·x_B − b_eff‖∞ ≤ residual_tol · (1 + max|rhs|). A violation marks
+  /// the factorization untrustworthy and engages the recovery ladder.
+  double residual_tol = 1e-6;
+  /// Eta-file growth ceiling: an update column whose max|w| / |pivot|
+  /// exceeds this triggers a refactorization instead of an eta append
+  /// (classic product-form element-growth monitor).
+  double eta_growth_limit = 1e12;
+  /// Test/fuzzer fault injection: poison the k-th entering-column FTRAN
+  /// of this solve with a NaN (1-based; 0 = no injection). A transient
+  /// fault the recovery ladder must contain.
+  int inject_nan_at_pivot = 0;
+  /// Poison EVERY entering-column FTRAN: a persistent fault that forces
+  /// the ladder all the way to the dense cross-solve rung.
+  bool inject_nan_every_pivot = false;
 };
 
 /// Optimal basis exported by one solve and fed to the next. The slot LPs of

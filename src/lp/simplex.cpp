@@ -11,13 +11,32 @@
 namespace mecar::lp {
 
 std::string to_string(SolveStatus status) {
+  // Exhaustive switch, no default: adding an enumerator without a name is
+  // a compile warning here, not a silent "?" in a log line.
   switch (status) {
+    case SolveStatus::kNotSolved: return "not-solved";
     case SolveStatus::kOptimal: return "optimal";
     case SolveStatus::kInfeasible: return "infeasible";
     case SolveStatus::kUnbounded: return "unbounded";
     case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kDeadline: return "deadline";
+    case SolveStatus::kNumericalError: return "numerical-error";
   }
-  return "?";
+  return "unknown";  // unreachable for in-range values
+}
+
+bool model_input_finite(const Model& model) {
+  for (const Variable& v : model.variables()) {
+    if (std::isnan(v.objective) || std::isinf(v.objective)) return false;
+    if (std::isnan(v.upper)) return false;  // +inf upper is legal
+  }
+  for (const Row& row : model.rows()) {
+    if (std::isnan(row.rhs) || std::isinf(row.rhs)) return false;
+    for (const Term& t : row.terms) {
+      if (std::isnan(t.coeff) || std::isinf(t.coeff)) return false;
+    }
+  }
+  return true;
 }
 
 namespace {
@@ -343,8 +362,15 @@ SolveResult Tableau::run(const Model& model) {
 }  // namespace
 
 SolveResult SimplexSolver::solve(const Model& model) const {
-  Tableau tableau(model, options_);
-  SolveResult result = tableau.run(model);
+  SolveResult result;
+  if (!model_input_finite(model)) {
+    // Garbage in: iterating would only launder the NaNs into a plausible-
+    // looking "optimal" answer. Refuse up front.
+    result.status = SolveStatus::kNumericalError;
+  } else {
+    Tableau tableau(model, options_);
+    result = tableau.run(model);
+  }
   const obs::Metrics& m = obs::metrics();
   m.lp_solves.add();
   m.lp_pivots.add(result.iterations);

@@ -18,13 +18,50 @@
 namespace mecar::lp {
 
 enum class SolveStatus {
+  /// Default of a freshly constructed result: no solve has run (or the
+  /// solve died before reaching any terminal classification). Callers that
+  /// branch on a specific failure can no longer mistake "never ran" for
+  /// "ran out of iterations".
+  kNotSolved,
   kOptimal,
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  /// A SolveBudget (pivots and/or wall clock) ran out. The result may
+  /// still carry the best primal-feasible iterate seen (x non-empty):
+  /// budgeted solves are *anytime*.
+  kDeadline,
+  /// NaN/Inf in the model input, or an unrecoverable numerical failure
+  /// (singular basis, factorization residual, eta-file blow-up) that the
+  /// in-engine recovery ladder could not contain.
+  kNumericalError,
 };
 
 std::string to_string(SolveStatus status);
+
+/// Work budget making a solve *anytime*: when either limit is hit the
+/// engine stops and reports kDeadline with the best primal-feasible
+/// iterate found so far (empty x when none was reached). Distinct from
+/// SimplexOptions::max_iterations, which keeps its legacy semantics
+/// (kIterationLimit, no partial solution). `deadline_ms` consults the
+/// wall clock, so deterministic runs should leave it at 0 and budget
+/// pivots only.
+struct SolveBudget {
+  /// Maximum pivots across both phases; 0 = unlimited.
+  int max_pivots = 0;
+  /// Wall-clock ceiling in milliseconds; 0 = unlimited.
+  double deadline_ms = 0.0;
+
+  bool limited() const noexcept {
+    return max_pivots > 0 || deadline_ms > 0.0;
+  }
+};
+
+/// True when every objective coefficient, bound, row coefficient, and rhs
+/// of `model` is non-NaN (infinite uppers are legal). Both solvers check
+/// this up front and return kNumericalError instead of iterating on
+/// garbage.
+bool model_input_finite(const Model& model);
 
 struct SimplexOptions {
   /// Pivot tolerance: entries smaller in magnitude are treated as zero.
@@ -64,6 +101,21 @@ struct SolveStats {
   /// PricingMode the solve finished with, as its integer value (steepest
   /// edge may drop to devex mid-solve after weight drift).
   int pricing_mode = 0;
+  /// Recovery ladder engagements (revised simplex only; all zero on a
+  /// numerically clean solve). Rung 1: forced refactorizations triggered
+  /// by a NaN/Inf scan or a factorization residual check.
+  int recovery_refactorizations = 0;
+  /// Rung 2: full restarts from the slack/bound cold basis after rung 1
+  /// failed to contain the corruption.
+  int recovery_basis_resets = 0;
+  /// Rung 3: one-shot dense-Tableau cross-solves after the sparse engine
+  /// gave up entirely.
+  int recovery_dense_solves = 0;
+  /// Total ladder engagements of this solve.
+  int recoveries() const noexcept {
+    return recovery_refactorizations + recovery_basis_resets +
+           recovery_dense_solves;
+  }
   /// Total pivots across both phases.
   int pivots() const noexcept {
     return phase1_iterations + phase2_iterations;
@@ -71,7 +123,7 @@ struct SolveStats {
 };
 
 struct SolveResult {
-  SolveStatus status = SolveStatus::kIterationLimit;
+  SolveStatus status = SolveStatus::kNotSolved;
   /// Objective value (includes any Model::fixed_objective constant).
   double objective = 0.0;
   /// Values for all model columns, including fixed ones.

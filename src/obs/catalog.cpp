@@ -18,6 +18,13 @@ Metrics make_metrics() {
       "warm-start attempts that fell back to a cold phase-1 start");
   m.lp_slot_models =
       reg.counter("lp.slot_models", "per-slot LP models built");
+  m.lp_recoveries = reg.counter(
+      "lp.recoveries",
+      "recovery-ladder actions (refactorizations, basis resets, dense "
+      "cross-solves) taken after a numerical fault");
+  m.lp_numerical_errors = reg.counter(
+      "lp.numerical_errors",
+      "solves that exhausted the recovery ladder without an answer");
   m.lp_pivots_per_solve = reg.histogram(
       "lp.pivots_per_solve",
       {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0},
@@ -52,6 +59,10 @@ Metrics make_metrics() {
       reg.counter("sim.fault_epochs", "distinct fault epochs entered");
   m.sim_lp_fallbacks = reg.counter(
       "sim.lp_fallbacks", "slot LPs that fell back to the greedy policy");
+  m.sim_degradation_level = reg.gauge(
+      "sim.degradation_level",
+      "degradation-ladder rung of the latest slot decision (0=warm LP "
+      "1=cold LP 2=dense LP 3=greedy 4=carry)");
   m.sim_slot_reward = reg.histogram(
       "sim.slot_reward",
       {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0},

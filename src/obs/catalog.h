@@ -21,6 +21,8 @@ struct Metrics {
   Counter lp_warm_start_hits;    // lp.warm_start_hits
   Counter lp_warm_start_misses;  // lp.warm_start_misses
   Counter lp_slot_models;        // lp.slot_models
+  Counter lp_recoveries;         // lp.recoveries
+  Counter lp_numerical_errors;   // lp.numerical_errors
   Histogram lp_pivots_per_solve;  // lp.pivots_per_solve
   Histogram lp_eta_len;           // lp.eta_len
   Gauge lp_pricing_mode;          // lp.pricing_mode
@@ -40,6 +42,7 @@ struct Metrics {
   Counter sim_handovers;      // sim.handovers
   Counter sim_fault_epochs;   // sim.fault_epochs
   Counter sim_lp_fallbacks;   // sim.lp_fallbacks
+  Gauge sim_degradation_level;  // sim.degradation_level
   Histogram sim_slot_reward;  // sim.slot_reward
 
   // --- exp: experiment engine -----------------------------------------

@@ -31,7 +31,6 @@ DynamicRrPolicy::DynamicRrPolicy(const mec::Topology& topo,
       alg_(alg),
       params_(params),
       rng_(rng),
-      lp_solver_(slot_lp_options(params)),
       grid_(params.threshold_min_mhz, params.threshold_max_mhz,
             params.kappa) {
   switch (params_.learner) {
@@ -258,15 +257,58 @@ void DynamicRrPolicy::admit_new(const mec::Topology& topo,
   std::vector<double> placement_lat(ids.size(), 0.0);
   const core::SlotLpInstance inst =
       core::build_slot_lp(topo, batch, alg_, options);
+  // Degradation-ladder rung of this decision; greedy until an LP solution
+  // actually lands.
+  int level = 3;
   if (inst.model.num_variables() > 0) {
     // Warm start: consecutive slots under a saturated queue rebuild the
     // same-shaped LP, so the previous slot's optimal basis is a few pivots
     // from this slot's optimum. On a shape change the solver cold-starts.
     ++degradation_.lp_solves;
-    const lp::SolveResult res =
-        params_.warm_start_lp ? lp_solver_.solve(inst.model, warm_basis_)
-                              : lp::solve_lp(inst.model);
-    if (res.optimal()) {
+    // Effective anytime budget: the tighter of the configured pivot
+    // budget and a scripted per-slot solver squeeze (sim/fault_plan.h).
+    lp::RevisedSimplexOptions ropt = slot_lp_options(params_);
+    ropt.budget.max_pivots = params_.lp_pivot_budget;
+    if (view.lp_pivot_budget > 0 &&
+        (ropt.budget.max_pivots == 0 ||
+         view.lp_pivot_budget < ropt.budget.max_pivots)) {
+      ropt.budget.max_pivots = view.lp_pivot_budget;
+    }
+    ropt.budget.deadline_ms = params_.lp_deadline_ms;
+    if (view.lp_fault) ropt.inject_nan_at_pivot = 1;
+
+    lp::SolveResult res;
+    if (params_.warm_start_lp) {
+      res = lp::RevisedSimplexSolver(ropt).solve(inst.model, warm_basis_);
+    } else if (ropt.budget.limited() || view.lp_fault) {
+      // Budgets and fault injection only exist on the revised engine, so
+      // they force it even where solve_lp would pick the dense one.
+      res = lp::RevisedSimplexSolver(ropt).solve(inst.model);
+    } else {
+      res = lp::solve_lp(inst.model);
+    }
+    // kDeadline with a non-empty x is the anytime contract: the budget ran
+    // out but the iterate is primal feasible — good enough to round.
+    const bool deadline_usable =
+        res.status == lp::SolveStatus::kDeadline && !res.x.empty();
+    degradation_.lp_recovery_actions += res.stats.recoveries();
+    if (res.status == lp::SolveStatus::kNumericalError) {
+      ++degradation_.lp_numerical_errors;
+      obs::metrics().lp_numerical_errors.add();
+      // The solver already walked its own recovery ladder (refactorize ->
+      // cold reset -> dense cross-solve) before reporting this; a stale
+      // basis must not leak into the next slot.
+      warm_basis_.clear();
+    }
+    if (res.optimal() || deadline_usable) {
+      if (deadline_usable) ++degradation_.lp_deadline_used;
+      if (res.warm_started) {
+        level = 0;
+      } else if (res.stats.recovery_dense_solves > 0) {
+        level = 2;  // the dense cross-solve rung produced this solution
+      } else {
+        level = 1;
+      }
       // Deterministic rounding: request -> station with the largest
       // fractional mass sum_l y_jil; among stations within 50% of the best
       // mass (the LP is often indifferent, ER_jil varies little across
@@ -302,8 +344,9 @@ void DynamicRrPolicy::admit_new(const mec::Topology& topo,
       }
     } else {
       // Graceful-degradation contract: a non-optimal LP (infeasible model
-      // under post-fault capacities, iteration limit, ...) must never turn
-      // into an empty assignment — every batch entry falls through to the
+      // under post-fault capacities, iteration limit, numerical error the
+      // recovery ladder could not contain, ...) must never turn into an
+      // empty assignment — every batch entry falls through to the
       // per-request greedy path below.
       ++degradation_.lp_fallbacks;
       obs::metrics().sim_lp_fallbacks.add();
@@ -312,6 +355,7 @@ void DynamicRrPolicy::admit_new(const mec::Topology& topo,
     }
   }
 
+  bool placed_any = false;
   for (std::size_t b = 0; b < ids.size(); ++b) {
     const int j = ids[b];
     const bool is_displaced = b < num_displaced;
@@ -365,6 +409,7 @@ void DynamicRrPolicy::admit_new(const mec::Topology& topo,
       }
     }
     if (bs < 0) continue;  // stays pending; may be admitted a later slot
+    placed_any = true;
     --slots_left[static_cast<std::size_t>(bs)];
     residual_mhz[static_cast<std::size_t>(bs)] -= need_mhz;
     decision.active.push_back({j, bs});
@@ -376,6 +421,21 @@ void DynamicRrPolicy::admit_new(const mec::Topology& topo,
       }
     }
   }
+
+  // Rung 4 — carry: even the greedy pass placed nothing, so this slot's
+  // decision is the residents alone (already in `decision`). A batch the
+  // usable LP declined to place (no capacity anywhere) is rung 0-2 "no
+  // room", not a degradation.
+  if (level == 3 && !placed_any) level = 4;
+  degradation_.last_level = level;
+  switch (level) {
+    case 0: ++degradation_.slots_warm_lp; break;
+    case 1: ++degradation_.slots_cold_lp; break;
+    case 2: ++degradation_.slots_dense_lp; break;
+    case 3: ++degradation_.slots_greedy; break;
+    default: ++degradation_.slots_carry; break;
+  }
+  obs::metrics().sim_degradation_level.set(level);
 }
 
 void DynamicRrPolicy::feedback(const SlotFeedback& fb) {

@@ -74,6 +74,15 @@ struct DynamicRrParams {
   /// (counted in DegradationStats::lp_fallbacks) — a latency guard for
   /// deployments where a slot deadline beats an exact placement.
   int lp_max_iterations = 0;
+  /// Anytime pivot budget (lp::SolveBudget::max_pivots): unlike
+  /// lp_max_iterations, exhausting it returns the best primal-feasible
+  /// iterate found so far (kDeadline), which still drives placement. 0 =
+  /// unlimited. A scripted SolverBudgetSqueeze tightens it further.
+  int lp_pivot_budget = 0;
+  /// Wall-clock deadline for the per-slot LP in milliseconds (0 = none).
+  /// Non-deterministic by nature — keep it 0 in reproducible experiments
+  /// and let lp_pivot_budget bound the work instead.
+  double lp_deadline_ms = 0.0;
 };
 
 /// Graceful-degradation accounting of one DynamicRrPolicy instance: how
@@ -92,6 +101,30 @@ struct DegradationStats {
   long long displaced_replaced_lp = 0;
   /// ... and were re-placed by the greedy nearest-fit failover.
   long long displaced_replaced_greedy = 0;
+  /// Degradation-ladder attribution: which rung produced each slot's
+  /// placement. Rung 0 — warm-started sparse LP; rung 1 — cold sparse LP
+  /// (includes the dense engine solve_lp picks for small models); rung 2
+  /// — the solver's dense cross-solve after a numerical fault; rung 3 —
+  /// per-request greedy (no usable LP solution); rung 4 — carry: even
+  /// greedy placed nothing, residents alone stream on.
+  long long slots_warm_lp = 0;
+  long long slots_cold_lp = 0;
+  long long slots_dense_lp = 0;
+  long long slots_greedy = 0;
+  long long slots_carry = 0;
+  /// Budgeted solves whose best-so-far (kDeadline) iterate drove placement.
+  long long lp_deadline_used = 0;
+  /// Recovery-ladder actions the solver took across all slot LPs
+  /// (in-place refactorizations + cold resets + dense cross-solves) —
+  /// nonzero whenever a numerical fault was contained, even when the
+  /// contained solve still came back optimal.
+  long long lp_recovery_actions = 0;
+  /// Solves that came back kNumericalError after the solver's own
+  /// recovery ladder (refactorize -> cold reset -> dense cross-solve) was
+  /// exhausted, or whose model carried non-finite input.
+  long long lp_numerical_errors = 0;
+  /// Rung of the most recent decision (mirrors sim.degradation_level).
+  int last_level = 0;
 };
 
 class DynamicRrPolicy final : public OnlinePolicy {
@@ -132,8 +165,8 @@ class DynamicRrPolicy final : public OnlinePolicy {
   core::AlgorithmParams alg_;
   DynamicRrParams params_;
   util::Rng rng_;
-  /// LP-PT solver state carried across slots (warm starts).
-  lp::RevisedSimplexSolver lp_solver_;
+  /// LP-PT basis carried across slots (warm starts). The solver itself is
+  /// built per call: scripted solver faults vary its options slot to slot.
   lp::WarmStartBasis warm_basis_;
   bandit::LipschitzGrid grid_;
   std::unique_ptr<bandit::Bandit> discrete_;  // null when zooming

@@ -52,7 +52,7 @@ bool FaultPlan::empty() const noexcept { return num_events() == 0; }
 
 std::size_t FaultPlan::num_events() const noexcept {
   return station_outages.size() + brownouts.size() + link_outages.size() +
-         link_degradations.size();
+         link_degradations.size() + solver_budgets.size() + solver_jams.size();
 }
 
 void FaultPlan::validate(const mec::Topology& topo) const {
@@ -81,6 +81,17 @@ void FaultPlan::validate(const mec::Topology& topo) const {
           "FaultPlan: link degradation factor < 1: " +
           std::to_string(e.delay_factor));
     }
+  }
+  for (const SolverBudgetSqueeze& e : solver_budgets) {
+    check_window("solver_budget", e.from_slot, e.until_slot);
+    if (e.max_pivots < 1) {
+      throw std::invalid_argument(
+          "FaultPlan: solver_budget max_pivots < 1: " +
+          std::to_string(e.max_pivots));
+    }
+  }
+  for (const SolverJam& e : solver_jams) {
+    check_window("solver_jam", e.from_slot, e.until_slot);
   }
 }
 
@@ -139,6 +150,21 @@ FaultSnapshot FaultPlan::snapshot(const mec::Topology& topo, int slot) const {
     snap.any_fault = true;
   }
   if (any_degraded) snap.perturbation.link_delay_scale = std::move(delay_scale);
+
+  for (const SolverBudgetSqueeze& e : solver_budgets) {
+    if (!active(e.from_slot, e.until_slot, slot)) continue;
+    // Overlapping squeezes take the tightest budget.
+    if (snap.solver_max_pivots == 0 ||
+        e.max_pivots < snap.solver_max_pivots) {
+      snap.solver_max_pivots = e.max_pivots;
+    }
+    snap.any_fault = true;
+  }
+  for (const SolverJam& e : solver_jams) {
+    if (!active(e.from_slot, e.until_slot, slot)) continue;
+    snap.solver_jam = true;
+    snap.any_fault = true;
+  }
 
   return snap;
 }
@@ -202,6 +228,19 @@ FaultPlan generate_chaos(const mec::Topology& topo, const ChaosParams& params,
             rng.uniform(params.delay_scale_min, params.delay_scale_max);
         plan.link_degradations.push_back(
             {static_cast<int>(li), from, until, scale});
+      }
+    }
+    // Solver faults ride along with a burst: the orchestrator shares the
+    // failing infrastructure. Gated on p_solver_fault > 0 so plans from
+    // existing seeds are reproduced draw-for-draw.
+    if (params.p_solver_fault > 0.0 &&
+        rng.bernoulli(params.p_solver_fault)) {
+      if (rng.bernoulli(params.p_solver_jam)) {
+        plan.solver_jams.push_back({from, until});
+      } else {
+        const int pivots = static_cast<int>(rng.uniform_int(
+            params.squeeze_min_pivots, params.squeeze_max_pivots));
+        plan.solver_budgets.push_back({from, until, pivots});
       }
     }
   }
@@ -268,6 +307,15 @@ FaultPlan read_fault_plan(std::istream& is) {
       plan.link_degradations.push_back(
           {int_arg(0, "link"), int_arg(1, "from_slot"),
            int_arg(2, "until_slot"), double_arg(3, "delay_factor")});
+    } else if (kind == "solver_budget") {
+      want_args(3);
+      plan.solver_budgets.push_back({int_arg(0, "from_slot"),
+                                     int_arg(1, "until_slot"),
+                                     int_arg(2, "max_pivots")});
+    } else if (kind == "solver_jam") {
+      want_args(2);
+      plan.solver_jams.push_back(
+          {int_arg(0, "from_slot"), int_arg(1, "until_slot")});
     } else {
       throw FaultPlanParseError(
           lineno, "fault plan line " + std::to_string(lineno) +
@@ -294,6 +342,13 @@ void write_fault_plan(const FaultPlan& plan, std::ostream& os) {
   for (const LinkDegradation& e : plan.link_degradations) {
     os << "link_degradation " << e.link << ' ' << e.from_slot << ' '
        << e.until_slot << ' ' << e.delay_factor << '\n';
+  }
+  for (const SolverBudgetSqueeze& e : plan.solver_budgets) {
+    os << "solver_budget " << e.from_slot << ' ' << e.until_slot << ' '
+       << e.max_pivots << '\n';
+  }
+  for (const SolverJam& e : plan.solver_jams) {
+    os << "solver_jam " << e.from_slot << ' ' << e.until_slot << '\n';
   }
 }
 

@@ -17,6 +17,13 @@
 //                        service instance are displaced.
 //  * LinkDegradation   — a link's d^trans is multiplied for a window
 //                        (congestion, reroute over a slower path).
+//  * SolverBudgetSqueeze — the slot-LP solver's pivot budget is capped for
+//                        a window (CPU contention on the orchestrator
+//                        node); the anytime simplex must still yield a
+//                        feasible placement each slot.
+//  * SolverJam         — a numerical fault is injected into the slot-LP
+//                        solver for a window, exercising the recovery /
+//                        degradation ladder end to end.
 //
 // A FaultPlan is a static script of such events; snapshot() projects it
 // onto one slot as the station availability map plus the
@@ -34,6 +41,8 @@
 //   brownout         <station> <from_slot> <until_slot> <factor>
 //   link_outage      <link>    <from_slot> <until_slot>
 //   link_degradation <link>    <from_slot> <until_slot> <delay_factor>
+//   solver_budget    <from_slot> <until_slot> <max_pivots>
+//   solver_jam       <from_slot> <until_slot>
 #pragma once
 
 #include <iosfwd>
@@ -83,12 +92,33 @@ struct LinkDegradation {
   double delay_factor = 2.0;
 };
 
+/// A solver budget squeeze: the per-slot LP is limited to `max_pivots`
+/// simplex pivots over [from_slot, until_slot) — models CPU starvation of
+/// the orchestrator. Overlapping squeezes take the tightest budget.
+struct SolverBudgetSqueeze {
+  int from_slot = 0;
+  int until_slot = 0;
+  int max_pivots = 8;
+};
+
+/// A solver jam: a transient numerical fault (NaN in the factorization
+/// path) is injected into every slot LP over [from_slot, until_slot),
+/// forcing the solver's recovery ladder to engage.
+struct SolverJam {
+  int from_slot = 0;
+  int until_slot = 0;
+};
+
 /// Projection of a FaultPlan onto one slot.
 struct FaultSnapshot {
   /// Per-station availability (station outages + zero-factor brownouts).
   std::vector<char> station_up;
   /// Capacity scales and link perturbations for mec::TopologyOverlay.
   mec::TopologyPerturbation perturbation;
+  /// Tightest active solver pivot budget (0 = unlimited).
+  int solver_max_pivots = 0;
+  /// True when a solver jam is active this slot.
+  bool solver_jam = false;
   /// True when anything deviates from the healthy network this slot.
   bool any_fault = false;
 };
@@ -99,6 +129,8 @@ struct FaultPlan {
   std::vector<CapacityBrownout> brownouts;
   std::vector<LinkOutage> link_outages;
   std::vector<LinkDegradation> link_degradations;
+  std::vector<SolverBudgetSqueeze> solver_budgets;
+  std::vector<SolverJam> solver_jams;
 
   bool empty() const noexcept;
   std::size_t num_events() const noexcept;
@@ -135,6 +167,15 @@ struct ChaosParams {
   /// Delay inflation range for degraded links.
   double delay_scale_min = 2.0;
   double delay_scale_max = 8.0;
+  /// Per burst: probability of an accompanying solver fault (a budget
+  /// squeeze or a jam over the burst window). 0 draws nothing from the
+  /// rng, so existing seeds reproduce their plans bit-for-bit.
+  double p_solver_fault = 0.0;
+  /// If a solver fault fires: probability it is a jam (else a squeeze).
+  double p_solver_jam = 0.5;
+  /// Pivot budget range for solver budget squeezes.
+  int squeeze_min_pivots = 4;
+  int squeeze_max_pivots = 32;
 };
 
 /// Samples a fault plan of correlated bursts over `horizon_slots`. All

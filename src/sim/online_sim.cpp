@@ -214,9 +214,13 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
     // overlay epoch when the fault set changed, and displace resident
     // streams whose station died or whose user the backhaul cut off
     // (progress kept, placement lost).
+    int slot_lp_budget = 0;
+    bool slot_lp_fault = false;
     if (chaos) {
       FaultSnapshot snap = plan.snapshot(topo_, t);
       up = std::move(snap.station_up);
+      slot_lp_budget = snap.solver_max_pivots;
+      slot_lp_fault = snap.solver_jam;
       const bool rebuilt = overlay->apply(snap.perturbation);
       active = &overlay->effective();
       if (rebuilt || up != prev_up) {
@@ -269,6 +273,8 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
     view.slot = t;
     view.slot_ms = params_.slot_ms;
     view.station_up = up;
+    view.lp_pivot_budget = slot_lp_budget;
+    view.lp_fault = slot_lp_fault;
     view.topo = active;
     view.requests = &requests;
     view.states = &states;

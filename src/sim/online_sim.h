@@ -102,6 +102,11 @@ struct SlotView {
   std::vector<int> pending;
   /// Per-station availability this slot (outage injection).
   std::vector<char> station_up;
+  /// Active solver-fault injection (sim/fault_plan.h): tightest pivot
+  /// budget for the slot LP (0 = unlimited) and whether a numerical jam
+  /// is scripted for this slot.
+  int lp_pivot_budget = 0;
+  bool lp_fault = false;
   /// Waiting time (ms) a request would have accumulated if first scheduled
   /// this slot.
   double waiting_ms(int request_index) const;

@@ -355,10 +355,17 @@ TEST_P(BnbRandomBinary, MatchesExhaustiveSearch) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BnbRandomBinary, ::testing::Range(1u, 31u));
 
 TEST(SolveStatusNames, AllEnumeratorsHaveNames) {
+  EXPECT_EQ(to_string(SolveStatus::kNotSolved), "not-solved");
   EXPECT_EQ(to_string(SolveStatus::kOptimal), "optimal");
   EXPECT_EQ(to_string(SolveStatus::kInfeasible), "infeasible");
   EXPECT_EQ(to_string(SolveStatus::kUnbounded), "unbounded");
   EXPECT_EQ(to_string(SolveStatus::kIterationLimit), "iteration-limit");
+  EXPECT_EQ(to_string(SolveStatus::kDeadline), "deadline");
+  EXPECT_EQ(to_string(SolveStatus::kNumericalError), "numerical-error");
+}
+
+TEST(SolveStatusNames, DefaultResultIsNotSolved) {
+  EXPECT_EQ(SolveResult{}.status, SolveStatus::kNotSolved);
 }
 
 }  // namespace

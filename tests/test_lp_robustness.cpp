@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "lp/revised_simplex.h"
 #include "lp/simplex.h"
@@ -116,6 +117,112 @@ TEST(Robustness, TinyCoefficientsAreNotTreatedAsZero) {
   const auto res = SimplexSolver().solve(m);
   ASSERT_TRUE(res.optimal());
   EXPECT_NEAR(res.x[static_cast<std::size_t>(x)], 1.0, 1e-4);
+}
+
+// ---- recovery ladder ------------------------------------------------------
+
+/// A small LP whose cold solve needs several pivots, so injected faults
+/// actually land mid-solve.
+Model ladder_lp() {
+  Model m;
+  const int x = m.add_variable("x", 3.0);
+  const int y = m.add_variable("y", 2.0);
+  const int z = m.add_variable("z", 4.0);
+  m.add_constraint("c1", Sense::kLe, 10.0, {{x, 1.0}, {y, 1.0}, {z, 2.0}});
+  m.add_constraint("c2", Sense::kLe, 8.0, {{x, 2.0}, {y, 1.0}});
+  m.add_constraint("c3", Sense::kLe, 6.0, {{y, 1.0}, {z, 1.0}});
+  return m;
+}
+
+TEST(RecoveryLadder, TransientNanIsAbsorbedInPlace) {
+  const Model m = ladder_lp();
+  const SolveResult reference = SimplexSolver().solve(m);
+  ASSERT_TRUE(reference.optimal());
+
+  RevisedSimplexOptions opt;
+  opt.inject_nan_at_pivot = 1;  // poison the first entering-column FTRAN
+  const SolveResult res = RevisedSimplexSolver(opt).solve(m);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.objective, reference.objective, 1e-9);
+  EXPECT_LE(m.max_violation(res.x), 1e-9);
+  EXPECT_GT(res.stats.recoveries(), 0);
+}
+
+TEST(RecoveryLadder, PersistentNanEscalatesToDenseCrossSolve) {
+  const Model m = ladder_lp();
+  const SolveResult reference = SimplexSolver().solve(m);
+  ASSERT_TRUE(reference.optimal());
+
+  RevisedSimplexOptions opt;
+  opt.inject_nan_every_pivot = true;  // no sparse attempt can survive
+  const SolveResult res = RevisedSimplexSolver(opt).solve(m);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.objective, reference.objective, 1e-9);
+  EXPECT_GT(res.stats.recovery_basis_resets, 0);
+  EXPECT_GT(res.stats.recovery_dense_solves, 0);
+}
+
+TEST(RecoveryLadder, NanCostVectorIsRefusedUpFront) {
+  Model m = ladder_lp();
+  m.add_variable("poison", std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(model_input_finite(m));
+  const SolveResult res = RevisedSimplexSolver().solve(m);
+  EXPECT_EQ(res.status, SolveStatus::kNumericalError);
+  EXPECT_TRUE(res.x.empty());
+  // The ladder is not engaged: garbage input has no recoverable answer.
+  EXPECT_EQ(res.stats.recoveries(), 0);
+
+  const SolveResult dres = SimplexSolver().solve(m);
+  EXPECT_EQ(dres.status, SolveStatus::kNumericalError);
+}
+
+TEST(RecoveryLadder, SingularWarmBasisFallsBackAndStillSolves) {
+  // Two linearly dependent structural columns: a warm basis made of them
+  // passes the shape checks but cannot factorize.
+  Model m;
+  const int x = m.add_variable("x", 1.0);
+  const int y = m.add_variable("y", 1.0);
+  m.add_constraint("c1", Sense::kLe, 4.0, {{x, 1.0}, {y, 1.0}});
+  m.add_constraint("c2", Sense::kLe, 8.0, {{x, 2.0}, {y, 2.0}});
+  const SolveResult reference = SimplexSolver().solve(m);
+  ASSERT_TRUE(reference.optimal());
+
+  WarmStartBasis warm;
+  warm.m = 2;
+  warm.total_cols = 4;  // 2 structural + 2 slack, no artificials
+  warm.basis = {0, 1};  // the dependent pair — singular
+  warm.at_upper.assign(4, 0);
+  const SolveResult res = RevisedSimplexSolver().solve(m, warm);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_FALSE(res.warm_started);
+  EXPECT_NEAR(res.objective, reference.objective, 1e-9);
+}
+
+TEST(RecoveryLadder, PivotBudgetYieldsFeasibleAnytimeIterate) {
+  const Model m = ladder_lp();
+  const SolveResult reference = SimplexSolver().solve(m);
+  ASSERT_TRUE(reference.optimal());
+
+  RevisedSimplexOptions opt;
+  opt.budget.max_pivots = 1;
+  const SolveResult res = RevisedSimplexSolver(opt).solve(m);
+  ASSERT_TRUE(res.status == SolveStatus::kOptimal ||
+              res.status == SolveStatus::kDeadline);
+  if (res.status == SolveStatus::kDeadline) {
+    ASSERT_FALSE(res.x.empty());
+    EXPECT_LE(m.max_violation(res.x), 1e-9);
+    EXPECT_LE(res.objective, reference.objective + 1e-9);
+  }
+}
+
+TEST(RecoveryLadder, UnlimitedBudgetIsNotLimited) {
+  EXPECT_FALSE(SolveBudget{}.limited());
+  SolveBudget pivots;
+  pivots.max_pivots = 5;
+  EXPECT_TRUE(pivots.limited());
+  SolveBudget wall;
+  wall.deadline_ms = 1.5;
+  EXPECT_TRUE(wall.limited());
 }
 
 }  // namespace

@@ -240,6 +240,31 @@ TEST(WarmStart, EngagesAndReducesPivotsAcrossSlots) {
       << "warm starts should strictly reduce total pivots";
 }
 
+TEST(WarmStart, AfterRecoveryMatchesColdBitForBit) {
+  // A solve that exhausts the sparse recovery ladder hands the answer to
+  // the dense cross-solve and CLEARS the carried basis — so the next
+  // warm-started solve must be indistinguishable from a cold one.
+  const auto models = warm_slot_sequence(40, 2, 11);
+  RevisedSimplexOptions faulty;
+  faulty.inject_nan_every_pivot = true;
+  WarmStartBasis warm;
+  const auto recovered = RevisedSimplexSolver(faulty).solve(models[0], warm);
+  ASSERT_TRUE(recovered.optimal());
+  ASSERT_GT(recovered.stats.recovery_dense_solves, 0);
+  EXPECT_TRUE(warm.empty()) << "recovery must not export a basis";
+
+  RevisedSimplexSolver solver;
+  const auto after = solver.solve(models[1], warm);
+  const auto cold = solver.solve(models[1]);
+  ASSERT_TRUE(after.optimal());
+  ASSERT_TRUE(cold.optimal());
+  EXPECT_FALSE(after.warm_started);
+  // Bit-for-bit: same pivot path, same vertex, same objective.
+  EXPECT_EQ(after.iterations, cold.iterations);
+  EXPECT_EQ(after.objective, cold.objective);
+  EXPECT_EQ(after.x, cold.x);
+}
+
 TEST(SolveStats, CountsPhasesAndRefactorizations) {
   // An equality row forces artificials, so phase 1 must do work.
   Model m;

@@ -17,6 +17,7 @@
 //
 // Common flags: --seed=N --requests=N --stations=N. Subcommand-specific
 // flags are listed by `mecar_cli <subcommand> --help`.
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -35,6 +36,7 @@
 #include "core/heu.h"
 #include "core/slot_lp.h"
 #include "lp/mps.h"
+#include "lp/revised_simplex.h"
 #include "mec/topology.h"
 #include "mec/trace.h"
 #include "mec/workload.h"
@@ -290,6 +292,194 @@ int cmd_lp(const util::Cli& cli) {
   return 0;
 }
 
+// ---- fuzz-lp: differential fuzzer for the LP engines ---------------------
+
+/// One randomized slot-sized LP. Families by seed % 4: 0 — random bounded
+/// LP; 1 — degenerate (duplicate + zero-rhs rows); 2 — near-singular
+/// (nearly dependent rows); 3 — a real slot LP from a random instance.
+/// Every family is feasible (x = 0) and bounded (a global sum cap), so
+/// both engines must agree on kOptimal and its objective.
+lp::Model fuzz_model(std::uint64_t seed) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 1234567ull);
+  const int family = static_cast<int>(seed % 4);
+  if (family == 3) {
+    mec::TopologyParams tparams;
+    tparams.num_stations = 3 + static_cast<int>(rng.uniform_int(0, 4));
+    const mec::Topology topo = mec::generate_topology(tparams, rng);
+    mec::WorkloadParams wparams;
+    wparams.num_requests = 4 + static_cast<int>(rng.uniform_int(0, 12));
+    const auto requests = mec::generate_requests(wparams, topo, rng);
+    return core::build_slot_lp(topo, requests, core::AlgorithmParams{}).model;
+  }
+
+  lp::Model model;
+  const int n = 3 + static_cast<int>(rng.uniform_int(0, 9));
+  const int m = 2 + static_cast<int>(rng.uniform_int(0, 6));
+  for (int j = 0; j < n; ++j) {
+    const double upper =
+        rng.bernoulli(0.4) ? rng.uniform(0.5, 10.0) : lp::kInf;
+    model.add_variable("x" + std::to_string(j), rng.uniform(-1.0, 5.0),
+                       upper);
+  }
+  std::vector<std::vector<lp::Term>> rows;
+  for (int r = 0; r < m; ++r) {
+    std::vector<lp::Term> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.6)) terms.push_back({j, rng.uniform(0.1, 4.0)});
+    }
+    if (terms.empty()) {
+      terms.push_back(
+          {static_cast<int>(rng.uniform_int(0, n - 1)), 1.0});
+    }
+    rows.push_back(std::move(terms));
+  }
+  if (family == 1) {
+    // Degenerate: a duplicate constraint plus a zero-rhs row pinning its
+    // variables at 0 — ties everywhere, Bland territory.
+    rows.push_back(rows.front());
+    rows.push_back({{static_cast<int>(rng.uniform_int(0, n - 1)), 1.0}});
+  } else if (family == 2) {
+    // Near-singular: an almost linearly dependent copy of the first row,
+    // the classic factorization stressor.
+    std::vector<lp::Term> dep = rows.front();
+    for (lp::Term& t : dep) {
+      t.coeff = 2.0 * t.coeff + rng.uniform(-1e-9, 1e-9);
+    }
+    rows.push_back(std::move(dep));
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    double rhs = rng.uniform(1.0, 20.0);
+    if (family == 1 && r + 1 == rows.size()) rhs = 0.0;
+    std::vector<lp::Term> terms = rows[r];
+    // Structured mutation: blow a row up by 1e5 (same polytope, ugly
+    // conditioning) every fourth instance or so.
+    if (rng.bernoulli(0.25)) {
+      for (lp::Term& t : terms) t.coeff *= 1e5;
+      rhs *= 1e5;
+    }
+    model.add_constraint("r" + std::to_string(r), lp::Sense::kLe, rhs,
+                         terms);
+  }
+  // Global cap: keeps unbounded rays out even for columns no row touches.
+  std::vector<lp::Term> cap;
+  for (int j = 0; j < n; ++j) cap.push_back({j, 1.0});
+  model.add_constraint("cap", lp::Sense::kLe, rng.uniform(10.0, 50.0), cap);
+  return model;
+}
+
+/// Differential + recovery-invariant checks for one seed. Returns false
+/// and fills `why` on the first violated invariant.
+bool fuzz_one(std::uint64_t seed, std::string& why) {
+  const lp::Model model = fuzz_model(seed);
+  const lp::SolveResult dense = lp::SimplexSolver().solve(model);
+  const lp::SolveResult sparse = lp::RevisedSimplexSolver().solve(model);
+
+  const auto close = [&](double a, double b) {
+    return std::abs(a - b) <= 1e-8 * (1.0 + std::abs(a));
+  };
+  if (dense.status != sparse.status) {
+    why = std::string("status mismatch: dense=") +
+          lp::to_string(dense.status) +
+          " sparse=" + lp::to_string(sparse.status);
+    return false;
+  }
+  if (dense.optimal()) {
+    if (!close(dense.objective, sparse.objective)) {
+      why = "objective mismatch: dense=" + std::to_string(dense.objective) +
+            " sparse=" + std::to_string(sparse.objective);
+      return false;
+    }
+    if (model.max_violation(sparse.x) > 1e-7) {
+      why = "sparse solution violates constraints by " +
+            std::to_string(model.max_violation(sparse.x));
+      return false;
+    }
+  }
+
+  // Recovery invariant 1 — transient fault: one poisoned FTRAN must be
+  // absorbed by the in-place recovery and change nothing.
+  {
+    lp::RevisedSimplexOptions opt;
+    opt.inject_nan_at_pivot = 1;
+    const lp::SolveResult res = lp::RevisedSimplexSolver(opt).solve(model);
+    if (res.status != dense.status ||
+        (dense.optimal() && !close(dense.objective, res.objective))) {
+      why = std::string("transient-NaN run diverged: status=") +
+            lp::to_string(res.status) +
+            " objective=" + std::to_string(res.objective);
+      return false;
+    }
+  }
+  // Recovery invariant 2 — persistent fault: every FTRAN poisoned; the
+  // ladder must escalate to the dense cross-solve and still answer.
+  {
+    lp::RevisedSimplexOptions opt;
+    opt.inject_nan_every_pivot = true;
+    const lp::SolveResult res = lp::RevisedSimplexSolver(opt).solve(model);
+    if (res.status != dense.status ||
+        (dense.optimal() && !close(dense.objective, res.objective))) {
+      why = std::string("persistent-NaN run diverged: status=") +
+            lp::to_string(res.status) +
+            " objective=" + std::to_string(res.objective);
+      return false;
+    }
+  }
+  // Recovery invariant 3 — anytime budget: a tiny pivot budget yields
+  // kOptimal or a feasible best-so-far iterate under the optimum.
+  {
+    lp::RevisedSimplexOptions opt;
+    opt.budget.max_pivots = 3;
+    const lp::SolveResult res = lp::RevisedSimplexSolver(opt).solve(model);
+    if (res.status != lp::SolveStatus::kOptimal &&
+        res.status != lp::SolveStatus::kDeadline) {
+      why = std::string("budgeted run status: ") + lp::to_string(res.status);
+      return false;
+    }
+    if (!res.x.empty()) {
+      if (model.max_violation(res.x) > 1e-7) {
+        why = "budgeted iterate violates constraints by " +
+              std::to_string(model.max_violation(res.x));
+        return false;
+      }
+      if (dense.optimal() &&
+          res.objective >
+              dense.objective + 1e-8 * (1.0 + std::abs(dense.objective))) {
+        why = "budgeted iterate beats the optimum: " +
+              std::to_string(res.objective) + " > " +
+              std::to_string(dense.objective);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int cmd_fuzz_lp(const util::Cli& cli) {
+  if (cli.has("seed")) {
+    const auto seed =
+        static_cast<std::uint64_t>(cli.get_int_or("seed", 0));
+    std::string why;
+    if (fuzz_one(seed, why)) {
+      std::cout << "fuzz-lp: seed " << seed << " ok\n";
+      return 0;
+    }
+    std::cerr << "FAIL seed " << seed << ": " << why << '\n';
+    return 1;
+  }
+  const int seeds = static_cast<int>(cli.get_int_or("seeds", 200));
+  int failures = 0;
+  for (int s = 0; s < seeds; ++s) {
+    std::string why;
+    if (fuzz_one(static_cast<std::uint64_t>(s), why)) continue;
+    std::cerr << "FAIL seed " << s << ": " << why
+              << "\n  replay: mecar_cli fuzz-lp --seed=" << s << '\n';
+    ++failures;
+  }
+  std::cout << "fuzz-lp: " << seeds << " seeds, " << failures
+            << " failure(s)\n";
+  return failures == 0 ? 0 : 1;
+}
+
 /// Table precision a metric defaults to when a spec is run from the CLI
 /// (the compiled benches pin their own per-figure precisions).
 int metric_precision(const std::string& metric) {
@@ -316,12 +506,30 @@ int cmd_experiment(const util::Cli& cli) {
     std::cerr << "mecar_cli: cannot open scenario '" << path << "'\n";
     return 1;
   }
-  exp::Runner runner(exp::read_scenario(file));
+  exp::ScenarioSpec spec = exp::read_scenario(file);
+  // A relative fault_plan references a sibling of the scenario file, not
+  // of the process cwd — checked-in scenarios must run from anywhere.
+  if (!spec.fault_plan_path.empty() && spec.fault_plan_path.front() != '/' &&
+      !std::ifstream(spec.fault_plan_path)) {
+    const std::size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos) {
+      spec.fault_plan_path = path.substr(0, slash + 1) + spec.fault_plan_path;
+    }
+  }
+  exp::Runner runner(std::move(spec));
   if (cli.has("seeds")) {
     runner.set_seeds(static_cast<int>(cli.get_int_or("seeds", 0)));
   }
   if (cli.has("horizon")) {
     runner.set_horizon(static_cast<int>(cli.get_int_or("horizon", 0)));
+  }
+  if (cli.has("lp-budget")) {
+    const int pivots = static_cast<int>(cli.get_int_or("lp-budget", 0));
+    if (pivots < 1) {
+      std::cerr << "mecar_cli: --lp-budget must be >= 1\n";
+      return 1;
+    }
+    runner.set_lp_budget(pivots);
   }
   exp::TelemetryExportOptions telemetry;
   telemetry.metrics_path = cli.get_or("metrics-out", "");
@@ -395,7 +603,7 @@ int cmd_list(const util::Cli&) {
       "  metric policy_seed_offset chaos fault_plan mobility\n"
       "  threshold_range kappa scale_thresholds threshold_headroom\n"
       "  rounding_divisor backfill enforce_backhaul backhaul_audit\n"
-      "  collect_detail requests_per_slot\n";
+      "  collect_detail requests_per_slot lp_max_iterations lp_budget\n";
   return 0;
 }
 
@@ -403,19 +611,21 @@ void usage() {
   std::cout <<
       "usage: mecar_cli "
       "<offline|online|resilience|experiment|metrics|list|topology|trace"
-      "|lp> [flags]\n"
+      "|lp|fuzz-lp> [flags]\n"
       "  common flags: --seed=N --requests=N --stations=N\n"
       "  online:       --horizon=N\n"
       "  resilience:   --horizon=N --plan=FILE | --chaos=INTENSITY "
       "[--emit-plan]\n"
       "  experiment:   --spec=FILE [--seeds=N] [--horizon=N] "
-      "[--json[=PATH]]\n"
+      "[--lp-budget=N]\n"
+      "                [--json[=PATH]]\n"
       "                [--metrics-out=FILE(.prom|.json)] "
       "[--trace-out=FILE]\n"
       "                [--trace-capacity=N]\n"
       "  metrics:      (no flags) telemetry metric inventory\n"
       "  list:         (no flags) policy registry + scenario keys\n"
-      "  trace:        --duration=SECONDS --frame-kb=KB\n";
+      "  trace:        --duration=SECONDS --frame-kb=KB\n"
+      "  fuzz-lp:      [--seeds=N] | --seed=K  differential LP fuzzer\n";
 }
 
 }  // namespace
@@ -437,6 +647,7 @@ int main(int argc, char** argv) {
     if (command == "topology") return cmd_topology(cli);
     if (command == "trace") return cmd_trace(cli);
     if (command == "lp") return cmd_lp(cli);
+    if (command == "fuzz-lp") return cmd_fuzz_lp(cli);
   } catch (const std::exception& error) {
     std::cerr << "mecar_cli: " << error.what() << '\n';
     return 1;
