@@ -14,9 +14,14 @@
 //                                        ms/trial; run it against both the
 //                                        default and the notelemetry build
 //                                        to measure the recording overhead
+//   ./bench/micro_telemetry --snapshot[=path]
+//                                        writes BENCH_telemetry.json: per-op
+//                                        recording costs, ms/trial, and an
+//                                        instrumented trial's catalog values
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -28,6 +33,7 @@
 #include "obs/telemetry.h"
 #include "sim/dynamic_rr.h"
 #include "sim/online_sim.h"
+#include "util/json_writer.h"
 #include "util/timer.h"
 
 namespace {
@@ -193,12 +199,110 @@ int run_overhead() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --snapshot: the BENCH_telemetry.json recording-cost snapshot.
+
+/// Best-of-kRepeats nanoseconds per call of `op` over `iters` iterations.
+template <typename Op>
+double time_op_ns(int iters, Op op) {
+  constexpr int kRepeats = 3;
+  double best_ms = 1e300;
+  for (int r = 0; r < kRepeats; ++r) {
+    util::Timer t;
+    for (int i = 0; i < iters; ++i) op(i);
+    best_ms = std::min(best_ms, t.elapsed_ms());
+  }
+  return best_ms * 1e6 / static_cast<double>(iters);
+}
+
+int run_snapshot(const std::string& path) {
+  constexpr int kIters = 200000;
+  obs::MetricRegistry reg;
+  obs::Counter c = reg.counter("bench.count");
+  obs::Histogram h =
+      reg.histogram("bench.hist", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  const double counter_ns = time_op_ns(kIters, [&](int) { c.add(); });
+  const double histogram_ns =
+      time_op_ns(kIters, [&](int i) { h.observe((i % 100) * 0.4); });
+  obs::EventTrace cold;  // never enabled: one relaxed load per emit
+  const double emit_disabled_ns = time_op_ns(kIters, [&](int) {
+    cold.emit(obs::EventKind::kAdmission, 1.0, 2.0);
+  });
+  obs::EventTrace hot;
+  hot.enable(1 << 12);
+  (void)hot.begin_run("bench", 1.0);
+  const double emit_enabled_ns = time_op_ns(kIters, [&](int) {
+    hot.emit(obs::EventKind::kAdmission, 1.0, 2.0);
+  });
+  hot.disable();
+  benchmark::DoNotOptimize(reg.snapshot().counters.data());
+  benchmark::DoNotOptimize(hot.snapshot().dropped);
+
+  // End-to-end cost and one instrumented trial's catalog values (the same
+  // series `mecar_cli experiment --metrics-out` exports).
+  const auto seeds = benchx::bench_seeds(6);
+  for (unsigned seed : seeds) (void)fig4_mini_trial(seed, 60, 120);
+  double best_sweep_ms = 1e300;
+  for (int r = 0; r < 3; ++r) {
+    util::Timer t;
+    for (unsigned seed : seeds) (void)fig4_mini_trial(seed, 60, 120);
+    best_sweep_ms = std::min(best_sweep_ms, t.elapsed_ms());
+  }
+  obs::registry().reset();
+  (void)fig4_mini_trial(1u, 40, 60);
+  const auto snap = obs::registry().snapshot();
+  const double lp_pivots = snap.find_counter("lp.pivots")->value;
+  const double sim_slots = snap.find_counter("sim.slots")->value;
+  const obs::HistogramSnapshot* wall =
+      snap.find_histogram("sim.slot_wall_ms");
+  obs::registry().reset();
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: could not write " << path << '\n';
+    return 1;
+  }
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.field("telemetry_compiled", MECAR_TELEMETRY_ENABLED ? 1 : 0);
+  w.key("op_ns").begin_object();
+  w.field("counter_add", counter_ns);
+  w.field("histogram_observe", histogram_ns);
+  w.field("trace_emit_disabled", emit_disabled_ns);
+  w.field("trace_emit_enabled", emit_enabled_ns);
+  w.end_object();
+  w.key("fig4_mini").begin_object();
+  w.field("trials", static_cast<int>(seeds.size()));
+  w.field("best_sweep_ms", best_sweep_ms);
+  w.field("ms_per_trial",
+          best_sweep_ms / static_cast<double>(seeds.size()));
+  w.field("lp_pivots", lp_pivots);
+  w.field("sim_slots", sim_slots);
+  w.field("slot_wall_ms_p50", wall != nullptr ? wall->percentile(50.0) : 0.0);
+  w.field("slot_wall_ms_p95", wall != nullptr ? wall->percentile(95.0) : 0.0);
+  w.field("slot_wall_ms_p99", wall != nullptr ? wall->percentile(99.0) : 0.0);
+  w.end_object();
+  w.end_object();
+  w.done();
+  if (!os.good()) {
+    std::cerr << "error: could not write " << path << '\n';
+    return 1;
+  }
+  std::cout << "snapshot: " << path << '\n';
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
     if (std::strcmp(argv[i], "--overhead") == 0) return run_overhead();
+    if (std::strncmp(argv[i], "--snapshot", 10) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return run_snapshot(eq != nullptr ? std::string(eq + 1)
+                                        : "BENCH_telemetry.json");
+    }
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -58,6 +58,8 @@ void Runner::set_horizon(int horizon) { horizon_override_ = horizon; }
 
 void Runner::set_lp_budget(int pivots) { lp_budget_override_ = pivots; }
 
+void Runner::set_shards(int shards) { shards_override_ = shards; }
+
 void Runner::set_observer(
     std::function<void(const TrialObservation&)> observer) {
   observer_ = std::move(observer);
@@ -119,6 +121,8 @@ Report Runner::run() const {
             const Instance inst = make_instance(seed, config);
             sim::OnlineParams params;
             params.horizon_slots = horizon;
+            params.num_shards =
+                shards_override_ != 0 ? shards_override_ : spec.shards;
             sim::DynamicRrParams dparams = spec.rr;
             if (lp_budget_override_ > 0) {
               dparams.lp_pivot_budget = lp_budget_override_;
@@ -303,6 +307,8 @@ Report Runner::run() const {
           params.alg = spec.alg;
           params.mobility = spec.mobility;
           params.collect_detail = spec.collect_detail;
+          params.num_shards =
+              shards_override_ != 0 ? shards_override_ : spec.shards;
 
           // Fault-free reference with common random numbers (the faulted
           // run reuses the same instance and a fresh policy).

@@ -25,6 +25,15 @@ Metrics make_metrics() {
   m.lp_numerical_errors = reg.counter(
       "lp.numerical_errors",
       "solves that exhausted the recovery ladder without an answer");
+  m.lp_incremental_reuses = reg.counter(
+      "lp.incremental_reuses",
+      "slot LPs served unchanged from the incremental cache");
+  m.lp_incremental_deltas = reg.counter(
+      "lp.incremental_deltas",
+      "slot LPs updated in place by column/row deltas");
+  m.lp_incremental_rebuilds = reg.counter(
+      "lp.incremental_rebuilds",
+      "slot LPs rebuilt from scratch (cache miss or compaction)");
   m.lp_pivots_per_solve = reg.histogram(
       "lp.pivots_per_solve",
       {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0},
@@ -67,6 +76,18 @@ Metrics make_metrics() {
       "sim.slot_reward",
       {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0},
       "per-slot realized reward distribution");
+
+  m.sim_slot_wall_ms = reg.histogram(
+      "sim.slot_wall_ms",
+      {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+       100.0},
+      "wall-clock time per simulated slot, ms");
+  m.sim_shards = reg.gauge(
+      "sim.shards", "station shards of the current sharded simulation run");
+  m.sim_shard_imbalance = reg.gauge(
+      "sim.shard_imbalance",
+      "latest slot's max/mean ratio of live requests per shard (1.0 = "
+      "perfectly balanced)");
 
   m.exp_trials = reg.counter("exp.trials", "experiment trials executed");
   return m;

@@ -23,6 +23,9 @@ struct Metrics {
   Counter lp_slot_models;        // lp.slot_models
   Counter lp_recoveries;         // lp.recoveries
   Counter lp_numerical_errors;   // lp.numerical_errors
+  Counter lp_incremental_reuses;    // lp.incremental_reuses
+  Counter lp_incremental_deltas;    // lp.incremental_deltas
+  Counter lp_incremental_rebuilds;  // lp.incremental_rebuilds
   Histogram lp_pivots_per_solve;  // lp.pivots_per_solve
   Histogram lp_eta_len;           // lp.eta_len
   Gauge lp_pricing_mode;          // lp.pricing_mode
@@ -44,6 +47,9 @@ struct Metrics {
   Counter sim_lp_fallbacks;   // sim.lp_fallbacks
   Gauge sim_degradation_level;  // sim.degradation_level
   Histogram sim_slot_reward;  // sim.slot_reward
+  Histogram sim_slot_wall_ms;   // sim.slot_wall_ms
+  Gauge sim_shards;             // sim.shards
+  Gauge sim_shard_imbalance;    // sim.shard_imbalance
 
   // --- exp: experiment engine -----------------------------------------
   Counter exp_trials;  // exp.trials

@@ -255,8 +255,23 @@ void DynamicRrPolicy::admit_new(const mec::Topology& topo,
 
   std::vector<int> placement(ids.size(), -1);
   std::vector<double> placement_lat(ids.size(), 0.0);
-  const core::SlotLpInstance inst =
-      core::build_slot_lp(topo, batch, alg_, options);
+  // Incremental path: mutate the previous slot's model by the batch delta.
+  // Only taken when the slot's topology IS the policy's own base topology:
+  // a chaos overlay mutates the effective-topology object in place between
+  // epochs, which a pointer-identity cache cannot observe — scratch-build
+  // there. (The builder itself additionally falls back to a full rebuild
+  // whenever the residual capacities or the share cap moved, so the delta
+  // path pays off in the idle and saturated phases where consecutive slots
+  // keep their residuals.)
+  const bool use_incremental = params_.incremental_lp && &topo == &topo_;
+  core::SlotLpInstance scratch;
+  if (!use_incremental) {
+    incremental_.invalidate();
+    scratch = core::build_slot_lp(topo, batch, alg_, options);
+  }
+  const core::SlotLpInstance& inst =
+      use_incremental ? incremental_.build(topo, batch, alg_, options)
+                      : scratch;
   // Degradation-ladder rung of this decision; greedy until an LP solution
   // actually lands.
   int level = 3;
@@ -268,6 +283,10 @@ void DynamicRrPolicy::admit_new(const mec::Topology& topo,
     // Effective anytime budget: the tighter of the configured pivot
     // budget and a scripted per-slot solver squeeze (sim/fault_plan.h).
     lp::RevisedSimplexOptions ropt = slot_lp_options(params_);
+    // Warm-basis repair across batch-shape changes rides with the
+    // incremental pipeline: both trade the cold start's historical pivot
+    // path for reuse, so they share the opt-in.
+    ropt.repair_warm_basis = use_incremental;
     ropt.budget.max_pivots = params_.lp_pivot_budget;
     if (view.lp_pivot_budget > 0 &&
         (ropt.budget.max_pivots == 0 ||

@@ -22,6 +22,7 @@
 #include "bandit/lipschitz.h"
 #include "bandit/successive_elimination.h"
 #include "bandit/zooming.h"
+#include "core/incremental_slot_lp.h"
 #include "lp/revised_simplex.h"
 #include "sim/online_sim.h"
 #include "util/rng.h"
@@ -83,6 +84,15 @@ struct DynamicRrParams {
   /// Non-deterministic by nature — keep it 0 in reproducible experiments
   /// and let lp_pivot_budget bound the work instead.
   double lp_deadline_ms = 0.0;
+  /// Build the per-slot LP-PT through core::IncrementalSlotLp: consecutive
+  /// slots mutate the previous slot's model (column deltas for batch churn)
+  /// instead of rebuilding every ER_jil column, and the solver repairs the
+  /// carried basis across the shape change. The optimum is the same but
+  /// column order — and therefore rounding tie-breaks — may differ from the
+  /// scratch builder, so this is opt-in and OFF by default to keep golden
+  /// outputs bit-identical. Chaos runs (overlay topologies mutate in place)
+  /// fall back to the scratch builder automatically.
+  bool incremental_lp = false;
 };
 
 /// Graceful-degradation accounting of one DynamicRrPolicy instance: how
@@ -145,6 +155,9 @@ class DynamicRrPolicy final : public OnlinePolicy {
   const DegradationStats& degradation_stats() const noexcept {
     return degradation_;
   }
+  const core::IncrementalSlotLp::Stats& incremental_lp_stats() const noexcept {
+    return incremental_.stats();
+  }
 
  private:
   /// Places a batch of newly arrived requests — plus displaced streams
@@ -168,6 +181,8 @@ class DynamicRrPolicy final : public OnlinePolicy {
   /// LP-PT basis carried across slots (warm starts). The solver itself is
   /// built per call: scripted solver faults vary its options slot to slot.
   lp::WarmStartBasis warm_basis_;
+  /// Delta-maintained LP-PT model (only touched when params_.incremental_lp).
+  core::IncrementalSlotLp incremental_;
   bandit::LipschitzGrid grid_;
   std::unique_ptr<bandit::Bandit> discrete_;  // null when zooming
   std::unique_ptr<bandit::ZoomingBandit> zoom_;

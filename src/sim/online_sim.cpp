@@ -9,7 +9,9 @@
 #include "mec/topology_overlay.h"
 #include "obs/catalog.h"
 #include "obs/event_trace.h"
+#include "sim/shard.h"
 #include "util/log.h"
+#include "util/timer.h"
 
 namespace mecar::sim {
 
@@ -21,6 +23,7 @@ double SlotView::waiting_ms(int request_index) const {
 }
 
 std::vector<double> SlotView::resident_demand_mhz() const {
+  if (resident_demand != nullptr) return *resident_demand;
   std::vector<double> demand(static_cast<std::size_t>(topo->num_stations()),
                              0.0);
   for (std::size_t j = 0; j < states->size(); ++j) {
@@ -94,6 +97,16 @@ OnlineSimulator::OnlineSimulator(const mec::Topology& topo,
 }
 
 OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
+  // Sharded O(live + changes) engine (sim/shard.h); bit-identical to the
+  // legacy loop below at any shard count. Selection: explicit
+  // params_.num_shards, else the MECAR_SHARDS environment variable.
+  const int shards = resolve_num_shards(params_, topo_.num_stations());
+  if (shards > 0) {
+    ShardEngine engine(topo_, requests_, realized_, params_, min_latency_ms_,
+                       shards);
+    return engine.run(policy);
+  }
+
   // Mobility mutates request attachments; work on a copy so runs stay
   // independent and repeatable.
   std::vector<mec::ARRequest> requests = requests_;
@@ -184,6 +197,7 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
   };
 
   for (int t = 0; t < params_.horizon_slots; ++t) {
+    const util::Timer slot_timer;
     om.sim_slots.add();
     if (tracing) tr.set_slot(t);
     // Mobility: re-attach moved users (before drop checks, so a move into
@@ -459,6 +473,7 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
     fb.completed_reward = slot_reward;
     fb.dropped_expected_reward = dropped_expected;
     policy.feedback(fb);
+    om.sim_slot_wall_ms.observe(slot_timer.elapsed_ms());
   }
 
   // Final accounting.

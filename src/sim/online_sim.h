@@ -53,6 +53,18 @@ struct OnlineParams {
   /// Record detailed series (per-slot utilization, latency samples,
   /// service ratios) for sim::summarize.
   bool collect_detail = false;
+  /// Slot-loop engine selection (sim/shard.h). The sharded engine
+  /// partitions the stations into shards owning their resident streams and
+  /// runs the per-slot admission/completion/displacement passes over live
+  /// requests only — O(live + changes) per slot instead of the legacy
+  /// O(|R|) scans — while producing BIT-IDENTICAL results at any shard
+  /// count (every floating-point reduction is merged in the legacy order).
+  ///   > 0  run sharded with that many shards (clamped to |BS|);
+  ///   = 0  consult the MECAR_SHARDS environment variable (unset, empty or
+  ///        <= 0 keeps the legacy loop) — this is the default, and how the
+  ///        golden suite re-runs unmodified binaries under sharding;
+  ///   < 0  force the legacy loop regardless of the environment.
+  int num_shards = 0;
 };
 
 /// Lifecycle of a request inside the simulator.
@@ -107,6 +119,10 @@ struct SlotView {
   /// is scripted for this slot.
   int lp_pivot_budget = 0;
   bool lp_fault = false;
+  /// Per-station demand of resident serving streams, precomputed by the
+  /// sharded engine from its per-shard resident lists (null in the legacy
+  /// loop, where resident_demand_mhz() derives it by scanning states).
+  const std::vector<double>* resident_demand = nullptr;
   /// Waiting time (ms) a request would have accumulated if first scheduled
   /// this slot.
   double waiting_ms(int request_index) const;

@@ -1,0 +1,108 @@
+// Sharded O(live + changes) slot loop.
+//
+// The legacy OnlineSimulator::run loop touches every request every slot —
+// the arrival scan, the activation reset, the preemption scan, the resident
+// grouping and the was_active update are all O(|R|) — which is fine at the
+// paper's |R| = 150 but dominates wall time at 10^5..10^6 requests, where
+// only a few thousand are ever live at once. ShardEngine re-implements the
+// same slot loop over live sets:
+//
+//   * the stations are partitioned into `num_shards` contiguous shards;
+//     each sim::Shard owns its stations plus the live requests anchored to
+//     them: kWaiting requests of its home stations, placed kServed streams
+//     of its serving stations, and displaced streams (station == -1) of
+//     their home stations — every request is owned by exactly one shard;
+//   * arrivals come from a per-slot calendar built once up front, so a slot
+//     only ever sees the requests that actually arrive in it;
+//   * the per-slot admission (drop checks + pending), completion
+//     (waterfill) and displacement passes run shard-parallel on the
+//     process util::ThreadPool, each pass writing only its own shard's
+//     state and scratch; per-slot scratch draws from a per-shard
+//     util::Arena that is reset() every slot, so steady-state slots do not
+//     touch the heap;
+//   * every result that crosses shards — the pending list handed to the
+//     policy, drop accounting, displacement accounting, the waterfill
+//     reward reduction — is merged SERIALLY in ascending request-index /
+//     ascending station order, i.e. exactly the order the legacy loop's
+//     full scans produce. Floating-point accumulation order is therefore
+//     identical, which makes the engine bit-for-bit equal to the legacy
+//     loop at ANY shard count and ANY MECAR_THREADS value (the golden
+//     suite re-runs under MECAR_SHARDS to prove it).
+//
+// Chaos-specific costs are made lazy rather than approximate: the faulted
+// minimum latency eff_min is recomputed per request on first use inside a
+// fault epoch (it is a pure function of the epoch's up-set and effective
+// topology, so laziness cannot change its value), instead of the legacy
+// whole-table rebuild on every epoch switch.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "mec/topology_overlay.h"
+#include "sim/online_sim.h"
+#include "util/arena.h"
+
+namespace mecar::sim {
+
+/// Effective shard count for a run: `params.num_shards` when positive
+/// (clamped to the station count), the MECAR_SHARDS environment variable
+/// when num_shards == 0 (unset / non-positive -> 0), and 0 — meaning "use
+/// the legacy loop" — when num_shards < 0.
+int resolve_num_shards(const OnlineParams& params, int num_stations);
+
+/// One station partition and the live requests anchored to it. All three
+/// membership lists are kept sorted by request index; the k-way merge
+/// across shards therefore reproduces the legacy loop's ascending-j scans.
+struct Shard {
+  int first_station = 0;  // [first_station, last_station)
+  int last_station = 0;
+  /// kWaiting requests whose home station lies in this shard.
+  std::vector<int> waiting;
+  /// Placed kServed streams whose serving station lies in this shard.
+  std::vector<int> served;
+  /// Displaced kServed streams (station == -1) of this shard's homes.
+  std::vector<int> displaced;
+  /// This slot's arrivals routed to this shard (rebuilt each slot).
+  std::vector<int> incoming;
+  /// Per-slot transient storage (reset every slot).
+  util::Arena arena;
+};
+
+/// Runs one policy over one workload with the sharded slot loop. One
+/// engine instance performs one run; OnlineSimulator::run constructs it
+/// per call when shard dispatch selects it.
+class ShardEngine {
+ public:
+  ShardEngine(const mec::Topology& topo,
+              const std::vector<mec::ARRequest>& requests,
+              const std::vector<std::size_t>& realized,
+              const OnlineParams& params,
+              const std::vector<double>& min_latency_ms, int num_shards);
+
+  OnlineMetrics run(OnlinePolicy& policy);
+
+  int num_shards() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  int shard_of_station(int station) const noexcept;
+
+ private:
+  /// Per-shard scratch of one slot, arena-backed (see Shard::arena).
+  struct SlotScratch;
+
+  const mec::Topology& topo_;
+  std::vector<mec::ARRequest> requests_;  // mobility mutates home stations
+  std::vector<std::size_t> realized_;
+  OnlineParams params_;
+  std::vector<double> min_latency_;
+  /// deque: Shard owns a util::Arena and is neither copyable nor movable.
+  std::deque<Shard> shards_;
+  std::vector<int> station_shard_;  // station -> owning shard
+  /// Arrival calendar: request indices by arrival slot, ascending within a
+  /// bucket (requests arriving at or after the horizon are never live).
+  std::vector<std::vector<int>> arrivals_;
+};
+
+}  // namespace mecar::sim

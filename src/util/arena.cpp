@@ -1,0 +1,55 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace mecar::util {
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Try the remaining retained chunks before growing: after a reset() the
+  // cursor walks forward through the chunks allocated in earlier slots.
+  while (current_ + 1 < chunks_.size()) {
+    ++current_;
+    offset_ = 0;
+    const std::uintptr_t base =
+        reinterpret_cast<std::uintptr_t>(chunks_[current_].data.get());
+    const std::size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+    if (aligned + bytes <= chunks_[current_].size) {
+      offset_ = aligned + bytes;
+      used_ += bytes;
+      return reinterpret_cast<void*>(base + aligned);
+    }
+  }
+  // Grow. Oversized requests get a dedicated chunk; operator new[] aligns
+  // the base to max_align_t, covering every align we accept, and offset 0
+  // is trivially aligned.
+  const std::size_t size = std::max(bytes, chunk_bytes_);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  chunks_.push_back(std::move(chunk));
+  current_ = chunks_.size() - 1;
+  offset_ = bytes;
+  used_ += bytes;
+  return chunks_[current_].data.get();
+}
+
+void Arena::reset() noexcept {
+  current_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+void Arena::release() noexcept {
+  chunks_.clear();
+  current_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+std::size_t Arena::capacity_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+}  // namespace mecar::util

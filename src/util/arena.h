@@ -1,0 +1,135 @@
+// Chunked bump allocator for per-slot transient state.
+//
+// The sharded slot loop (sim/shard.h) rebuilds small scratch structures —
+// merged pending lists, per-station activation lists, waterfill demand
+// vectors — every slot. Allocating them from the general heap costs one
+// malloc/free pair per structure per slot; at 10^3+ stations that dominates
+// a steady-state slot whose real work is O(changes). An Arena instead hands
+// out pointers by bumping a cursor through recycled chunks: allocation is a
+// pointer increment, deallocation is a no-op, and `reset()` rewinds the
+// cursor while keeping every chunk for the next slot. After the first few
+// slots the arena reaches its high-water mark and per-slot allocation does
+// not touch the heap at all.
+//
+// Contract:
+//   * allocate() returns maximally-aligned storage (like malloc).
+//   * reset() invalidates every outstanding pointer but keeps capacity.
+//   * Trivially-destructible payloads only — reset() runs no destructors.
+//     ArenaVector enforces this via static_assert.
+//   * Not thread-safe; each shard pass owns its own arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace mecar::util {
+
+class Arena {
+ public:
+  /// `chunk_bytes` is the granularity the arena grows by; oversized
+  /// requests get a dedicated chunk of exactly their size.
+  explicit Arena(std::size_t chunk_bytes = 64 * 1024)
+      : chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` — a power of two no
+  /// stricter than alignof(std::max_align_t), which is what chunk storage
+  /// from operator new[] guarantees. Never returns nullptr; zero-byte
+  /// requests return a valid one-past pointer.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::reset runs no destructors");
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds the cursor to the first chunk, keeping all capacity. Every
+  /// pointer previously handed out becomes invalid.
+  void reset() noexcept;
+
+  /// Releases all chunks (capacity drops to zero).
+  void release() noexcept;
+
+  /// Total bytes across retained chunks (the high-water capacity).
+  std::size_t capacity_bytes() const noexcept;
+  /// Bytes handed out since the last reset (including alignment padding).
+  std::size_t used_bytes() const noexcept { return used_; }
+  /// Chunks allocated from the heap since construction or release();
+  /// stable across reset() once the high-water mark is reached.
+  std::size_t num_chunks() const noexcept { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* allocate_slow(std::size_t bytes, std::size_t align);
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  // chunk the cursor lives in
+  std::size_t offset_ = 0;   // cursor within the current chunk
+  std::size_t used_ = 0;
+};
+
+inline void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  // Chunk bases are max_align_t-aligned, so aligning the offset aligns the
+  // pointer for every align we accept.
+  if (!chunks_.empty()) {
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(
+        chunks_[current_].data.get());
+    const std::size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+    if (aligned + bytes <= chunks_[current_].size) {
+      offset_ = aligned + bytes;
+      used_ += bytes;
+      return reinterpret_cast<void*>(base + aligned);
+    }
+  }
+  return allocate_slow(bytes, align);
+}
+
+/// std::allocator-compatible adapter so standard containers can draw from
+/// an Arena. Deallocation is a no-op; the arena's reset()/lifetime governs
+/// the storage, so any container using it must be destroyed (or cleared and
+/// shrunk) before the arena resets.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) noexcept : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) { return arena_->allocate_array<T>(n); }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// Vector of trivially-destructible T backed by an Arena.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace mecar::util

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Sharding bit-identity proof: the whole golden suite must reproduce its
+# reference outputs with the sharded slot loop forced on — once with a
+# single shard and once with eight — via the MECAR_SHARDS environment
+# variable (OnlineParams::num_shards == 0 consults it, and every bench
+# leaves the field at its default). Any divergence from the legacy loop's
+# floating-point accumulation order shows up here as a golden mismatch.
+#
+#   tests/check_sharded.sh [BUILD_DIR]   (default: build)
+set -u
+build=${1:-build}
+root=$(cd "$(dirname "$0")/.." && pwd)
+fail=0
+
+for shards in 1 8; do
+  echo "== golden suite under MECAR_SHARDS=$shards =="
+  if MECAR_SHARDS=$shards "$root/tests/check_golden.sh" "$build"; then
+    echo "ok: sharded($shards) == legacy on all goldens"
+  else
+    echo "MISMATCH under MECAR_SHARDS=$shards" >&2
+    fail=1
+  fi
+done
+exit $fail

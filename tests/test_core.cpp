@@ -8,10 +8,12 @@
 
 #include "core/appro.h"
 #include "core/exact.h"
+#include "core/incremental_slot_lp.h"
 #include "core/heu.h"
 #include "core/rounding.h"
 #include "core/slot_lp.h"
 #include "core/types.h"
+#include "lp/revised_simplex.h"
 #include "lp/simplex.h"
 #include "mec/topology.h"
 #include "mec/workload.h"
@@ -539,6 +541,135 @@ TEST(CrossCheck, IlpAndLpAgreeOnScale) {
 
   // Lemma 1: the slot LP relaxes the ILP, so LPOpt >= Opt.
   EXPECT_GE(lp_res.objective, ilp_res.objective - 1e-6);
+}
+
+// --- IncrementalSlotLp: delta builds vs scratch builds -------------------
+
+class IncrementalSlotLpObjective : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IncrementalSlotLpObjective, MatchesScratchAcrossBatchChurn) {
+  // Drive the incremental builder through a churn sequence (drop entries,
+  // re-add entries, grow waiting) and require the optimum of the mutated
+  // model to equal a scratch build at every step.
+  util::Rng rng(GetParam());
+  mec::TopologyParams tparams;
+  tparams.num_stations = 8;
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 30;
+  const auto all = mec::generate_requests(wparams, topo, rng);
+  AlgorithmParams params;
+
+  IncrementalSlotLp inc;
+  SlotLpOptions options;
+  options.share_cap_mhz = 800.0;
+  for (int step = 0; step < 6; ++step) {
+    // Rolling window over the request pool: each step drops a few entries
+    // from the front and admits a few at the back, like a slot batch.
+    std::vector<mec::ARRequest> batch;
+    options.waiting_ms_per_request.clear();
+    for (int k = step * 3; k < step * 3 + 12; ++k) {
+      batch.push_back(all[static_cast<std::size_t>(k)]);
+      options.waiting_ms_per_request.push_back(5.0 *
+                                               static_cast<double>(step));
+    }
+    const SlotLpInstance& got = inc.build(topo, batch, params, options);
+    const SlotLpInstance want = build_slot_lp(topo, batch, params, options);
+    const auto got_res = lp::solve_lp(got.model);
+    const auto want_res = lp::solve_lp(want.model);
+    ASSERT_TRUE(want_res.optimal()) << "step " << step;
+    ASSERT_TRUE(got_res.optimal()) << "step " << step;
+    EXPECT_NEAR(want_res.objective, got_res.objective,
+                1e-7 * std::max(1.0, want_res.objective))
+        << "step " << step;
+    // The per-batch metadata must address the current batch.
+    ASSERT_EQ(got.request_columns.size(), batch.size());
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      for (int col : got.request_columns[b]) {
+        EXPECT_EQ(got.vars[static_cast<std::size_t>(col)].request_index,
+                  static_cast<int>(b));
+      }
+    }
+  }
+  EXPECT_EQ(inc.stats().full_builds, 1)
+      << "churn within stable capacities must stay on the delta path";
+  EXPECT_GE(inc.stats().delta_builds, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSlotLpObjective,
+                         ::testing::Values(3u, 17u, 91u));
+
+TEST(IncrementalSlotLp, ReusesUnchangedBatchAndRebuildsOnCapacityChange) {
+  util::Rng rng(5);
+  mec::TopologyParams tparams;
+  tparams.num_stations = 6;
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 10;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  AlgorithmParams params;
+
+  IncrementalSlotLp inc;
+  SlotLpOptions options;
+  (void)inc.build(topo, requests, params, options);
+  EXPECT_EQ(inc.stats().full_builds, 1);
+  (void)inc.build(topo, requests, params, options);
+  EXPECT_EQ(inc.stats().reuses, 1) << "identical inputs must not mutate";
+
+  // Residual capacities moved: the whole coefficient set is stale.
+  options.capacity_override_mhz.assign(
+      static_cast<std::size_t>(topo.num_stations()), 900.0);
+  const SlotLpInstance& got = inc.build(topo, requests, params, options);
+  EXPECT_EQ(inc.stats().full_builds, 2);
+  const SlotLpInstance want = build_slot_lp(topo, requests, params, options);
+  const auto got_res = lp::solve_lp(got.model);
+  const auto want_res = lp::solve_lp(want.model);
+  ASSERT_TRUE(got_res.optimal());
+  ASSERT_TRUE(want_res.optimal());
+  EXPECT_NEAR(got_res.objective, want_res.objective, 1e-9);
+
+  // Batch order shuffles (density re-sort) without membership change stay
+  // on the reuse path but re-point the metadata.
+  std::vector<mec::ARRequest> reversed(requests.rbegin(), requests.rend());
+  const SlotLpInstance& rev = inc.build(topo, reversed, params, options);
+  EXPECT_EQ(inc.stats().full_builds, 2);
+  for (std::size_t b = 0; b < reversed.size(); ++b) {
+    for (int col : rev.request_columns[b]) {
+      EXPECT_EQ(rev.vars[static_cast<std::size_t>(col)].request_index,
+                static_cast<int>(b));
+    }
+  }
+}
+
+TEST(IncrementalSlotLp, GhostEntrySharingAnIdForcesNewColumns) {
+  // A displaced stream re-enters the batch under its own id but with a
+  // degenerate demand and an unbounded budget; the signature must not
+  // confuse it with the original request's columns.
+  util::Rng rng(9);
+  mec::TopologyParams tparams;
+  tparams.num_stations = 6;
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 8;
+  auto requests = mec::generate_requests(wparams, topo, rng);
+  AlgorithmParams params;
+
+  IncrementalSlotLp inc;
+  SlotLpOptions options;
+  (void)inc.build(topo, requests, params, options);
+
+  std::vector<mec::ARRequest> ghosts = requests;
+  ghosts[0].demand = mec::RateRewardDist({{2.0, 1.0, 7.5}});
+  ghosts[0].latency_budget_ms = 1e9;
+  const SlotLpInstance& got = inc.build(topo, ghosts, params, options);
+  EXPECT_GE(inc.stats().delta_builds, 1);
+  const SlotLpInstance want = build_slot_lp(topo, ghosts, params, options);
+  const auto got_res = lp::solve_lp(got.model);
+  const auto want_res = lp::solve_lp(want.model);
+  ASSERT_TRUE(got_res.optimal());
+  ASSERT_TRUE(want_res.optimal());
+  EXPECT_NEAR(got_res.objective, want_res.objective,
+              1e-7 * std::max(1.0, want_res.objective));
 }
 
 }  // namespace

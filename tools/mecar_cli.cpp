@@ -531,6 +531,14 @@ int cmd_experiment(const util::Cli& cli) {
     }
     runner.set_lp_budget(pivots);
   }
+  if (cli.has("shards")) {
+    const int shards = static_cast<int>(cli.get_int_or("shards", 0));
+    if (shards < -1) {
+      std::cerr << "mecar_cli: --shards must be >= -1\n";
+      return 1;
+    }
+    runner.set_shards(shards);
+  }
   exp::TelemetryExportOptions telemetry;
   telemetry.metrics_path = cli.get_or("metrics-out", "");
   telemetry.trace_path = cli.get_or("trace-out", "");
@@ -603,7 +611,8 @@ int cmd_list(const util::Cli&) {
       "  metric policy_seed_offset chaos fault_plan mobility\n"
       "  threshold_range kappa scale_thresholds threshold_headroom\n"
       "  rounding_divisor backfill enforce_backhaul backhaul_audit\n"
-      "  collect_detail requests_per_slot lp_max_iterations lp_budget\n";
+      "  collect_detail requests_per_slot lp_max_iterations lp_budget\n"
+      "  shards incremental_lp\n";
   return 0;
 }
 
@@ -618,6 +627,7 @@ void usage() {
       "[--emit-plan]\n"
       "  experiment:   --spec=FILE [--seeds=N] [--horizon=N] "
       "[--lp-budget=N]\n"
+      "                [--shards=N]  (sharded slot loop; -1 forces legacy)\n"
       "                [--json[=PATH]]\n"
       "                [--metrics-out=FILE(.prom|.json)] "
       "[--trace-out=FILE]\n"
