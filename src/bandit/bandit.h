@@ -8,6 +8,11 @@
 
 #include <cstddef>
 
+namespace mecar::util {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace mecar::util
+
 namespace mecar::bandit {
 
 /// Abstract bandit policy over a fixed finite arm set.
@@ -29,6 +34,15 @@ class Bandit {
 
   /// Empirical mean reward of an arm (0 when unplayed).
   virtual double mean(int arm) const = 0;
+
+  /// Serializes the learner's mutable state (counts, means, posteriors,
+  /// exploration RNG) for checkpoint/restore. Configuration fixed at
+  /// construction (arm count, ranges, priors) is NOT written: restore
+  /// constructs the learner with the original arguments, then load()
+  /// overwrites the mutable state. load() throws util::SnapshotParseError
+  /// when the stored arm count disagrees with the constructed one.
+  virtual void save(util::SnapshotWriter& w) const = 0;
+  virtual void load(util::SnapshotReader& r) = 0;
 };
 
 }  // namespace mecar::bandit

@@ -1,10 +1,12 @@
 #include "bandit/epsilon_greedy.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <stdexcept>
 
 #include "obs/catalog.h"
+#include "util/snapshot.h"
 
 namespace mecar::bandit {
 
@@ -51,6 +53,31 @@ void EpsilonGreedy::update(int arm, double reward) {
 
 double EpsilonGreedy::mean(int arm) const {
   return arms_.at(static_cast<std::size_t>(arm)).mean;
+}
+
+void EpsilonGreedy::save(util::SnapshotWriter& w) const {
+  w.vec(arms_, [&](const Arm& a) {
+    w.i32(a.pulls);
+    w.f64(a.mean);
+  });
+  for (std::uint64_t s : rng_.state()) w.u64(s);
+  w.i32(rounds_);
+}
+
+void EpsilonGreedy::load(util::SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != arms_.size()) {
+    throw util::SnapshotParseError(r.offset(),
+                                   "EpsilonGreedy: arm count mismatch");
+  }
+  for (Arm& a : arms_) {
+    a.pulls = r.i32();
+    a.mean = r.f64();
+  }
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& s : state) s = r.u64();
+  rng_.set_state(state);
+  rounds_ = r.i32();
 }
 
 }  // namespace mecar::bandit

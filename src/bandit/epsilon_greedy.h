@@ -20,6 +20,9 @@ class EpsilonGreedy final : public Bandit {
   int rounds() const override { return rounds_; }
   double mean(int arm) const override;
 
+  void save(util::SnapshotWriter& w) const override;
+  void load(util::SnapshotReader& r) override;
+
  private:
   struct Arm {
     int pulls = 0;

@@ -6,6 +6,7 @@
 
 #include "obs/catalog.h"
 #include "obs/event_trace.h"
+#include "util/snapshot.h"
 
 namespace mecar::bandit {
 
@@ -122,6 +123,29 @@ void SuccessiveElimination::eliminate() {
   if (active != active_before) {
     obs::metrics().bandit_active_arms.set(active);
   }
+}
+
+void SuccessiveElimination::save(util::SnapshotWriter& w) const {
+  w.vec(arms_, [&](const Arm& a) {
+    w.i32(a.pulls);
+    w.f64(a.mean);
+    w.boolean(a.active);
+  });
+  w.i32(rounds_);
+}
+
+void SuccessiveElimination::load(util::SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != arms_.size()) {
+    throw util::SnapshotParseError(
+        r.offset(), "SuccessiveElimination: arm count mismatch");
+  }
+  for (Arm& a : arms_) {
+    a.pulls = r.i32();
+    a.mean = r.f64();
+    a.active = r.boolean();
+  }
+  rounds_ = r.i32();
 }
 
 }  // namespace mecar::bandit

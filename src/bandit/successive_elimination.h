@@ -35,6 +35,9 @@ class SuccessiveElimination final : public Bandit {
   /// ties broken toward the lower index.
   int best_active_arm() const;
 
+  void save(util::SnapshotWriter& w) const override;
+  void load(util::SnapshotReader& r) override;
+
  private:
   struct Arm {
     int pulls = 0;

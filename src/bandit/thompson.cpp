@@ -1,10 +1,12 @@
 #include "bandit/thompson.h"
 
+#include <array>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 #include "obs/catalog.h"
+#include "util/snapshot.h"
 
 namespace mecar::bandit {
 
@@ -73,6 +75,35 @@ double ThompsonSampling::posterior_mean(int arm) const {
 
 double ThompsonSampling::posterior_std(int arm) const {
   return std::sqrt(arms_.at(static_cast<std::size_t>(arm)).posterior_var);
+}
+
+void ThompsonSampling::save(util::SnapshotWriter& w) const {
+  w.vec(arms_, [&](const Arm& a) {
+    w.f64(a.posterior_mean);
+    w.f64(a.posterior_var);
+    w.i32(a.pulls);
+    w.f64(a.empirical_mean);
+  });
+  for (std::uint64_t s : rng_.state()) w.u64(s);
+  w.i32(rounds_);
+}
+
+void ThompsonSampling::load(util::SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != arms_.size()) {
+    throw util::SnapshotParseError(r.offset(),
+                                   "ThompsonSampling: arm count mismatch");
+  }
+  for (Arm& a : arms_) {
+    a.posterior_mean = r.f64();
+    a.posterior_var = r.f64();
+    a.pulls = r.i32();
+    a.empirical_mean = r.f64();
+  }
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& s : state) s = r.u64();
+  rng_.set_state(state);
+  rounds_ = r.i32();
 }
 
 }  // namespace mecar::bandit

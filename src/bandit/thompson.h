@@ -30,6 +30,9 @@ class ThompsonSampling final : public Bandit {
   double posterior_mean(int arm) const;
   double posterior_std(int arm) const;
 
+  void save(util::SnapshotWriter& w) const override;
+  void load(util::SnapshotReader& r) override;
+
  private:
   struct Arm {
     double posterior_mean;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/catalog.h"
+#include "util/snapshot.h"
 
 namespace mecar::bandit {
 
@@ -44,6 +45,26 @@ void Ucb1::update(int arm, double reward) {
 
 double Ucb1::mean(int arm) const {
   return arms_.at(static_cast<std::size_t>(arm)).mean;
+}
+
+void Ucb1::save(util::SnapshotWriter& w) const {
+  w.vec(arms_, [&](const Arm& a) {
+    w.i32(a.pulls);
+    w.f64(a.mean);
+  });
+  w.i32(rounds_);
+}
+
+void Ucb1::load(util::SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != arms_.size()) {
+    throw util::SnapshotParseError(r.offset(), "Ucb1: arm count mismatch");
+  }
+  for (Arm& a : arms_) {
+    a.pulls = r.i32();
+    a.mean = r.f64();
+  }
+  rounds_ = r.i32();
 }
 
 }  // namespace mecar::bandit

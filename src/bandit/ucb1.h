@@ -19,6 +19,9 @@ class Ucb1 final : public Bandit {
   int rounds() const override { return rounds_; }
   double mean(int arm) const override;
 
+  void save(util::SnapshotWriter& w) const override;
+  void load(util::SnapshotReader& r) override;
+
  private:
   struct Arm {
     int pulls = 0;

@@ -1,11 +1,13 @@
 #include "bandit/zooming.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 #include "obs/catalog.h"
+#include "util/snapshot.h"
 
 namespace mecar::bandit {
 
@@ -106,6 +108,36 @@ std::vector<ZoomingBandit::PointInfo> ZoomingBandit::points() const {
     out.push_back(PointInfo{p.value, p.pulls, p.mean});
   }
   return out;
+}
+
+void ZoomingBandit::save(util::SnapshotWriter& w) const {
+  w.vec(points_, [&](const Point& p) {
+    w.f64(p.value);
+    w.i32(p.pulls);
+    w.f64(p.mean);
+  });
+  for (std::uint64_t s : rng_.state()) w.u64(s);
+  w.i32(last_played_);
+  w.i32(rounds_);
+}
+
+void ZoomingBandit::load(util::SnapshotReader& r) {
+  points_ = r.vec<Point>([&] {
+    Point p;
+    p.value = r.f64();
+    p.pulls = r.i32();
+    p.mean = r.f64();
+    return p;
+  });
+  if (points_.empty()) {
+    throw util::SnapshotParseError(r.offset(),
+                                   "ZoomingBandit: empty point set");
+  }
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& s : state) s = r.u64();
+  rng_.set_state(state);
+  last_played_ = r.i32();
+  rounds_ = r.i32();
 }
 
 }  // namespace mecar::bandit

@@ -15,6 +15,11 @@
 
 #include "util/rng.h"
 
+namespace mecar::util {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace mecar::util
+
 namespace mecar::bandit {
 
 class ZoomingBandit {
@@ -44,6 +49,12 @@ class ZoomingBandit {
     double mean;
   };
   std::vector<PointInfo> points() const;
+
+  /// Checkpoint support: serializes the active point set, last-played
+  /// index, round count, and RNG stream (configuration from the
+  /// constructor is not written — mirrors Bandit::save/load).
+  void save(util::SnapshotWriter& w) const;
+  void load(util::SnapshotReader& r);
 
  private:
   struct Point {

@@ -1,10 +1,14 @@
 #include "core/incremental_slot_lp.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <map>
 #include <string>
 
+#include "lp/serialize.h"
 #include "obs/catalog.h"
+#include "util/snapshot.h"
 
 namespace mecar::core {
 
@@ -38,13 +42,77 @@ bool IncrementalSlotLp::preconditions_hold(const mec::Topology& topo,
                                            const SlotLpOptions& options) const {
   // Everything a column objective or capacity coefficient depends on must
   // be unchanged; waiting times are deliberately absent (they only gate
-  // the candidate prefix, which the per-entry signature tracks).
+  // the candidate prefix, which the per-entry signature tracks). The
+  // capacity override is also absent: a moved override only shifts column
+  // objectives, which build() reconciles in place.
   return valid_ && topo_ == &topo && num_stations_ == topo.num_stations() &&
          params_.slot_capacity_mhz == params.slot_capacity_mhz &&
          params_.c_unit == params.c_unit &&
          params_.max_candidate_stations == params.max_candidate_stations &&
-         same_share_cap(options_.share_cap_mhz, options.share_cap_mhz) &&
-         options_.capacity_override_mhz == options.capacity_override_mhz;
+         same_share_cap(options_.share_cap_mhz, options.share_cap_mhz);
+}
+
+bool IncrementalSlotLp::override_preserves_slot_counts(
+    const SlotLpOptions& options) const {
+  for (int bs = 0; bs < num_stations_; ++bs) {
+    const double cap =
+        options.capacity_override_mhz.empty()
+            ? topo_->station(bs).capacity_mhz
+            : options.capacity_override_mhz[static_cast<std::size_t>(bs)];
+    const int L = std::max(
+        1, static_cast<int>(std::floor(cap / params_.slot_capacity_mhz)));
+    if (L != inst_.slots_per_station[static_cast<std::size_t>(bs)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IncrementalSlotLp::reconcile_entry(const mec::ARRequest& req,
+                                        const Entry& e, bool& mutated) {
+  const auto& cands = candidate_cache_.find(req.id)->second;
+  auto station_capacity = [&](int bs) {
+    return options_.capacity_override_mhz.empty()
+               ? topo_->station(bs).capacity_mhz
+               : options_.capacity_override_mhz[static_cast<std::size_t>(bs)];
+  };
+  // e.columns is the subsequence of the (candidate, l) lattice whose
+  // expected reward was positive when the entry was materialized; walk
+  // both in step. A lattice position with er > 0 but no column means the
+  // old override had pruned it — only then is in-place repair impossible.
+  std::size_t cursor = 0;
+  for (int c = 0; c < e.candidate_count; ++c) {
+    const int bs = cands[static_cast<std::size_t>(c) + 1].station;
+    const int L = inst_.slots_per_station[static_cast<std::size_t>(bs)];
+    for (int l = 0; l < L; ++l) {
+      const double rate_cap =
+          (station_capacity(bs) - l * params_.slot_capacity_mhz) /
+          params_.c_unit;
+      const double er = req.demand.expected_reward_within(rate_cap);
+      const bool have =
+          cursor < e.columns.size() &&
+          inst_.vars[static_cast<std::size_t>(e.columns[cursor])].station ==
+              bs &&
+          inst_.vars[static_cast<std::size_t>(e.columns[cursor])].slot == l;
+      if (!have) {
+        if (er > 0.0) return false;
+        continue;
+      }
+      const int col = e.columns[cursor++];
+      SlotVar& var = inst_.vars[static_cast<std::size_t>(col)];
+      if (var.expected_reward != er) {
+        inst_.model.update_objective(col, er);
+        var.expected_reward = er;
+        mutated = true;
+      }
+      const double upper = er > 0.0 ? 1.0 : 0.0;
+      if (inst_.model.variable(col).upper != upper) {
+        inst_.model.update_bound(col, upper);
+        mutated = true;
+      }
+    }
+  }
+  return cursor == e.columns.size();
 }
 
 const std::vector<CandidateStation>& IncrementalSlotLp::candidates_of(
@@ -253,6 +321,18 @@ const SlotLpInstance& IncrementalSlotLp::build(
     return inst_;
   }
 
+  // Residual-capacity churn: objectives move but the lattice shape only
+  // changes when a station's slot count does.
+  const bool override_moved =
+      options_.capacity_override_mhz != options.capacity_override_mhz;
+  if (override_moved) {
+    if (!override_preserves_slot_counts(options)) {
+      full_build(topo, requests, params, options);
+      return inst_;
+    }
+    options_.capacity_override_mhz = options.capacity_override_mhz;
+  }
+
   auto waiting_of = [&](std::size_t j) {
     return options.waiting_ms_per_request.empty()
                ? options.waiting_ms
@@ -276,7 +356,9 @@ const SlotLpInstance& IncrementalSlotLp::build(
     const Entry sig = make_signature(req, candidate_count(req, waiting_of(b)));
     const auto it = prev_by_id.find(req.id);
     if (it != prev_by_id.end() &&
-        signature_matches(entries_[it->second], sig)) {
+        signature_matches(entries_[it->second], sig) &&
+        (!override_moved ||
+         reconcile_entry(req, entries_[it->second], mutated))) {
       prev_used[it->second] = 1;
       next.push_back(std::move(entries_[it->second]));
     } else {
@@ -316,6 +398,119 @@ const SlotLpInstance& IncrementalSlotLp::build(
     obs::metrics().lp_incremental_reuses.add();
   }
   return inst_;
+}
+
+void IncrementalSlotLp::save(util::SnapshotWriter& w) const {
+  w.boolean(valid_);
+  if (!valid_) return;
+  lp::save_model(inst_.model, w);
+  w.vec(inst_.vars, [&](const SlotVar& v) {
+    w.i32(v.request_index);
+    w.i32(v.station);
+    w.i32(v.slot);
+    w.f64(v.expected_reward);
+    w.f64(v.latency_ms);
+  });
+  w.vec(inst_.request_columns, [&](const std::vector<int>& cols) {
+    w.vec(cols, [&](int c) { w.i32(c); });
+  });
+  w.vec(inst_.slots_per_station, [&](int n) { w.i32(n); });
+  w.vec(entries_, [&](const Entry& e) {
+    w.i32(e.id);
+    w.i32(e.candidate_count);
+    w.f64(e.latency_budget_ms);
+    w.u64(static_cast<std::uint64_t>(e.demand_levels));
+    w.f64(e.demand_min_rate);
+    w.f64(e.demand_expected_reward);
+    w.vec(e.columns, [&](int c) { w.i32(c); });
+  });
+  w.i32(num_stations_);
+  w.f64(params_.slot_capacity_mhz);
+  w.f64(params_.c_unit);
+  w.i32(params_.max_candidate_stations);
+  w.f64(params_.rounding_divisor);
+  w.boolean(params_.backfill);
+  w.boolean(params_.enforce_backhaul);
+  w.boolean(options_.share_cap_mhz.has_value());
+  if (options_.share_cap_mhz) w.f64(*options_.share_cap_mhz);
+  w.f64(options_.waiting_ms);
+  w.vec(options_.waiting_ms_per_request, [&](double v) { w.f64(v); });
+  w.vec(options_.capacity_override_mhz, [&](double v) { w.f64(v); });
+  w.i64(dead_columns_);
+  w.i64(stats_.full_builds);
+  w.i64(stats_.reuses);
+  w.i64(stats_.delta_builds);
+  w.i64(stats_.columns_added);
+  w.i64(stats_.columns_removed);
+}
+
+void IncrementalSlotLp::load(util::SnapshotReader& r,
+                             const mec::Topology& topo) {
+  invalidate();
+  if (!r.boolean()) return;
+  inst_.model = lp::load_model(r);
+  inst_.vars = r.vec<SlotVar>([&] {
+    SlotVar v;
+    v.request_index = r.i32();
+    v.station = r.i32();
+    v.slot = r.i32();
+    v.expected_reward = r.f64();
+    v.latency_ms = r.f64();
+    return v;
+  });
+  inst_.request_columns = r.vec<std::vector<int>>(
+      [&] { return r.vec<int>([&] { return r.i32(); }); });
+  inst_.slots_per_station = r.vec<int>([&] { return r.i32(); });
+  entries_ = r.vec<Entry>([&] {
+    Entry e;
+    e.id = r.i32();
+    e.candidate_count = r.i32();
+    e.latency_budget_ms = r.f64();
+    e.demand_levels = static_cast<std::size_t>(r.u64());
+    e.demand_min_rate = r.f64();
+    e.demand_expected_reward = r.f64();
+    e.columns = r.vec<int>([&] { return r.i32(); });
+    return e;
+  });
+  num_stations_ = r.i32();
+  params_.slot_capacity_mhz = r.f64();
+  params_.c_unit = r.f64();
+  params_.max_candidate_stations = r.i32();
+  params_.rounding_divisor = r.f64();
+  params_.backfill = r.boolean();
+  params_.enforce_backhaul = r.boolean();
+  if (r.boolean()) {
+    options_.share_cap_mhz = r.f64();
+  } else {
+    options_.share_cap_mhz.reset();
+  }
+  options_.waiting_ms = r.f64();
+  options_.waiting_ms_per_request = r.vec<double>([&] { return r.f64(); });
+  options_.capacity_override_mhz = r.vec<double>([&] { return r.f64(); });
+  dead_columns_ = r.i64();
+  stats_.full_builds = r.i64();
+  stats_.reuses = r.i64();
+  stats_.delta_builds = r.i64();
+  stats_.columns_added = r.i64();
+  stats_.columns_removed = r.i64();
+
+  // The capacity-row map and candidate cache are derived state: rows come
+  // back from the canonical "slots_<bs>_<l>" naming, candidates reprime
+  // lazily on the next build().
+  topo_ = &topo;
+  for (int row = 0; row < inst_.model.num_constraints(); ++row) {
+    const std::string& name = inst_.model.row(row).name;
+    if (name.rfind("slots_", 0) != 0) continue;
+    const std::size_t sep = name.find('_', 6);
+    const int bs = std::stoi(name.substr(6, sep - 6));
+    const int l = std::stoi(name.substr(sep + 1));
+    capacity_rows_[cap_key(bs, l)] = row;
+  }
+  if (num_stations_ != topo.num_stations()) {
+    throw util::SnapshotParseError(r.offset(),
+                                   "IncrementalSlotLp: station count mismatch");
+  }
+  valid_ = true;
 }
 
 }  // namespace mecar::core

@@ -19,9 +19,18 @@
 // no waiting term) — and the per-request candidate set is a prefix of the
 // stations sorted by (latency, id), so a request's columns are a pure
 // function of its candidate COUNT. Anything that breaks those preconditions
-// (residual capacities moved, the round-robin share changed, the topology
-// pointer changed, params changed) forces a full rebuild, as does
-// compaction once struck columns outnumber live ones.
+// (the round-robin share changed, the topology pointer changed, params
+// changed) forces a full rebuild, as does compaction once struck columns
+// outnumber live ones.
+//
+// A moved `capacity_override_mhz` (residual capacities shift every slot
+// as residents come and go) is cheaper than that: capacity-row
+// coefficients and RHS depend only on l * slot_capacity, so as long as no
+// station's slot count L changed, only column OBJECTIVES move. Those are
+// reconciled in place per entry (update_objective, plus update_bound
+// freezing columns whose expected reward dropped to 0); only an entry
+// that needs a column the old override never materialized falls back to
+// strike-and-readd, and only an L change forces the full rebuild.
 //
 // Contract: the produced model is OBJECTIVE-equivalent to a scratch
 // `build_slot_lp` of the same inputs (same polytope over live columns,
@@ -42,6 +51,11 @@
 #include <vector>
 
 #include "core/slot_lp.h"
+
+namespace mecar::util {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace mecar::util
 
 namespace mecar::core {
 
@@ -68,6 +82,15 @@ class IncrementalSlotLp {
 
   const Stats& stats() const noexcept { return stats_; }
 
+  /// Checkpoint support: serializes the cached model, entries and build
+  /// context so a resumed run re-enters build() with the same reuse/delta
+  /// decisions (and the same column order, which the warm basis depends
+  /// on). The candidate cache is dropped — it reprimes lazily. load()
+  /// re-points the topology at `topo`, which must be the same topology
+  /// object the resumed simulation passes to build().
+  void save(util::SnapshotWriter& w) const;
+  void load(util::SnapshotReader& r, const mec::Topology& topo);
+
  private:
   /// Bookkeeping for one batch entry currently materialized in the model.
   struct Entry {
@@ -86,6 +109,15 @@ class IncrementalSlotLp {
   bool preconditions_hold(const mec::Topology& topo,
                           const AlgorithmParams& params,
                           const SlotLpOptions& options) const;
+  /// True when the new capacity override leaves every station's slot
+  /// count unchanged (the gate for in-place objective reconciliation).
+  bool override_preserves_slot_counts(const SlotLpOptions& options) const;
+  /// Rewrites the objectives (and freeze bounds) of a signature-matched
+  /// entry under the NEW capacity override (already stored in options_).
+  /// Returns false when the entry needs a column the old override never
+  /// materialized — the caller then strikes and re-adds the entry.
+  bool reconcile_entry(const mec::ARRequest& req, const Entry& e,
+                       bool& mutated);
   void full_build(const mec::Topology& topo,
                   const std::vector<mec::ARRequest>& requests,
                   const AlgorithmParams& params, const SlotLpOptions& options);

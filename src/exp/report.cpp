@@ -2,8 +2,10 @@
 
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "util/json_writer.h"
+#include "util/snapshot.h"
 #include "util/table.h"
 
 namespace mecar::exp {
@@ -44,6 +46,29 @@ const util::RunningStats& SeriesCollector::stats_at(const std::string& name,
     throw std::out_of_range("SeriesCollector: unknown series '" + name + "'");
   }
   return it->second.at(point);
+}
+
+void SeriesCollector::save(util::SnapshotWriter& w) const {
+  w.u64(static_cast<std::uint64_t>(num_points_));
+  w.u64(static_cast<std::uint64_t>(series_.size()));
+  for (const auto& [name, values] : series_) {
+    w.str(name);
+    w.vec(values, [&](const util::RunningStats& s) { s.save(w); });
+  }
+}
+
+void SeriesCollector::load(util::SnapshotReader& r) {
+  num_points_ = static_cast<std::size_t>(r.u64());
+  series_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    series_[std::move(name)] = r.vec<util::RunningStats>([&] {
+      util::RunningStats s;
+      s.load(r);
+      return s;
+    });
+  }
 }
 
 Report::Report(std::string scenario_name, std::string axis_label,
@@ -119,6 +144,35 @@ void Report::print_policy_table(std::ostream& os, const std::string& title,
     table.add_row(std::move(row));
   }
   table.print(os, title);
+}
+
+void Report::save(util::SnapshotWriter& w) const {
+  w.str(scenario_name_);
+  w.str(axis_label_);
+  w.vec(metrics_, [&](const std::string& s) { w.str(s); });
+  w.vec(policies_, [&](const std::string& s) { w.str(s); });
+  w.u64(static_cast<std::uint64_t>(by_metric_.size()));
+  for (const auto& [metric, collector] : by_metric_) {
+    w.str(metric);
+    collector.save(w);
+  }
+  w.vec(points_, [&](double v) { w.f64(v); });
+  w.vec(point_labels_, [&](const std::string& s) { w.str(s); });
+}
+
+void Report::load(util::SnapshotReader& r) {
+  scenario_name_ = r.str();
+  axis_label_ = r.str();
+  metrics_ = r.vec<std::string>([&] { return r.str(); });
+  policies_ = r.vec<std::string>([&] { return r.str(); });
+  by_metric_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string metric = r.str();
+    by_metric_[std::move(metric)].load(r);
+  }
+  points_ = r.vec<double>([&] { return r.f64(); });
+  point_labels_ = r.vec<std::string>([&] { return r.str(); });
 }
 
 void Report::write_json(std::ostream& os) const {

@@ -21,6 +21,8 @@ namespace mecar::exp {
 /// seeds.
 class SeriesCollector {
  public:
+  /// Empty collector, as load() targets and map value slots need.
+  SeriesCollector() = default;
   explicit SeriesCollector(std::vector<std::string> names);
 
   /// Starts a new sweep point (call once per x value).
@@ -35,6 +37,10 @@ class SeriesCollector {
   const util::RunningStats& stats_at(const std::string& name,
                                      std::size_t point) const;
   std::size_t num_points() const noexcept { return num_points_; }
+
+  /// Checkpoint support: serializes/overwrites the full accumulator state.
+  void save(util::SnapshotWriter& w) const;
+  void load(util::SnapshotReader& r);
 
  private:
   std::map<std::string, std::vector<util::RunningStats>> series_;
@@ -93,6 +99,12 @@ class Report {
   /// Writes the uniform JSON snapshot: scenario name, axis, points, then
   /// per-policy per-metric mean series.
   void write_json(std::ostream& os) const;
+
+  /// Checkpoint support: the full report state (labels, points, every
+  /// accumulator) round-trips so a resumed run's tables are bit-identical
+  /// to an uninterrupted run's.
+  void save(util::SnapshotWriter& w) const;
+  void load(util::SnapshotReader& r);
 
  private:
   const SeriesCollector& collector(const std::string& metric) const;

@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "exp/registry.h"
 #include "exp/report.h"
@@ -43,6 +44,22 @@ struct TrialObservation {
   unsigned seed = 0;
   const std::string* policy = nullptr;  // display label
   const std::map<std::string, double>* metrics = nullptr;
+};
+
+/// Checkpointing configuration (`mecar_cli experiment --checkpoint-dir`).
+/// A non-empty `dir` switches run() to the serial checkpointed execution
+/// path: trials run one (point, seed, policy) unit at a time instead of
+/// fanning out over the thread pool, a checkpoint generation is written
+/// after every completed unit and — for online simulations — every
+/// `every_slots` simulated slots, and `resume` continues from the newest
+/// readable generation. The serial path performs the exact same
+/// computations in the exact same reduction order as the pooled path, so
+/// its Report (and hence stdout) is bit-identical, and a resumed run is
+/// bit-identical to an uninterrupted one.
+struct CheckpointOptions {
+  std::string dir;
+  int every_slots = 0;
+  bool resume = false;
 };
 
 class Runner {
@@ -65,17 +82,32 @@ class Runner {
   /// Called once per (point, seed, policy) during the serial reduction.
   void set_observer(std::function<void(const TrialObservation&)> observer);
 
+  /// Enables the serial checkpointed execution path (empty dir disables).
+  void set_checkpoint(CheckpointOptions options);
+
   Report run() const;
 
   const ScenarioSpec& spec() const noexcept { return spec_; }
 
  private:
+  Report run_regret_checkpointed(const std::vector<unsigned>& seeds,
+                                 int base_horizon,
+                                 const std::vector<double>& points) const;
+  Report run_sweep_checkpointed(const std::vector<unsigned>& seeds,
+                                int base_horizon,
+                                const std::vector<double>& points,
+                                const std::vector<ResolvedPolicy>& resolved,
+                                const std::vector<std::string>& labels,
+                                bool any_offline, bool any_online,
+                                const sim::FaultPlan& file_plan) const;
+
   ScenarioSpec spec_;
   const PolicyRegistry* registry_;
   int seeds_override_ = 0;
   int horizon_override_ = -1;
   int lp_budget_override_ = 0;
   int shards_override_ = 0;
+  CheckpointOptions checkpoint_;
   std::function<void(const TrialObservation&)> observer_;
 };
 

@@ -67,6 +67,12 @@ class TopologyOverlay {
   /// return-to-healthy epoch after a fault clears.
   int epochs() const noexcept { return epochs_; }
 
+  /// Overwrites the epoch count. Checkpoint restore primes the overlay by
+  /// replaying the pre-resume perturbation (one rebuild), then stamps the
+  /// counter a mid-run snapshot recorded so fault_epochs reporting stays
+  /// bit-identical to an uninterrupted run.
+  void set_epochs(int epochs) noexcept { epochs_ = epochs; }
+
  private:
   void rebuild();
 

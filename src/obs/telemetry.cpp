@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/json_writer.h"
+#include "util/snapshot.h"
 #include "util/stats.h"
 
 namespace mecar::obs {
@@ -352,6 +353,58 @@ void MetricRegistry::reset() {
   }
 }
 
+void MetricRegistry::restore(const MetricsSnapshot& snapshot) {
+  // Acquire the calling thread's shard BEFORE the lock (a cache miss in
+  // local_shard takes the same mutex). The restored totals all land in
+  // this one shard; every other shard is zeroed, so a subsequent
+  // snapshot() sums back to exactly the restored values.
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& s : impl_->shards) {
+    std::fill(s->counters.begin(), s->counters.end(), 0.0);
+    std::fill(s->gauges.begin(), s->gauges.end(), Shard::GaugeCell{});
+    for (HistData& h : s->hists) {
+      std::fill(h.counts.begin(), h.counts.end(), 0);
+      h.count = 0;
+      h.sum = 0.0;
+      h.min = std::numeric_limits<double>::infinity();
+      h.max = -std::numeric_limits<double>::infinity();
+    }
+  }
+  // Snapshot entries are matched to the live catalog by name; entries for
+  // metrics this build does not register are ignored.
+  for (std::size_t i = 0; i < impl_->counter_defs.size(); ++i) {
+    const CounterSnapshot* c =
+        snapshot.find_counter(impl_->counter_defs[i].name);
+    if (c == nullptr || c->value == 0.0) continue;
+    if (i >= shard.counters.size()) shard.counters.resize(i + 1, 0.0);
+    shard.counters[i] = c->value;
+  }
+  for (std::size_t i = 0; i < impl_->gauge_defs.size(); ++i) {
+    const GaugeSnapshot* g = snapshot.find_gauge(impl_->gauge_defs[i].name);
+    if (g == nullptr || !g->ever_set) continue;
+    if (i >= shard.gauges.size()) shard.gauges.resize(i + 1);
+    Shard::GaugeCell& cell = shard.gauges[i];
+    cell.value = g->value;
+    cell.version =
+        impl_->gauge_version.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  for (std::size_t i = 0; i < impl_->hist_defs.size(); ++i) {
+    const HistogramSnapshot* h =
+        snapshot.find_histogram(impl_->hist_defs[i].name);
+    if (h == nullptr || h->count == 0) continue;
+    if (h->boundaries != impl_->hist_defs[i].boundaries) continue;
+    if (i >= shard.hists.size()) shard.hists.resize(i + 1);
+    HistData& data = shard.hists[i];
+    data.counts = h->counts;
+    data.counts.resize(impl_->hist_defs[i].boundaries.size() + 1, 0);
+    data.count = h->count;
+    data.sum = h->sum;
+    data.min = h->min;
+    data.max = h->max;
+  }
+}
+
 std::vector<MetricDescriptor> MetricRegistry::descriptors() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   std::vector<MetricDescriptor> out;
@@ -418,6 +471,57 @@ const HistogramSnapshot* MetricsSnapshot::find_histogram(
 MetricRegistry& registry() {
   static MetricRegistry global;
   return global;
+}
+
+void save_metrics_snapshot(const MetricsSnapshot& snapshot,
+                           util::SnapshotWriter& w) {
+  w.vec(snapshot.counters, [&](const CounterSnapshot& c) {
+    w.str(c.name);
+    w.f64(c.value);
+  });
+  w.vec(snapshot.gauges, [&](const GaugeSnapshot& g) {
+    w.str(g.name);
+    w.f64(g.value);
+    w.boolean(g.ever_set);
+  });
+  w.vec(snapshot.histograms, [&](const HistogramSnapshot& h) {
+    w.str(h.name);
+    w.vec(h.boundaries, [&](double b) { w.f64(b); });
+    w.vec(h.counts, [&](std::uint64_t c) { w.u64(c); });
+    w.u64(h.count);
+    w.f64(h.sum);
+    w.f64(h.min);
+    w.f64(h.max);
+  });
+}
+
+MetricsSnapshot load_metrics_snapshot(util::SnapshotReader& r) {
+  MetricsSnapshot out;
+  out.counters = r.vec<CounterSnapshot>([&] {
+    CounterSnapshot c;
+    c.name = r.str();
+    c.value = r.f64();
+    return c;
+  });
+  out.gauges = r.vec<GaugeSnapshot>([&] {
+    GaugeSnapshot g;
+    g.name = r.str();
+    g.value = r.f64();
+    g.ever_set = r.boolean();
+    return g;
+  });
+  out.histograms = r.vec<HistogramSnapshot>([&] {
+    HistogramSnapshot h;
+    h.name = r.str();
+    h.boundaries = r.vec<double>([&] { return r.f64(); });
+    h.counts = r.vec<std::uint64_t>([&] { return r.u64(); });
+    h.count = r.u64();
+    h.sum = r.f64();
+    h.min = r.f64();
+    h.max = r.f64();
+    return h;
+  });
+  return out;
 }
 
 namespace {

@@ -31,6 +31,11 @@
 #define MECAR_TELEMETRY_ENABLED 1
 #endif
 
+namespace mecar::util {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace mecar::util
+
 namespace mecar::obs {
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
@@ -164,6 +169,13 @@ class MetricRegistry {
   /// Zeroes every recorded value; registrations are kept.
   void reset();
 
+  /// Overwrites recorded values with a previously taken snapshot, matched
+  /// to the live catalog by metric name (unknown names are ignored;
+  /// histograms additionally require identical boundaries). Used by
+  /// checkpoint restore so counters accumulated before a crash continue
+  /// from their saved totals. Same threading contract as reset().
+  void restore(const MetricsSnapshot& snapshot);
+
   /// Inventory of every registered metric, counters then gauges then
   /// histograms, each in registration order.
   std::vector<MetricDescriptor> descriptors() const;
@@ -196,5 +208,11 @@ void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& os);
 /// "gauges": {...}, "histograms": {name: {boundaries, counts, count, sum,
 /// p50, p95, p99}, ...}}.
 void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& os);
+
+/// Checkpoint (de)serialization of a snapshot (DESIGN.md §14). Help text
+/// is not written — restore() resolves it from the live catalog.
+void save_metrics_snapshot(const MetricsSnapshot& snapshot,
+                           util::SnapshotWriter& w);
+MetricsSnapshot load_metrics_snapshot(util::SnapshotReader& r);
 
 }  // namespace mecar::obs

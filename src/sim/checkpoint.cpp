@@ -1,0 +1,293 @@
+#include "sim/checkpoint.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/parse.h"
+#include "util/snapshot.h"
+
+namespace mecar::sim {
+
+namespace {
+
+void save_request_state(util::SnapshotWriter& w, const RequestState& st) {
+  w.u8(static_cast<std::uint8_t>(st.phase));
+  w.i32(st.station);
+  w.i32(st.first_service_slot);
+  w.u64(static_cast<std::uint64_t>(st.realized_level));
+  w.f64(st.demand_mhz);
+  w.f64(st.work_total);
+  w.f64(st.work_done);
+  w.f64(st.latency_ms);
+  w.f64(st.reward);
+  w.boolean(st.active_this_slot);
+  w.u8(static_cast<std::uint8_t>(st.drop_cause));
+}
+
+RequestState load_request_state(util::SnapshotReader& r) {
+  RequestState st;
+  const std::uint8_t phase = r.u8();
+  if (phase > static_cast<std::uint8_t>(Phase::kDropped)) {
+    throw util::SnapshotParseError(r.offset(),
+                                   "SimSnapshot: phase out of range");
+  }
+  st.phase = static_cast<Phase>(phase);
+  st.station = r.i32();
+  st.first_service_slot = r.i32();
+  st.realized_level = static_cast<std::size_t>(r.u64());
+  st.demand_mhz = r.f64();
+  st.work_total = r.f64();
+  st.work_done = r.f64();
+  st.latency_ms = r.f64();
+  st.reward = r.f64();
+  st.active_this_slot = r.boolean();
+  const std::uint8_t cause = r.u8();
+  if (cause > static_cast<std::uint8_t>(DropCause::kPartition)) {
+    throw util::SnapshotParseError(r.offset(),
+                                   "SimSnapshot: drop cause out of range");
+  }
+  st.drop_cause = static_cast<DropCause>(cause);
+  return st;
+}
+
+void save_resilience(util::SnapshotWriter& w, const ResilienceReport& rr) {
+  w.i32(rr.fault_epochs);
+  w.i32(rr.displaced_outage);
+  w.i32(rr.displaced_partition);
+  w.i32(rr.recovered);
+  w.f64(rr.mean_recovery_slots);
+  w.i32(rr.unrecovered);
+  w.i32(rr.dropped_starvation);
+  w.i32(rr.dropped_fault);
+  w.i32(rr.dropped_partition);
+  w.f64(rr.fault_dropped_expected_reward);
+}
+
+ResilienceReport load_resilience(util::SnapshotReader& r) {
+  ResilienceReport rr;
+  rr.fault_epochs = r.i32();
+  rr.displaced_outage = r.i32();
+  rr.displaced_partition = r.i32();
+  rr.recovered = r.i32();
+  rr.mean_recovery_slots = r.f64();
+  rr.unrecovered = r.i32();
+  rr.dropped_starvation = r.i32();
+  rr.dropped_fault = r.i32();
+  rr.dropped_partition = r.i32();
+  rr.fault_dropped_expected_reward = r.f64();
+  return rr;
+}
+
+}  // namespace
+
+void save_online_metrics(util::SnapshotWriter& w, const OnlineMetrics& m) {
+  w.f64(m.total_reward);
+  w.i32(m.arrived);
+  w.i32(m.completed);
+  w.i32(m.dropped);
+  w.i32(m.unfinished);
+  w.i32(m.displaced);
+  w.i32(m.handovers);
+  save_resilience(w, m.resilience);
+  w.f64(m.avg_latency_ms);
+  w.vec(m.per_slot_reward, [&](double v) { w.f64(v); });
+  w.vec(m.completed_latencies_ms, [&](double v) { w.f64(v); });
+  w.vec(m.per_slot_utilization, [&](double v) { w.f64(v); });
+  w.vec(m.service_ratios, [&](double v) { w.f64(v); });
+}
+
+OnlineMetrics load_online_metrics(util::SnapshotReader& r) {
+  OnlineMetrics m;
+  m.total_reward = r.f64();
+  m.arrived = r.i32();
+  m.completed = r.i32();
+  m.dropped = r.i32();
+  m.unfinished = r.i32();
+  m.displaced = r.i32();
+  m.handovers = r.i32();
+  m.resilience = load_resilience(r);
+  m.avg_latency_ms = r.f64();
+  m.per_slot_reward = r.vec<double>([&] { return r.f64(); });
+  m.completed_latencies_ms = r.vec<double>([&] { return r.f64(); });
+  m.per_slot_utilization = r.vec<double>([&] { return r.f64(); });
+  m.service_ratios = r.vec<double>([&] { return r.f64(); });
+  return m;
+}
+
+void save_sim_snapshot(util::SnapshotWriter& w, const SimSnapshot& s) {
+  w.i32(s.next_slot);
+  w.vec(s.home_station, [&](int v) { w.i32(v); });
+  w.vec(s.states, [&](const RequestState& st) { save_request_state(w, st); });
+  save_online_metrics(w, s.metrics);
+  w.vec(s.fault_blocked, [&](int v) { w.i32(v); });
+  w.vec(s.cut_off, [&](char v) { w.boolean(v != 0); });
+  w.vec(s.displaced_at, [&](int v) { w.i32(v); });
+  w.f64(s.recovery_slots_total);
+  w.vec(s.up, [&](char v) { w.boolean(v != 0); });
+  w.vec(s.prev_up, [&](char v) { w.boolean(v != 0); });
+  w.i32(s.overlay_epochs);
+  w.i32(s.epoch_index);
+  w.i32(s.epoch_begin_slot);
+  w.bytes(s.policy_state);
+}
+
+SimSnapshot load_sim_snapshot(util::SnapshotReader& r) {
+  SimSnapshot s;
+  s.next_slot = r.i32();
+  s.home_station = r.vec<int>([&] { return r.i32(); });
+  s.states = r.vec<RequestState>([&] { return load_request_state(r); });
+  s.metrics = load_online_metrics(r);
+  s.fault_blocked = r.vec<int>([&] { return r.i32(); });
+  s.cut_off = r.vec<char>([&] { return char(r.boolean() ? 1 : 0); });
+  s.displaced_at = r.vec<int>([&] { return r.i32(); });
+  s.recovery_slots_total = r.f64();
+  s.up = r.vec<char>([&] { return char(r.boolean() ? 1 : 0); });
+  s.prev_up = r.vec<char>([&] { return char(r.boolean() ? 1 : 0); });
+  s.overlay_epochs = r.i32();
+  s.epoch_index = r.i32();
+  s.epoch_begin_slot = r.i32();
+  s.policy_state = r.bytes();
+  if (s.home_station.size() != s.states.size() ||
+      s.fault_blocked.size() != s.states.size() ||
+      s.cut_off.size() != s.states.size() ||
+      s.displaced_at.size() != s.states.size()) {
+    throw util::SnapshotParseError(
+        r.offset(), "SimSnapshot: per-request vector size mismatch");
+  }
+  return s;
+}
+
+namespace {
+
+constexpr const char* kCkptPrefix = "ckpt-";
+constexpr const char* kCkptSuffix = ".snap";
+
+/// Parses "ckpt-<gen>.snap"; returns -1 for anything else.
+long long parse_generation(const std::string& name) {
+  const std::size_t prefix = std::strlen(kCkptPrefix);
+  const std::size_t suffix = std::strlen(kCkptSuffix);
+  if (name.size() <= prefix + suffix) return -1;
+  if (name.compare(0, prefix, kCkptPrefix) != 0) return -1;
+  if (name.compare(name.size() - suffix, suffix, kCkptSuffix) != 0) return -1;
+  const auto parsed =
+      util::parse_int(name.substr(prefix, name.size() - prefix - suffix));
+  if (!parsed || *parsed < 0) return -1;
+  return *parsed;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST) {
+    throw std::runtime_error("CheckpointStore: cannot create " + dir_ + ": " +
+                             std::strerror(errno));
+  }
+}
+
+std::vector<std::string> CheckpointStore::generations() const {
+  std::vector<std::pair<long long, std::string>> found;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) {
+    throw std::runtime_error("CheckpointStore: cannot open " + dir_ + ": " +
+                             std::strerror(errno));
+  }
+  while (dirent* e = ::readdir(d)) {
+    const long long gen = parse_generation(e->d_name);
+    if (gen >= 0) found.emplace_back(gen, dir_ + "/" + e->d_name);
+  }
+  ::closedir(d);
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> out;
+  out.reserve(found.size());
+  for (auto& [gen, path] : found) out.push_back(std::move(path));
+  return out;
+}
+
+std::string CheckpointStore::write(const std::vector<std::uint8_t>& framed) {
+  long long next = 0;
+  std::vector<std::pair<long long, std::string>> existing;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) {
+    throw std::runtime_error("CheckpointStore: cannot open " + dir_ + ": " +
+                             std::strerror(errno));
+  }
+  while (dirent* e = ::readdir(d)) {
+    const long long gen = parse_generation(e->d_name);
+    if (gen < 0) continue;
+    existing.emplace_back(gen, dir_ + "/" + e->d_name);
+    next = std::max(next, gen + 1);
+  }
+  ::closedir(d);
+  const std::string path =
+      dir_ + "/" + kCkptPrefix + std::to_string(next) + kCkptSuffix;
+  util::atomic_write_file(path, framed);
+  // Keep the new generation plus the newest pre-existing one: if this
+  // write's file is later found corrupted, recovery still has somewhere
+  // to fall.
+  std::sort(existing.begin(), existing.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 1; i < existing.size(); ++i) {
+    std::remove(existing[i].second.c_str());
+  }
+  return path;
+}
+
+std::vector<std::uint8_t> CheckpointStore::read_file(const std::string& path) {
+  return util::read_file_bytes(path);
+}
+
+namespace {
+
+std::atomic<int> g_crash_at_slot{-1};
+std::atomic<int> g_crash_after_units{0};
+std::atomic<bool> g_crashes_disarmed{false};
+
+[[noreturn]] void die(const char* kind, long long value) {
+  std::fprintf(stderr, "mecar: injected crash (%s %lld): raising SIGKILL\n",
+               kind, value);
+  std::fflush(stderr);
+  std::raise(SIGKILL);
+  // SIGKILL cannot be handled; abort placates [[noreturn]] should raise
+  // somehow return on an exotic platform.
+  std::abort();
+}
+
+}  // namespace
+
+void arm_crash_at_slot(int slot) {
+  g_crash_at_slot.store(slot, std::memory_order_relaxed);
+}
+
+void arm_crash_after_units(int units) {
+  g_crash_after_units.store(units, std::memory_order_relaxed);
+}
+
+void disarm_crashes() {
+  g_crashes_disarmed.store(true, std::memory_order_relaxed);
+  g_crash_at_slot.store(-1, std::memory_order_relaxed);
+  g_crash_after_units.store(0, std::memory_order_relaxed);
+}
+
+void crash_point(int slot, bool plan_crash) {
+  if (g_crashes_disarmed.load(std::memory_order_relaxed)) return;
+  const int armed = g_crash_at_slot.load(std::memory_order_relaxed);
+  if (armed >= 0 && slot == armed) die("slot", slot);
+  if (plan_crash) die("plan slot", slot);
+}
+
+void unit_crash_point(int completed_units) {
+  if (g_crashes_disarmed.load(std::memory_order_relaxed)) return;
+  const int armed = g_crash_after_units.load(std::memory_order_relaxed);
+  if (armed > 0 && completed_units >= armed) die("unit", completed_units);
+}
+
+}  // namespace mecar::sim

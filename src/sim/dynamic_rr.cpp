@@ -1,16 +1,20 @@
 #include "sim/dynamic_rr.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
 
 #include "bandit/epsilon_greedy.h"
 #include "bandit/thompson.h"
 #include "bandit/ucb1.h"
 #include "core/slot_lp.h"
 #include "lp/revised_simplex.h"
+#include "lp/serialize.h"
 #include "obs/catalog.h"
 #include "obs/event_trace.h"
 #include "util/log.h"
+#include "util/snapshot.h"
 
 namespace mecar::sim {
 
@@ -130,17 +134,21 @@ SlotDecision DynamicRrPolicy::decide(const SlotView& view) {
   // every stream's share stays >= C^th. Older residents have priority;
   // the newest are preempted (paused) when the realized mix overflows.
   // Brownout-scaled capacities shrink the quota automatically.
-  std::vector<int> allowed(static_cast<std::size_t>(topo.num_stations()));
+  std::vector<int>& allowed = scratch_allowed_;
+  allowed.assign(static_cast<std::size_t>(topo.num_stations()), 0);
   for (int bs = 0; bs < topo.num_stations(); ++bs) {
     allowed[static_cast<std::size_t>(bs)] = std::max(
         1, static_cast<int>(std::floor(topo.station(bs).capacity_mhz /
                                        last_threshold_)));
   }
 
-  std::vector<std::vector<int>> residents(
-      static_cast<std::size_t>(topo.num_stations()));
-  std::vector<int> waiting;
-  std::vector<int> displaced;  // outage victims needing re-placement
+  std::vector<std::vector<int>>& residents = scratch_residents_;
+  residents.resize(static_cast<std::size_t>(topo.num_stations()));
+  for (std::vector<int>& r : residents) r.clear();
+  std::vector<int>& waiting = scratch_waiting_;
+  std::vector<int>& displaced = scratch_displaced_;  // needing re-placement
+  waiting.clear();
+  displaced.clear();
   for (int j : view.pending) {
     const RequestState& st = (*view.states)[static_cast<std::size_t>(j)];
     if (st.phase == Phase::kServed) {
@@ -158,9 +166,10 @@ SlotDecision DynamicRrPolicy::decide(const SlotView& view) {
   // C^th. Resident streams always receive service (no systematic
   // preemption — pausing in-progress sessions only strands partial work);
   // newcomers take the quota slots residents left free.
-  std::vector<int> slots_left = allowed;
-  std::vector<double> residual_mhz(
-      static_cast<std::size_t>(topo.num_stations()));
+  std::vector<int>& slots_left = scratch_slots_left_;
+  slots_left = allowed;
+  std::vector<double>& residual_mhz = scratch_residual_mhz_;
+  residual_mhz.assign(static_cast<std::size_t>(topo.num_stations()), 0.0);
   for (int bs = 0; bs < topo.num_stations(); ++bs) {
     const auto& ids = residents[static_cast<std::size_t>(bs)];
     double used = 0.0;
@@ -219,10 +228,12 @@ void DynamicRrPolicy::admit_new(const mec::Topology& topo,
   // Batch layout: displaced streams first (re-placement has priority over
   // admission — their reward is partially sunk), then the waiting queue.
   const std::size_t num_displaced = displaced.size();
-  std::vector<int> ids = displaced;
+  std::vector<int>& ids = scratch_ids_;
+  ids.assign(displaced.begin(), displaced.end());
   ids.insert(ids.end(), waiting.begin(), waiting.end());
 
-  std::vector<mec::ARRequest> batch;
+  std::vector<mec::ARRequest>& batch = scratch_batch_;
+  batch.clear();
   batch.reserve(ids.size());
   core::SlotLpOptions options;
   options.share_cap_mhz = last_threshold_;
@@ -253,8 +264,10 @@ void DynamicRrPolicy::admit_new(const mec::Topology& topo,
     }
   }
 
-  std::vector<int> placement(ids.size(), -1);
-  std::vector<double> placement_lat(ids.size(), 0.0);
+  std::vector<int>& placement = scratch_placement_;
+  placement.assign(ids.size(), -1);
+  std::vector<double>& placement_lat = scratch_placement_lat_;
+  placement_lat.assign(ids.size(), 0.0);
   // Incremental path: mutate the previous slot's model by the batch delta.
   // Only taken when the slot's topology IS the policy's own base topology:
   // a chaos overlay mutates the effective-topology object in place between
@@ -333,10 +346,10 @@ void DynamicRrPolicy::admit_new(const mec::Topology& topo,
       // mass (the LP is often indifferent, ER_jil varies little across
       // stations) prefer the lowest placement latency. Latencies come from
       // the column metadata the builder already computed.
-      std::vector<double> mass(
-          static_cast<std::size_t>(topo.num_stations()), 0.0);
-      std::vector<double> lat_of(
-          static_cast<std::size_t>(topo.num_stations()), 0.0);
+      std::vector<double>& mass = scratch_mass_;
+      mass.assign(static_cast<std::size_t>(topo.num_stations()), 0.0);
+      std::vector<double>& lat_of = scratch_lat_of_;
+      lat_of.assign(static_cast<std::size_t>(topo.num_stations()), 0.0);
       for (std::size_t b = 0; b < ids.size(); ++b) {
         std::fill(mass.begin(), mass.end(), 0.0);
         for (int col : inst.request_columns[b]) {
@@ -461,6 +474,70 @@ void DynamicRrPolicy::feedback(const SlotFeedback& fb) {
   // Net value of the slot: collected reward minus the opportunity cost of
   // requests the current threshold starved past their deadline.
   window_reward_ += fb.completed_reward - fb.dropped_expected_reward;
+}
+
+void DynamicRrPolicy::save_state(util::SnapshotWriter& w) const {
+  for (std::uint64_t s : rng_.state()) w.u64(s);
+  w.i32(played_arm_);
+  w.boolean(window_open_);
+  w.f64(last_threshold_);
+  w.f64(adaptive_scale_);
+  w.i32(window_pos_);
+  w.f64(window_reward_);
+  w.i64(degradation_.lp_solves);
+  w.i64(degradation_.lp_fallbacks);
+  w.i64(degradation_.displaced_seen);
+  w.i64(degradation_.displaced_replaced_lp);
+  w.i64(degradation_.displaced_replaced_greedy);
+  w.i64(degradation_.slots_warm_lp);
+  w.i64(degradation_.slots_cold_lp);
+  w.i64(degradation_.slots_dense_lp);
+  w.i64(degradation_.slots_greedy);
+  w.i64(degradation_.slots_carry);
+  w.i64(degradation_.lp_deadline_used);
+  w.i64(degradation_.lp_recovery_actions);
+  w.i64(degradation_.lp_numerical_errors);
+  w.i32(degradation_.last_level);
+  if (discrete_) {
+    discrete_->save(w);
+  } else {
+    zoom_->save(w);
+  }
+  lp::save_basis(warm_basis_, w);
+  incremental_.save(w);
+}
+
+void DynamicRrPolicy::load_state(util::SnapshotReader& r) {
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& s : state) s = r.u64();
+  rng_.set_state(state);
+  played_arm_ = r.i32();
+  window_open_ = r.boolean();
+  last_threshold_ = r.f64();
+  adaptive_scale_ = r.f64();
+  window_pos_ = r.i32();
+  window_reward_ = r.f64();
+  degradation_.lp_solves = r.i64();
+  degradation_.lp_fallbacks = r.i64();
+  degradation_.displaced_seen = r.i64();
+  degradation_.displaced_replaced_lp = r.i64();
+  degradation_.displaced_replaced_greedy = r.i64();
+  degradation_.slots_warm_lp = r.i64();
+  degradation_.slots_cold_lp = r.i64();
+  degradation_.slots_dense_lp = r.i64();
+  degradation_.slots_greedy = r.i64();
+  degradation_.slots_carry = r.i64();
+  degradation_.lp_deadline_used = r.i64();
+  degradation_.lp_recovery_actions = r.i64();
+  degradation_.lp_numerical_errors = r.i64();
+  degradation_.last_level = r.i32();
+  if (discrete_) {
+    discrete_->load(r);
+  } else {
+    zoom_->load(r);
+  }
+  warm_basis_ = lp::load_basis(r);
+  incremental_.load(r, topo_);
 }
 
 }  // namespace mecar::sim

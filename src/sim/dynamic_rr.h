@@ -17,6 +17,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "bandit/bandit.h"
 #include "bandit/lipschitz.h"
@@ -147,6 +148,16 @@ class DynamicRrPolicy final : public OnlinePolicy {
   void feedback(const SlotFeedback& fb) override;
   std::string name() const override { return "DynamicRR"; }
 
+  /// Checkpoint support (sim/checkpoint.h): every mutable field that can
+  /// influence a future decision — learner posteriors, the open reward
+  /// window, the warm-start basis and the incremental model (vertex
+  /// selection under degeneracy depends on both), degradation counters —
+  /// round-trips so a resumed run decides bit-identically. Configuration
+  /// (params_, grid_) is reconstructed by the caller, not serialized;
+  /// load_state expects a policy built with the original arguments.
+  void save_state(util::SnapshotWriter& w) const override;
+  void load_state(util::SnapshotReader& r) override;
+
   /// Introspection for tests/benches. `bandit()` is only meaningful for
   /// discrete learners (everything except kZooming).
   const bandit::LipschitzGrid& grid() const noexcept { return grid_; }
@@ -193,6 +204,20 @@ class DynamicRrPolicy final : public OnlinePolicy {
   int window_pos_ = 0;
   double window_reward_ = 0.0;
   DegradationStats degradation_;
+  /// Per-slot scratch reused across decide() calls so the steady-state
+  /// slot allocates nothing (values are fully rewritten every slot).
+  std::vector<int> scratch_allowed_;
+  std::vector<std::vector<int>> scratch_residents_;
+  std::vector<int> scratch_waiting_;
+  std::vector<int> scratch_displaced_;
+  std::vector<int> scratch_slots_left_;
+  std::vector<double> scratch_residual_mhz_;
+  std::vector<int> scratch_ids_;
+  std::vector<mec::ARRequest> scratch_batch_;
+  std::vector<int> scratch_placement_;
+  std::vector<double> scratch_placement_lat_;
+  std::vector<double> scratch_mass_;
+  std::vector<double> scratch_lat_of_;
 };
 
 }  // namespace mecar::sim

@@ -55,6 +55,13 @@ std::size_t FaultPlan::num_events() const noexcept {
          link_degradations.size() + solver_budgets.size() + solver_jams.size();
 }
 
+bool FaultPlan::crash_at(int slot) const noexcept {
+  for (const CrashPoint& c : crashes) {
+    if (c.slot == slot) return true;
+  }
+  return false;
+}
+
 void FaultPlan::validate(const mec::Topology& topo) const {
   for (const StationOutage& e : station_outages) {
     check_station(topo, "station_outage", e.station);
@@ -92,6 +99,12 @@ void FaultPlan::validate(const mec::Topology& topo) const {
   }
   for (const SolverJam& e : solver_jams) {
     check_window("solver_jam", e.from_slot, e.until_slot);
+  }
+  for (const CrashPoint& e : crashes) {
+    if (e.slot < 0) {
+      throw std::invalid_argument("FaultPlan: crash at negative slot " +
+                                  std::to_string(e.slot));
+    }
   }
 }
 
@@ -316,6 +329,9 @@ FaultPlan read_fault_plan(std::istream& is) {
       want_args(2);
       plan.solver_jams.push_back(
           {int_arg(0, "from_slot"), int_arg(1, "until_slot")});
+    } else if (kind == "crash") {
+      want_args(1);
+      plan.crashes.push_back({int_arg(0, "slot")});
     } else {
       throw FaultPlanParseError(
           lineno, "fault plan line " + std::to_string(lineno) +
@@ -349,6 +365,9 @@ void write_fault_plan(const FaultPlan& plan, std::ostream& os) {
   }
   for (const SolverJam& e : plan.solver_jams) {
     os << "solver_jam " << e.from_slot << ' ' << e.until_slot << '\n';
+  }
+  for (const CrashPoint& e : plan.crashes) {
+    os << "crash " << e.slot << '\n';
   }
 }
 

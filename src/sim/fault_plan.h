@@ -43,6 +43,7 @@
 //   link_degradation <link>    <from_slot> <until_slot> <delay_factor>
 //   solver_budget    <from_slot> <until_slot> <max_pivots>
 //   solver_jam       <from_slot> <until_slot>
+//   crash            <slot>
 #pragma once
 
 #include <iosfwd>
@@ -109,6 +110,16 @@ struct SolverJam {
   int until_slot = 0;
 };
 
+/// A process crash: the simulator raises SIGKILL at the TOP of `slot`
+/// (before any of the slot's work) — the kill-anywhere leg of the
+/// checkpoint/restore contract. Unlike every other event this is not a
+/// fault the network model absorbs, so crash points do not count as
+/// events (a crash-only plan is still `empty()`) and are ignored on
+/// `--resume` runs.
+struct CrashPoint {
+  int slot = 0;
+};
+
 /// Projection of a FaultPlan onto one slot.
 struct FaultSnapshot {
   /// Per-station availability (station outages + zero-factor brownouts).
@@ -131,9 +142,18 @@ struct FaultPlan {
   std::vector<LinkDegradation> link_degradations;
   std::vector<SolverBudgetSqueeze> solver_budgets;
   std::vector<SolverJam> solver_jams;
+  std::vector<CrashPoint> crashes;
 
+  /// True when no fault events are scripted. Crash points are NOT events:
+  /// they must not arm the chaos machinery (overlays, fault accounting),
+  /// so a crash-only plan stays empty() and the engines only consult
+  /// crash_at().
   bool empty() const noexcept;
+  /// Fault events, crash points excluded (see empty()).
   std::size_t num_events() const noexcept;
+
+  /// True when a crash point is scripted at exactly `slot`.
+  bool crash_at(int slot) const noexcept;
 
   /// Checks ids, windows, and factors against `topo`; throws
   /// std::invalid_argument naming the offending event.

@@ -9,13 +9,19 @@
 #include "mec/topology_overlay.h"
 #include "obs/catalog.h"
 #include "obs/event_trace.h"
+#include "sim/checkpoint.h"
 #include "sim/shard.h"
 #include "util/log.h"
+#include "util/snapshot.h"
 #include "util/timer.h"
 
 namespace mecar::sim {
 
 void OnlinePolicy::feedback(const SlotFeedback& /*fb*/) {}
+
+void OnlinePolicy::save_state(util::SnapshotWriter& /*w*/) const {}
+
+void OnlinePolicy::load_state(util::SnapshotReader& /*r*/) {}
 
 double SlotView::waiting_ms(int request_index) const {
   const auto& req = (*requests)[static_cast<std::size_t>(request_index)];
@@ -96,7 +102,8 @@ OnlineSimulator::OnlineSimulator(const mec::Topology& topo,
   }
 }
 
-OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
+OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy, SlotHook* hook,
+                                   const SimSnapshot* resume) {
   // Sharded O(live + changes) engine (sim/shard.h); bit-identical to the
   // legacy loop below at any shard count. Selection: explicit
   // params_.num_shards, else the MECAR_SHARDS environment variable.
@@ -104,7 +111,7 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
   if (shards > 0) {
     ShardEngine engine(topo_, requests_, realized_, params_, min_latency_ms_,
                        shards);
-    return engine.run(policy);
+    return engine.run(policy, hook, resume);
   }
 
   // Mobility mutates request attachments; work on a copy so runs stay
@@ -196,7 +203,82 @@ OnlineMetrics OnlineSimulator::run(OnlinePolicy& policy) {
     }
   };
 
-  for (int t = 0; t < params_.horizon_slots; ++t) {
+  // Resume: overwrite the canonical state with the snapshot, then
+  // re-derive everything else exactly as the uninterrupted run would have
+  // computed it (same formulas over the same inputs -> same bits).
+  int start_slot = 0;
+  if (resume != nullptr) {
+    if (resume->states.size() != requests.size()) {
+      throw std::invalid_argument(
+          "OnlineSimulator: resume snapshot request-count mismatch");
+    }
+    start_slot = resume->next_slot;
+    for (std::size_t j = 0; j < requests.size(); ++j) {
+      requests[j].home_station = resume->home_station[j];
+      double best = kInf;
+      for (int bs = 0; bs < topo_.num_stations(); ++bs) {
+        best = std::min(best,
+                        mec::placement_latency_ms(topo_, requests[j], bs));
+      }
+      min_latency[j] = best;
+    }
+    states = resume->states;
+    metrics = resume->metrics;
+    fault_blocked = resume->fault_blocked;
+    cut_off = resume->cut_off;
+    displaced_at = resume->displaced_at;
+    recovery_slots_total = resume->recovery_slots_total;
+    up = resume->up;
+    prev_up = resume->prev_up;
+    epoch_index = resume->epoch_index;
+    epoch_begin_slot = resume->epoch_begin_slot;
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      was_active[j] = states[j].active_this_slot &&
+                              states[j].phase == Phase::kServed
+                          ? 1
+                          : 0;
+    }
+    if (chaos && start_slot > 0) {
+      // Prime the overlay with the perturbation active at the last
+      // completed slot: the loop's slot-start apply() then sees the same
+      // epoch transition (or none) as the uninterrupted run.
+      overlay->apply(plan.snapshot(topo_, start_slot - 1).perturbation);
+      overlay->set_epochs(resume->overlay_epochs);
+      active = &overlay->effective();
+      for (std::size_t j = 0; j < requests.size(); ++j) {
+        eff_min[j] = eff_min_of(requests[j]);
+      }
+    }
+    util::SnapshotReader pr = util::SnapshotReader::unframed(
+        resume->policy_state);
+    policy.load_state(pr);
+  }
+
+  for (int t = start_slot; t < params_.horizon_slots; ++t) {
+    if (hook != nullptr && hook->want_snapshot(t)) {
+      SimSnapshot snap;
+      snap.next_slot = t;
+      snap.home_station.reserve(requests.size());
+      for (const mec::ARRequest& req : requests) {
+        snap.home_station.push_back(req.home_station);
+      }
+      snap.states = states;
+      snap.metrics = metrics;
+      snap.fault_blocked = fault_blocked;
+      snap.cut_off = cut_off;
+      snap.displaced_at = displaced_at;
+      snap.recovery_slots_total = recovery_slots_total;
+      snap.up = up;
+      snap.prev_up = prev_up;
+      snap.overlay_epochs = overlay ? overlay->epochs() : 0;
+      snap.epoch_index = epoch_index;
+      snap.epoch_begin_slot = epoch_begin_slot;
+      util::SnapshotWriter pw;
+      policy.save_state(pw);
+      snap.policy_state = pw.payload();
+      hook->on_snapshot(t, std::move(snap));
+    }
+    crash_point(t, plan.crash_at(t));
     const util::Timer slot_timer;
     om.sim_slots.add();
     if (tracing) tr.set_slot(t);

@@ -19,10 +19,17 @@
 #include <string>
 #include <vector>
 
+#include <cstdint>
+
 #include "core/types.h"
 #include "mec/request.h"
 #include "mec/topology.h"
 #include "sim/fault_plan.h"
+
+namespace mecar::util {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace mecar::util
 
 namespace mecar::sim {
 
@@ -164,6 +171,14 @@ class OnlinePolicy {
   /// Called at the end of each slot.
   virtual void feedback(const SlotFeedback& fb);
   virtual std::string name() const = 0;
+
+  /// Checkpoint support: (de)serializes the policy's mutable state as an
+  /// opaque blob inside the engine snapshot. The defaults are no-ops —
+  /// correct for the stateless baselines (Greedy, OCORP, HeuKKT);
+  /// DynamicRR overrides both. load_state is called on a freshly
+  /// constructed policy with the original constructor arguments.
+  virtual void save_state(util::SnapshotWriter& w) const;
+  virtual void load_state(util::SnapshotReader& r);
 };
 
 /// Fault-attributed accounting of one run (all zero when the fault plan is
@@ -213,6 +228,52 @@ struct OnlineMetrics {
   std::vector<double> service_ratios;
 };
 
+/// The complete canonical state of an online run at the top of one slot —
+/// everything the slot loop accumulates that is not a pure function of
+/// the inputs. Captured by either engine (legacy or sharded) and restored
+/// by either, so a run checkpointed under one engine resumes bit-identical
+/// under the other: derived structures (minimum latencies, shard resident
+/// lists, effective-topology caches, preemption flags) are reconstructed
+/// from these fields at restore. `sim::Checkpoint` (sim/checkpoint.h)
+/// owns the byte-level framing.
+struct SimSnapshot {
+  /// The slot the resumed loop executes first.
+  int next_slot = 0;
+  /// Per-request home station (mobility mutates the request copy).
+  std::vector<int> home_station;
+  std::vector<RequestState> states;
+  /// Metrics accumulated so far (per_slot_reward is horizon-sized with
+  /// zeros beyond next_slot).
+  OnlineMetrics metrics;
+  /// Fault-attribution state (see the DropCause contract).
+  std::vector<int> fault_blocked;
+  std::vector<char> cut_off;
+  std::vector<int> displaced_at;
+  double recovery_slots_total = 0.0;
+  /// Station availability of the previous slot (equal at the loop top).
+  std::vector<char> up;
+  std::vector<char> prev_up;
+  /// Overlay epoch counter + trace epoch bookkeeping.
+  int overlay_epochs = 0;
+  int epoch_index = -1;
+  int epoch_begin_slot = 0;
+  /// Opaque policy state (OnlinePolicy::save_state payload).
+  std::vector<std::uint8_t> policy_state;
+};
+
+/// Observer the engines call at the TOP of each slot (before any of the
+/// slot's mutations), letting a checkpointing driver capture SimSnapshots
+/// at its own cadence without the engines knowing about files or framing.
+class SlotHook {
+ public:
+  virtual ~SlotHook() = default;
+  /// Return true to have the engine capture a snapshot at `slot`.
+  virtual bool want_snapshot(int slot) = 0;
+  /// Receives the captured snapshot (only called after want_snapshot
+  /// returned true for `slot`).
+  virtual void on_snapshot(int slot, SimSnapshot snapshot) = 0;
+};
+
 /// Runs one policy over one workload realization.
 class OnlineSimulator {
  public:
@@ -220,7 +281,13 @@ class OnlineSimulator {
                   std::vector<mec::ARRequest> requests,
                   std::vector<std::size_t> realized, OnlineParams params);
 
-  OnlineMetrics run(OnlinePolicy& policy);
+  /// Runs the slot loop. `hook` (optional) observes slot tops for
+  /// checkpointing; `resume` (optional) continues from a captured
+  /// snapshot instead of slot 0, bit-identically to the uninterrupted
+  /// run. Throws std::invalid_argument when the snapshot's request count
+  /// does not match this simulator's workload.
+  OnlineMetrics run(OnlinePolicy& policy, SlotHook* hook = nullptr,
+                    const SimSnapshot* resume = nullptr);
 
   const OnlineParams& params() const noexcept { return params_; }
 

@@ -11,9 +11,11 @@
 
 #include "obs/catalog.h"
 #include "obs/event_trace.h"
+#include "sim/checkpoint.h"
 #include "util/log.h"
 #include "util/parallel.h"
 #include "util/parse.h"
+#include "util/snapshot.h"
 #include "util/timer.h"
 
 namespace mecar::sim {
@@ -158,7 +160,8 @@ int ShardEngine::shard_of_station(int station) const noexcept {
   return station_shard_[static_cast<std::size_t>(station)];
 }
 
-OnlineMetrics ShardEngine::run(OnlinePolicy& policy) {
+OnlineMetrics ShardEngine::run(OnlinePolicy& policy, SlotHook* hook,
+                               const SimSnapshot* resume) {
   const double kInf = std::numeric_limits<double>::infinity();
   const int num_stations = topo_.num_stations();
   const int shard_count = num_shards();
@@ -259,7 +262,104 @@ OnlineMetrics ShardEngine::run(OnlinePolicy& policy) {
   std::vector<std::pair<int, int>> res_pairs;  // (station, j), sorted
   std::vector<double> res_demand, res_alloc;
 
-  for (int t = 0; t < params_.horizon_slots; ++t) {
+  // Checkpoint restore. The snapshot holds only canonical per-request /
+  // per-station state; every sharded acceleration structure (ownership
+  // lists, activation flags, lazy eff_min stamps) is re-derived from it,
+  // which is what makes snapshots portable across engines and shard
+  // counts.
+  int start_slot = 0;
+  if (resume != nullptr) {
+    if (resume->states.size() != num_requests) {
+      throw std::invalid_argument(
+          "OnlineSimulator: resume snapshot request-count mismatch");
+    }
+    start_slot = resume->next_slot;
+    for (std::size_t j = 0; j < num_requests; ++j) {
+      requests_[j].home_station = resume->home_station[j];
+      double best = kInf;
+      for (int bs = 0; bs < topo_.num_stations(); ++bs) {
+        best =
+            std::min(best, mec::placement_latency_ms(topo_, requests_[j], bs));
+      }
+      min_latency_[j] = best;
+    }
+    states = resume->states;
+    metrics = resume->metrics;
+    fault_blocked = resume->fault_blocked;
+    cut_off = resume->cut_off;
+    displaced_at = resume->displaced_at;
+    recovery_slots_total = resume->recovery_slots_total;
+    up = resume->up;
+    prev_up = resume->prev_up;
+    epoch_index = resume->epoch_index;
+    epoch_begin_slot = resume->epoch_begin_slot;
+    // Ownership lists: an ascending-j scan keeps every per-shard list
+    // sorted. A kWaiting request is in a waiting list iff a pre-resume
+    // slot already routed its arrival (routing happens at slot
+    // max(arrival_slot, 0); this slot's arrivals route inside the loop).
+    for (std::size_t j = 0; j < num_requests; ++j) {
+      const mec::ARRequest& req = requests_[j];
+      const RequestState& st = states[j];
+      if (st.active_this_slot) {
+        last_flags.push_back(static_cast<int>(j));
+        if (st.phase == Phase::kServed) {
+          prev_active.push_back(static_cast<int>(j));
+        }
+      }
+      if (st.phase == Phase::kWaiting &&
+          req.arrival_slot < params_.horizon_slots &&
+          std::max(req.arrival_slot, 0) < start_slot) {
+        shards_[static_cast<std::size_t>(shard_of_station(req.home_station))]
+            .waiting.push_back(static_cast<int>(j));
+      } else if (st.phase == Phase::kServed && st.station >= 0) {
+        shards_[static_cast<std::size_t>(shard_of_station(st.station))]
+            .served.push_back(static_cast<int>(j));
+      } else if (st.phase == Phase::kServed && st.station < 0) {
+        shards_[static_cast<std::size_t>(shard_of_station(req.home_station))]
+            .displaced.push_back(static_cast<int>(j));
+      }
+    }
+    // eff_min stays lazy: all stamps are -1, so first use inside the
+    // resumed run recomputes against the then-active epoch.
+    if (chaos && start_slot > 0) {
+      // Prime the overlay with the pre-resume slot's perturbation so the
+      // resumed slot's apply() sees the same epoch boundary (or absence of
+      // one) the uninterrupted run saw, then stamp the recorded epoch
+      // count so fault_epochs reporting matches bit-for-bit.
+      overlay->apply(plan.snapshot(topo_, start_slot - 1).perturbation);
+      overlay->set_epochs(resume->overlay_epochs);
+      active = &overlay->effective();
+    }
+    util::SnapshotReader pr =
+        util::SnapshotReader::unframed(resume->policy_state);
+    policy.load_state(pr);
+  }
+
+  for (int t = start_slot; t < params_.horizon_slots; ++t) {
+    if (hook != nullptr && hook->want_snapshot(t)) {
+      SimSnapshot snap;
+      snap.next_slot = t;
+      snap.home_station.reserve(num_requests);
+      for (const mec::ARRequest& req : requests_) {
+        snap.home_station.push_back(req.home_station);
+      }
+      snap.states = states;
+      snap.metrics = metrics;
+      snap.fault_blocked = fault_blocked;
+      snap.cut_off = cut_off;
+      snap.displaced_at = displaced_at;
+      snap.recovery_slots_total = recovery_slots_total;
+      snap.up = up;
+      snap.prev_up = prev_up;
+      snap.overlay_epochs = overlay ? overlay->epochs() : 0;
+      snap.epoch_index = epoch_index;
+      snap.epoch_begin_slot = epoch_begin_slot;
+      util::SnapshotWriter pw;
+      policy.save_state(pw);
+      snap.policy_state = pw.payload();
+      hook->on_snapshot(t, std::move(snap));
+    }
+    crash_point(t, plan.crash_at(t));
     const util::Timer slot_timer;
     om.sim_slots.add();
     if (tracing) tr.set_slot(t);

@@ -81,7 +81,13 @@ class ShardEngine {
               const OnlineParams& params,
               const std::vector<double>& min_latency_ms, int num_shards);
 
-  OnlineMetrics run(OnlinePolicy& policy);
+  /// `hook` (optional) captures a canonical SimSnapshot at the top of any
+  /// slot it asks for; `resume` (optional) rebuilds mid-run state from one
+  /// such snapshot and continues from its next_slot. Snapshots are
+  /// engine-agnostic: a snapshot captured here restores into the legacy
+  /// loop (and vice versa) bit-identically at any shard count.
+  OnlineMetrics run(OnlinePolicy& policy, SlotHook* hook = nullptr,
+                    const SimSnapshot* resume = nullptr);
 
   int num_shards() const noexcept {
     return static_cast<int>(shards_.size());

@@ -7,6 +7,7 @@
 // is both fast and statistically strong for simulation purposes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -72,6 +73,17 @@ class Rng {
   /// Derives an independent child generator; useful for giving each
   /// subsystem its own stream while remaining reproducible.
   Rng split() noexcept;
+
+  /// The raw xoshiro256** state, for checkpoint/restore. set_state with a
+  /// captured state resumes the stream at exactly the next draw.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = state[static_cast<std::size_t>(i)];
+    }
+  }
 
  private:
   std::uint64_t state_[4];

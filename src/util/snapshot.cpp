@@ -1,0 +1,397 @@
+#include "util/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace mecar::util {
+
+namespace {
+
+// Type tags of the payload encoding. Values are part of the on-disk
+// format — append, never renumber.
+enum Tag : std::uint8_t {
+  kTagU8 = 0x01,
+  kTagU32 = 0x02,
+  kTagU64 = 0x03,
+  kTagI32 = 0x04,
+  kTagI64 = 0x05,
+  kTagF64 = 0x06,
+  kTagBool = 0x07,
+  kTagStr = 0x08,
+  kTagBytes = 0x09,
+};
+
+const char* tag_name(std::uint8_t tag) {
+  switch (tag) {
+    case kTagU8: return "u8";
+    case kTagU32: return "u32";
+    case kTagU64: return "u64";
+    case kTagI32: return "i32";
+    case kTagI64: return "i64";
+    case kTagF64: return "f64";
+    case kTagBool: return "bool";
+    case kTagStr: return "str";
+    case kTagBytes: return "bytes";
+    default: return "unknown";
+  }
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void SnapshotWriter::raw(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + size);
+}
+
+void SnapshotWriter::u8(std::uint8_t v) {
+  buf_.push_back(kTagU8);
+  buf_.push_back(v);
+}
+
+void SnapshotWriter::u32(std::uint32_t v) {
+  buf_.push_back(kTagU32);
+  put_u32(buf_, v);
+}
+
+void SnapshotWriter::u64(std::uint64_t v) {
+  buf_.push_back(kTagU64);
+  put_u64(buf_, v);
+}
+
+void SnapshotWriter::i32(std::int32_t v) {
+  buf_.push_back(kTagI32);
+  put_u32(buf_, static_cast<std::uint32_t>(v));
+}
+
+void SnapshotWriter::i64(std::int64_t v) {
+  buf_.push_back(kTagI64);
+  put_u64(buf_, static_cast<std::uint64_t>(v));
+}
+
+void SnapshotWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  buf_.push_back(kTagF64);
+  put_u64(buf_, bits);
+}
+
+void SnapshotWriter::boolean(bool v) {
+  buf_.push_back(kTagBool);
+  buf_.push_back(v ? 1 : 0);
+}
+
+void SnapshotWriter::str(const std::string& v) {
+  buf_.push_back(kTagStr);
+  put_u64(buf_, v.size());
+  raw(v.data(), v.size());
+}
+
+void SnapshotWriter::bytes(const std::vector<std::uint8_t>& v) {
+  buf_.push_back(kTagBytes);
+  put_u64(buf_, v.size());
+  raw(v.data(), v.size());
+}
+
+std::vector<std::uint8_t> SnapshotWriter::finish(std::uint32_t magic,
+                                                 std::uint32_t version) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + buf_.size() + 4);
+  put_u32(out, magic);
+  put_u32(out, version);
+  put_u64(out, buf_.size());
+  out.insert(out.end(), buf_.begin(), buf_.end());
+  put_u32(out, crc32(buf_.data(), buf_.size()));
+  return out;
+}
+
+SnapshotReader::SnapshotReader(const std::uint8_t* data, std::size_t begin,
+                               std::size_t end)
+    : data_(data), pos_(begin), end_(end) {}
+
+SnapshotReader::SnapshotReader(const std::vector<std::uint8_t>& framed,
+                               std::uint32_t magic, std::uint32_t version) {
+  if (framed.size() < 20) {
+    throw SnapshotParseError(
+        framed.size(), "snapshot truncated: " + std::to_string(framed.size()) +
+                           " bytes, header needs 16 + trailing crc32");
+  }
+  const std::uint32_t got_magic = get_u32(framed.data());
+  if (got_magic != magic) {
+    throw SnapshotParseError(0, "snapshot magic mismatch: got 0x" +
+                                    [&] {
+                                      char buf[16];
+                                      std::snprintf(buf, sizeof(buf), "%08x",
+                                                    got_magic);
+                                      return std::string(buf);
+                                    }() +
+                                    ", want 0x" + [&] {
+                                      char buf[16];
+                                      std::snprintf(buf, sizeof(buf), "%08x",
+                                                    magic);
+                                      return std::string(buf);
+                                    }());
+  }
+  const std::uint32_t got_version = get_u32(framed.data() + 4);
+  if (got_version != version) {
+    throw SnapshotParseError(
+        4, "snapshot version " + std::to_string(got_version) +
+               " unsupported (this build reads version " +
+               std::to_string(version) + ")");
+  }
+  const std::uint64_t len = get_u64(framed.data() + 8);
+  if (len != framed.size() - 20) {
+    throw SnapshotParseError(
+        8, "snapshot payload length " + std::to_string(len) +
+               " inconsistent with buffer of " +
+               std::to_string(framed.size()) + " bytes");
+  }
+  const std::size_t crc_offset = 16 + static_cast<std::size_t>(len);
+  const std::uint32_t want_crc = get_u32(framed.data() + crc_offset);
+  const std::uint32_t got_crc =
+      crc32(framed.data() + 16, static_cast<std::size_t>(len));
+  if (want_crc != got_crc) {
+    throw SnapshotParseError(crc_offset,
+                             "snapshot crc32 mismatch: payload corrupt");
+  }
+  data_ = framed.data();
+  pos_ = 16;
+  end_ = crc_offset;
+}
+
+SnapshotReader SnapshotReader::unframed(
+    const std::vector<std::uint8_t>& payload) {
+  return SnapshotReader(payload.data(), 0, payload.size());
+}
+
+void SnapshotReader::expect_tag(std::uint8_t tag, const char* what) {
+  if (pos_ >= end_) {
+    throw SnapshotParseError(pos_, std::string("snapshot ends where a ") +
+                                       what + " value was expected");
+  }
+  const std::uint8_t got = data_[pos_];
+  if (got != tag) {
+    throw SnapshotParseError(pos_, std::string("snapshot type mismatch: ") +
+                                       "expected " + what + ", found " +
+                                       tag_name(got) + " tag");
+  }
+  ++pos_;
+}
+
+const std::uint8_t* SnapshotReader::take(std::size_t size, const char* what) {
+  if (end_ - pos_ < size) {
+    throw SnapshotParseError(pos_, std::string("snapshot truncated inside a ") +
+                                       what + " value");
+  }
+  const std::uint8_t* p = data_ + pos_;
+  pos_ += size;
+  return p;
+}
+
+void SnapshotReader::check_count(std::uint64_t n) const {
+  // Every element costs at least a tag byte, so a count beyond the
+  // remaining payload is corruption — reject before reserve() can blow up.
+  if (n > end_ - pos_) {
+    throw SnapshotParseError(pos_, "snapshot element count " +
+                                       std::to_string(n) +
+                                       " exceeds remaining payload");
+  }
+}
+
+std::uint8_t SnapshotReader::u8() {
+  expect_tag(kTagU8, "u8");
+  return *take(1, "u8");
+}
+
+std::uint32_t SnapshotReader::u32() {
+  expect_tag(kTagU32, "u32");
+  return get_u32(take(4, "u32"));
+}
+
+std::uint64_t SnapshotReader::u64() {
+  expect_tag(kTagU64, "u64");
+  return get_u64(take(8, "u64"));
+}
+
+std::int32_t SnapshotReader::i32() {
+  expect_tag(kTagI32, "i32");
+  return static_cast<std::int32_t>(get_u32(take(4, "i32")));
+}
+
+std::int64_t SnapshotReader::i64() {
+  expect_tag(kTagI64, "i64");
+  return static_cast<std::int64_t>(get_u64(take(8, "i64")));
+}
+
+double SnapshotReader::f64() {
+  expect_tag(kTagF64, "f64");
+  const std::uint64_t bits = get_u64(take(8, "f64"));
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool SnapshotReader::boolean() {
+  expect_tag(kTagBool, "bool");
+  const std::uint8_t v = *take(1, "bool");
+  if (v > 1) {
+    throw SnapshotParseError(pos_ - 1, "snapshot bool byte is " +
+                                           std::to_string(v) +
+                                           ", not 0 or 1");
+  }
+  return v != 0;
+}
+
+std::string SnapshotReader::str() {
+  expect_tag(kTagStr, "str");
+  const std::uint64_t len = get_u64(take(8, "str length"));
+  if (len > end_ - pos_) {
+    throw SnapshotParseError(pos_, "snapshot str length " +
+                                       std::to_string(len) +
+                                       " exceeds remaining payload");
+  }
+  const std::uint8_t* p = take(static_cast<std::size_t>(len), "str");
+  return std::string(reinterpret_cast<const char*>(p),
+                     static_cast<std::size_t>(len));
+}
+
+std::vector<std::uint8_t> SnapshotReader::bytes() {
+  expect_tag(kTagBytes, "bytes");
+  const std::uint64_t len = get_u64(take(8, "bytes length"));
+  if (len > end_ - pos_) {
+    throw SnapshotParseError(pos_, "snapshot bytes length " +
+                                       std::to_string(len) +
+                                       " exceeds remaining payload");
+  }
+  const std::uint8_t* p = take(static_cast<std::size_t>(len), "bytes");
+  return std::vector<std::uint8_t>(p, p + len);
+}
+
+void SnapshotReader::expect_end() const {
+  if (pos_ != end_) {
+    throw SnapshotParseError(pos_, "snapshot has " +
+                                       std::to_string(end_ - pos_) +
+                                       " unread trailing bytes");
+  }
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::vector<std::uint8_t>& data) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const std::string tmp = path + ".tmp";
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("atomic_write_file: cannot create '" + tmp + "'");
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw_errno("atomic_write_file: write to '" + tmp + "' failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_errno("atomic_write_file: fsync of '" + tmp + "' failed");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("atomic_write_file: close of '" + tmp + "' failed");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("atomic_write_file: rename to '" + path + "' failed");
+  }
+  // Persist the rename itself; without this a crash can forget the file.
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("read_file_bytes: cannot open '" + path + "'");
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("read_file_bytes: read from '" + path + "' failed");
+    }
+    if (n == 0) break;
+    data.insert(data.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return data;
+}
+
+}  // namespace mecar::util

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/snapshot.h"
+
 namespace mecar::util {
 
 void RunningStats::add(double x) noexcept {
@@ -32,6 +34,24 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   n_ += other.n_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::save(SnapshotWriter& w) const {
+  w.u64(static_cast<std::uint64_t>(n_));
+  w.f64(mean_);
+  w.f64(m2_);
+  w.f64(sum_);
+  w.f64(min_);
+  w.f64(max_);
+}
+
+void RunningStats::load(SnapshotReader& r) {
+  n_ = static_cast<std::size_t>(r.u64());
+  mean_ = r.f64();
+  m2_ = r.f64();
+  sum_ = r.f64();
+  min_ = r.f64();
+  max_ = r.f64();
 }
 
 double RunningStats::variance() const noexcept {

@@ -9,6 +9,9 @@
 
 namespace mecar::util {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// Welford-style running accumulator: mean/variance/min/max in one pass
 /// without storing samples.
 class RunningStats {
@@ -16,6 +19,12 @@ class RunningStats {
   void add(double x) noexcept;
   void merge(const RunningStats& other) noexcept;
   void reset() noexcept { *this = RunningStats{}; }
+
+  /// Checkpoint support: the accumulator state round-trips bit-exactly
+  /// (doubles as raw IEEE-754 patterns), so a resumed reduction continues
+  /// the Welford stream without drift.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
   std::size_t count() const noexcept { return n_; }
   bool empty() const noexcept { return n_ == 0; }

@@ -1,0 +1,208 @@
+#!/usr/bin/env sh
+# Kill-and-resume bit-identity: every golden scenario runs through the
+# serial checkpointed path three ways — uninterrupted, killed mid-run by
+# an injected SIGKILL, and resumed from the surviving checkpoint
+# generation — and the resumed stdout must equal the uninterrupted one
+# byte for byte. Wall-clock runtime_ms tables are filtered on both sides;
+# everything else (rewards, latencies, regret series, resilience columns)
+# must reproduce exactly. The legacy-loop sweep also cross-checks the
+# serial checkpointed path against the pooled path, the whole sweep
+# repeats with the sharded slot loop forced on, and dedicated legs cover
+# cross-engine resume (killed legacy, resumed MECAR_SHARDS=8 —
+# SimSnapshot is engine-agnostic), a scripted FaultPlan `crash` line that
+# dies inside the faulted run (stage-2 resume with the cached reference
+# metrics), and a corrupted newest generation recovered from the previous
+# one.
+#
+#   tests/check_resume.sh [BUILD_DIR]   (default: build)
+set -u
+build=${1:-build}
+root=$(cd "$(dirname "$0")/.." && pwd)
+cli=$build/tools/mecar_cli
+fail=0
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+if [ ! -x "$cli" ]; then
+  echo "MISSING BINARY: $cli is absent or not executable" >&2
+  echo "  (build it first: cmake --build $build --target mecar_cli)" >&2
+  exit 1
+fi
+
+# Wall-clock solver runtimes can never be deterministic across runs; drop
+# that one table (title through trailing blank line) on both sides.
+filter() {
+  awk '/: runtime_ms/{skip=1; next} skip && /^$/{skip=0; next} !skip' "$1"
+}
+
+# Run $cli under the engine selection in $1 ("" = leave MECAR_SHARDS
+# alone, i.e. the legacy slot loop; N = force the sharded loop).
+engine_run() {
+  _shards=$1
+  shift
+  if [ -n "$_shards" ]; then
+    MECAR_SHARDS=$_shards "$cli" "$@"
+  else
+    "$cli" "$@"
+  fi
+}
+
+crash_flag() {
+  case "$1" in
+    # fig3_offline has horizon 0 (no slots to crash in); kill between
+    # checkpoint units instead.
+    fig3_offline) echo "--crash-after-units=2" ;;
+    *) echo "--crash-at=150" ;;
+  esac
+}
+
+mismatch() {
+  echo "MISMATCH: $1" >&2
+  filter "$2" >"$work/.a" && filter "$3" >"$work/.b"
+  diff "$work/.a" "$work/.b" | head -20 >&2 || true
+  fail=1
+}
+
+# check_scenario NAME CRASH_SHARDS RESUME_SHARDS
+check_scenario() {
+  name=$1
+  shards=$2
+  resume_shards=$3
+  tag=$name${shards:+-s$shards}
+  [ "$resume_shards" = "$shards" ] || tag=$tag-xr${resume_shards:-legacy}
+  spec=$root/scenarios/$name.scenario
+
+  if ! engine_run "$shards" experiment --spec="$spec" \
+      --checkpoint-dir="$work/$tag-ref" --checkpoint-every=50 \
+      >"$work/$tag.ref" 2>/dev/null; then
+    echo "FAIL: $tag reference run" >&2
+    fail=1
+    return
+  fi
+
+  engine_run "$shards" experiment --spec="$spec" \
+    --checkpoint-dir="$work/$tag" --checkpoint-every=50 \
+    "$(crash_flag "$name")" >/dev/null 2>"$work/$tag.err"
+  if [ $? -ne 137 ]; then
+    echo "FAIL: $tag crash leg did not die with SIGKILL" >&2
+    fail=1
+    return
+  fi
+  if ! grep -q "injected crash" "$work/$tag.err"; then
+    echo "FAIL: $tag crash leg missing the injection notice" >&2
+    fail=1
+    return
+  fi
+
+  if ! engine_run "$resume_shards" experiment --spec="$spec" \
+      --checkpoint-dir="$work/$tag" --checkpoint-every=50 --resume \
+      >"$work/$tag.res" 2>/dev/null; then
+    echo "FAIL: $tag resume leg" >&2
+    fail=1
+    return
+  fi
+  if [ "$(filter "$work/$tag.ref")" != "$(filter "$work/$tag.res")" ]; then
+    mismatch "$tag resumed output differs from uninterrupted" \
+      "$work/$tag.ref" "$work/$tag.res"
+    return
+  fi
+
+  # Legacy-loop pass doubles as the serial-vs-pooled equivalence check.
+  if [ -z "$shards" ] && [ -z "$resume_shards" ]; then
+    "$cli" experiment --spec="$spec" >"$work/$tag.pooled" 2>/dev/null
+    if [ "$(filter "$work/$tag.ref")" != "$(filter "$work/$tag.pooled")" ]; then
+      mismatch "$tag serial checkpointed output differs from pooled" \
+        "$work/$tag.pooled" "$work/$tag.ref"
+      return
+    fi
+  fi
+  echo "ok: $tag"
+}
+
+scenarios="fig3_offline fig4_online fig5_stations fig6_rate quality_metrics
+regret_growth regret_kappa resilience"
+
+echo "== kill-and-resume, legacy slot loop =="
+for name in $scenarios; do check_scenario "$name" "" ""; done
+
+echo "== kill-and-resume, sharded slot loop (MECAR_SHARDS=8) =="
+for name in $scenarios; do check_scenario "$name" 8 8; done
+
+echo "== cross-engine resume =="
+check_scenario fig4_online "" 8
+check_scenario regret_kappa 8 ""
+
+echo "== scripted FaultPlan crash through the faulted run =="
+cat >"$work/crash.plan" <<EOF
+station_outage 0 80 200
+station_outage 1 220 320
+crash 150
+EOF
+sed '/^crash /d' "$work/crash.plan" >"$work/nocrash.plan"
+emit_scenario() {
+  cat <<EOF
+name resume_faulted
+kind sweep
+axis none
+seeds 2
+horizon 400
+fault_plan $1
+policy DynamicRR
+metric reward
+metric retention
+metric drops
+EOF
+}
+emit_scenario "$work/nocrash.plan" >"$work/nocrash.scenario"
+emit_scenario "$work/crash.plan" >"$work/crash.scenario"
+
+"$cli" experiment --spec="$work/nocrash.scenario" \
+  --checkpoint-dir="$work/faulted-ref" --checkpoint-every=50 \
+  >"$work/faulted.ref" 2>/dev/null || { echo "FAIL: faulted reference" >&2; fail=1; }
+"$cli" experiment --spec="$work/crash.scenario" \
+  --checkpoint-dir="$work/faulted" --checkpoint-every=50 \
+  >/dev/null 2>"$work/faulted.err"
+if [ $? -ne 137 ] || ! grep -q "injected crash" "$work/faulted.err"; then
+  echo "FAIL: scripted plan crash did not SIGKILL the faulted run" >&2
+  fail=1
+else
+  # --resume disarms the scripted crash, so the same crashing spec must
+  # now sail past slot 150 and finish.
+  if ! "$cli" experiment --spec="$work/crash.scenario" \
+      --checkpoint-dir="$work/faulted" --checkpoint-every=50 --resume \
+      >"$work/faulted.res" 2>/dev/null; then
+    echo "FAIL: faulted resume leg" >&2
+    fail=1
+  elif [ "$(filter "$work/faulted.ref")" != "$(filter "$work/faulted.res")" ]; then
+    mismatch "faulted resume differs from uninterrupted" \
+      "$work/faulted.ref" "$work/faulted.res"
+  else
+    echo "ok: resume_faulted (scripted crash, stage-2 resume)"
+  fi
+fi
+
+echo "== corrupted newest generation falls back =="
+"$cli" experiment --spec="$root/scenarios/fig4_online.scenario" \
+  --checkpoint-dir="$work/corrupt" --checkpoint-every=50 --crash-at=150 \
+  >/dev/null 2>&1
+newest=$work/corrupt/$(ls "$work/corrupt" | sort -t- -k2 -n | tail -1)
+# Chop the tail off the newest generation: the frame-length check must
+# reject it and recovery must fall to the previous one.
+size=$(wc -c <"$newest")
+head -c "$((size - 7))" "$newest" >"$newest.tmp" && mv "$newest.tmp" "$newest"
+if ! "$cli" experiment --spec="$root/scenarios/fig4_online.scenario" \
+    --checkpoint-dir="$work/corrupt" --checkpoint-every=50 --resume \
+    >"$work/corrupt.res" 2>"$work/corrupt.err"; then
+  echo "FAIL: corrupted-generation resume leg" >&2
+  fail=1
+elif ! grep -q "falling back to the previous generation" "$work/corrupt.err"; then
+  echo "FAIL: corrupted generation was not diagnosed" >&2
+  fail=1
+elif [ "$(filter "$work/fig4_online.ref")" != "$(filter "$work/corrupt.res")" ]; then
+  mismatch "fallback resume differs from uninterrupted" \
+    "$work/fig4_online.ref" "$work/corrupt.res"
+else
+  echo "ok: corrupted generation recovered from the previous one"
+fi
+
+exit $fail

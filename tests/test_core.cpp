@@ -641,6 +641,63 @@ TEST(IncrementalSlotLp, ReusesUnchangedBatchAndRebuildsOnCapacityChange) {
   }
 }
 
+TEST(IncrementalSlotLp, CapacityChurnPreservingSlotCountsStaysOnDeltaPath) {
+  // Residual-capacity churn is the every-slot case in an online run:
+  // residents come and go, so capacity_override_mhz moves a little each
+  // slot while per-station slot counts stay put. That churn must be
+  // reconciled in place (objective/bound updates, delta_builds) — a full
+  // rebuild per slot would throw away the warm-basis win the incremental
+  // path exists for.
+  util::Rng rng(13);
+  mec::TopologyParams tparams;
+  tparams.num_stations = 6;
+  const mec::Topology topo = mec::generate_topology(tparams, rng);
+  mec::WorkloadParams wparams;
+  wparams.num_requests = 12;
+  const auto requests = mec::generate_requests(wparams, topo, rng);
+  AlgorithmParams params;  // slot_capacity_mhz = 1000
+
+  IncrementalSlotLp inc;
+  SlotLpOptions options;
+  // All overrides below sit in [650, 980] MHz: every station keeps slot
+  // count max(1, floor(cap / 1000)) == 1, and with c_unit = 20 the level-0
+  // rate cap (cap / 20 in [32.5, 49]) lands INSIDE the [30, 50] MB/s
+  // demand support, so moving the override actually moves column
+  // objectives (a cap above 1000 would truncate nothing and the build
+  // would legitimately count as a reuse).
+  options.capacity_override_mhz.assign(
+      static_cast<std::size_t>(topo.num_stations()), 800.0);
+  (void)inc.build(topo, requests, params, options);
+  ASSERT_EQ(inc.stats().full_builds, 1);
+
+  for (int step = 1; step <= 4; ++step) {
+    for (std::size_t bs = 0; bs < options.capacity_override_mhz.size(); ++bs) {
+      options.capacity_override_mhz[bs] =
+          800.0 + 30.0 * static_cast<double>(step % 2 == 0 ? step : -step) +
+          10.0 * static_cast<double>(bs % 3);
+    }
+    const SlotLpInstance& got = inc.build(topo, requests, params, options);
+    EXPECT_EQ(inc.stats().full_builds, 1)
+        << "step " << step << ": slot-count-preserving churn forced a rebuild";
+    const SlotLpInstance want = build_slot_lp(topo, requests, params, options);
+    const auto got_res = lp::solve_lp(got.model);
+    const auto want_res = lp::solve_lp(want.model);
+    ASSERT_TRUE(got_res.optimal()) << "step " << step;
+    ASSERT_TRUE(want_res.optimal()) << "step " << step;
+    EXPECT_NEAR(got_res.objective, want_res.objective,
+                1e-7 * std::max(1.0, want_res.objective))
+        << "step " << step;
+  }
+  EXPECT_GE(inc.stats().delta_builds, 4)
+      << "override churn must be counted as delta builds";
+
+  // Crossing a slot-count boundary is the documented full-rebuild case.
+  options.capacity_override_mhz.assign(
+      static_cast<std::size_t>(topo.num_stations()), 3400.0);
+  (void)inc.build(topo, requests, params, options);
+  EXPECT_EQ(inc.stats().full_builds, 2);
+}
+
 TEST(IncrementalSlotLp, GhostEntrySharingAnIdForcesNewColumns) {
   // A displaced stream re-enters the batch under its own id but with a
   // degenerate demand and an unbounded budget; the signature must not

@@ -8,7 +8,11 @@
 //               print the resilience metrics per policy
 //   experiment  run a declarative scenario file through the scenario
 //               engine (see scenarios/*.scenario) and print its tables;
-//               --metrics-out/--trace-out export telemetry
+//               --metrics-out/--trace-out export telemetry;
+//               --checkpoint-dir/--checkpoint-every/--resume run the
+//               serial checkpointed path (kill-anywhere, resume
+//               bit-identical); --crash-at/--crash-after-units inject a
+//               SIGKILL for the crash/restore harness
 //   metrics     list every registered telemetry metric (the inventory)
 //   list        print the policy registry and the scenario-file keys
 //   topology    generate a topology and print its stations/links as CSV
@@ -19,9 +23,12 @@
 // flags are listed by `mecar_cli <subcommand> --help`.
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
+#include <vector>
 
 #include "baselines/greedy.h"
 #include "exp/registry.h"
@@ -40,11 +47,14 @@
 #include "mec/topology.h"
 #include "mec/trace.h"
 #include "mec/workload.h"
+#include "sim/checkpoint.h"
 #include "sim/dynamic_rr.h"
 #include "sim/fault_plan.h"
 #include "sim/metrics.h"
 #include "sim/online_baselines.h"
 #include "util/cli.h"
+#include "util/rng.h"
+#include "util/snapshot.h"
 #include "util/table.h"
 
 namespace {
@@ -480,6 +490,209 @@ int cmd_fuzz_lp(const util::Cli& cli) {
   return failures == 0 ? 0 : 1;
 }
 
+// ---- fuzz-ckpt: snapshot framing round-trip/corruption fuzzer ------------
+
+constexpr std::uint32_t kFuzzCkptMagic = 0x5a554643U;  // "CFUZ"
+constexpr std::uint32_t kFuzzCkptVersion = 3;
+
+/// Doubles that must round-trip bit-exactly: signed zeros, infinities,
+/// NaN, the smallest denormal, plus ordinary magnitudes.
+double fuzz_ckpt_double(util::Rng& rng) {
+  switch (rng.uniform_int(0, 6)) {
+    case 0: return 0.0;
+    case 1: return -0.0;
+    case 2: return std::numeric_limits<double>::infinity();
+    case 3: return -std::numeric_limits<double>::infinity();
+    case 4: return std::numeric_limits<double>::quiet_NaN();
+    case 5: return std::numeric_limits<double>::denorm_min();
+    default: return rng.uniform(-1e12, 1e12);
+  }
+}
+
+std::uint64_t fuzz_ckpt_u64(util::Rng& rng) {
+  const auto hi = static_cast<std::uint64_t>(rng.uniform_int(0, 0xffffffffll));
+  const auto lo = static_cast<std::uint64_t>(rng.uniform_int(0, 0xffffffffll));
+  return hi << 32 | lo;
+}
+
+bool same_bits(double a, double b) {
+  std::uint64_t ua = 0;
+  std::uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+/// One random tagged value of any wire type, embedded NULs and high bytes
+/// included for the variable-length kinds.
+struct FuzzCkptValue {
+  int type = 0;
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double f = 0.0;
+  bool b = false;
+  std::string s;
+  std::vector<std::uint8_t> raw;
+};
+
+FuzzCkptValue make_fuzz_ckpt_value(util::Rng& rng) {
+  FuzzCkptValue v;
+  v.type = static_cast<int>(rng.uniform_int(0, 8));
+  switch (v.type) {
+    case 0:
+      v.u = static_cast<std::uint64_t>(rng.uniform_int(0, 255));
+      break;
+    case 1:
+      v.u = static_cast<std::uint64_t>(rng.uniform_int(0, 0xffffffffll));
+      break;
+    case 2:
+      v.u = fuzz_ckpt_u64(rng);
+      break;
+    case 3:
+      v.i = rng.uniform_int(std::numeric_limits<std::int32_t>::min(),
+                            std::numeric_limits<std::int32_t>::max());
+      break;
+    case 4:
+      v.i = static_cast<std::int64_t>(fuzz_ckpt_u64(rng));
+      break;
+    case 5:
+      v.f = fuzz_ckpt_double(rng);
+      break;
+    case 6:
+      v.b = rng.bernoulli(0.5);
+      break;
+    case 7: {
+      const int len = static_cast<int>(rng.uniform_int(0, 24));
+      for (int j = 0; j < len; ++j) {
+        v.s.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+      }
+      break;
+    }
+    default: {
+      const int len = static_cast<int>(rng.uniform_int(0, 24));
+      for (int j = 0; j < len; ++j) {
+        v.raw.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+/// Properties checked per seed (the checkpoint analogue of fuzz_one):
+///  1. a random tagged-value sequence reads back bit-identically and
+///     consumes the payload exactly;
+///  2. truncating the framed buffer at any prefix length is a structured
+///     SnapshotParseError, never a crash or a silent short read;
+///  3. flipping any single bit is a SnapshotParseError — CRC32 is linear,
+///     so a one-bit payload error cannot collide, and header flips hit
+///     the magic/version/length checks.
+bool fuzz_ckpt_one(std::uint64_t seed, std::string& why) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 99991ull);
+  const int n = 1 + static_cast<int>(rng.uniform_int(0, 63));
+  std::vector<FuzzCkptValue> values;
+  values.reserve(static_cast<std::size_t>(n));
+  util::SnapshotWriter w;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(make_fuzz_ckpt_value(rng));
+    const FuzzCkptValue& v = values.back();
+    switch (v.type) {
+      case 0: w.u8(static_cast<std::uint8_t>(v.u)); break;
+      case 1: w.u32(static_cast<std::uint32_t>(v.u)); break;
+      case 2: w.u64(v.u); break;
+      case 3: w.i32(static_cast<std::int32_t>(v.i)); break;
+      case 4: w.i64(v.i); break;
+      case 5: w.f64(v.f); break;
+      case 6: w.boolean(v.b); break;
+      case 7: w.str(v.s); break;
+      default: w.bytes(v.raw); break;
+    }
+  }
+  const std::vector<std::uint8_t> framed =
+      w.finish(kFuzzCkptMagic, kFuzzCkptVersion);
+
+  try {
+    util::SnapshotReader r(framed, kFuzzCkptMagic, kFuzzCkptVersion);
+    for (int i = 0; i < n; ++i) {
+      const FuzzCkptValue& v = values[static_cast<std::size_t>(i)];
+      bool ok = true;
+      switch (v.type) {
+        case 0: ok = r.u8() == static_cast<std::uint8_t>(v.u); break;
+        case 1: ok = r.u32() == static_cast<std::uint32_t>(v.u); break;
+        case 2: ok = r.u64() == v.u; break;
+        case 3: ok = r.i32() == static_cast<std::int32_t>(v.i); break;
+        case 4: ok = r.i64() == v.i; break;
+        case 5: ok = same_bits(r.f64(), v.f); break;
+        case 6: ok = r.boolean() == v.b; break;
+        case 7: ok = r.str() == v.s; break;
+        default: ok = r.bytes() == v.raw; break;
+      }
+      if (!ok) {
+        why = "round-trip mismatch at value " + std::to_string(i) +
+              " (type " + std::to_string(v.type) + ")";
+        return false;
+      }
+    }
+    r.expect_end();
+  } catch (const util::SnapshotParseError& e) {
+    why = std::string("clean buffer rejected: ") + e.what();
+    return false;
+  }
+
+  {
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(framed.size()) - 1));
+    const std::vector<std::uint8_t> truncated(
+        framed.begin(), framed.begin() + static_cast<std::ptrdiff_t>(cut));
+    try {
+      util::SnapshotReader r(truncated, kFuzzCkptMagic, kFuzzCkptVersion);
+      why = "truncation to " + std::to_string(cut) + " bytes was accepted";
+      return false;
+    } catch (const util::SnapshotParseError&) {
+    }
+  }
+
+  {
+    std::vector<std::uint8_t> flipped = framed;
+    const auto bit = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(framed.size()) * 8 - 1));
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    try {
+      util::SnapshotReader r(flipped, kFuzzCkptMagic, kFuzzCkptVersion);
+      why = "bit flip at bit " + std::to_string(bit) + " was accepted";
+      return false;
+    } catch (const util::SnapshotParseError&) {
+    }
+  }
+  return true;
+}
+
+int cmd_fuzz_ckpt(const util::Cli& cli) {
+  if (cli.has("seed")) {
+    const auto seed =
+        static_cast<std::uint64_t>(cli.get_int_or("seed", 0));
+    std::string why;
+    if (fuzz_ckpt_one(seed, why)) {
+      std::cout << "fuzz-ckpt: seed " << seed << " ok\n";
+      return 0;
+    }
+    std::cerr << "FAIL seed " << seed << ": " << why << '\n';
+    return 1;
+  }
+  const int seeds = static_cast<int>(cli.get_int_or("seeds", 200));
+  int failures = 0;
+  for (int s = 0; s < seeds; ++s) {
+    std::string why;
+    if (fuzz_ckpt_one(static_cast<std::uint64_t>(s), why)) continue;
+    std::cerr << "FAIL seed " << s << ": " << why
+              << "\n  replay: mecar_cli fuzz-ckpt --seed=" << s << '\n';
+    ++failures;
+  }
+  std::cout << "fuzz-ckpt: " << seeds << " seeds, " << failures
+            << " failure(s)\n";
+  return failures == 0 ? 0 : 1;
+}
+
 /// Table precision a metric defaults to when a spec is run from the CLI
 /// (the compiled benches pin their own per-figure precisions).
 int metric_precision(const std::string& metric) {
@@ -539,6 +752,32 @@ int cmd_experiment(const util::Cli& cli) {
     }
     runner.set_shards(shards);
   }
+  exp::CheckpointOptions checkpoint;
+  checkpoint.dir = cli.get_or("checkpoint-dir", "");
+  checkpoint.every_slots =
+      static_cast<int>(cli.get_int_or("checkpoint-every", 0));
+  checkpoint.resume = cli.has("resume");
+  if (checkpoint.every_slots < 0) {
+    std::cerr << "mecar_cli: --checkpoint-every must be >= 0\n";
+    return 1;
+  }
+  if ((checkpoint.resume || checkpoint.every_slots > 0) &&
+      checkpoint.dir.empty()) {
+    std::cerr << "mecar_cli: --resume/--checkpoint-every need "
+                 "--checkpoint-dir=DIR\n";
+    return 1;
+  }
+  if (!checkpoint.dir.empty()) runner.set_checkpoint(checkpoint);
+  if (cli.has("crash-at")) {
+    sim::arm_crash_at_slot(static_cast<int>(cli.get_int_or("crash-at", -1)));
+  }
+  if (cli.has("crash-after-units")) {
+    sim::arm_crash_after_units(
+        static_cast<int>(cli.get_int_or("crash-after-units", 0)));
+  }
+  // A resumed run must sail past whatever killed it — scripted FaultPlan
+  // crash slots included (they already fired in the crashed run).
+  if (checkpoint.resume) sim::disarm_crashes();
   exp::TelemetryExportOptions telemetry;
   telemetry.metrics_path = cli.get_or("metrics-out", "");
   telemetry.trace_path = cli.get_or("trace-out", "");
@@ -620,7 +859,7 @@ void usage() {
   std::cout <<
       "usage: mecar_cli "
       "<offline|online|resilience|experiment|metrics|list|topology|trace"
-      "|lp|fuzz-lp> [flags]\n"
+      "|lp|fuzz-lp|fuzz-ckpt> [flags]\n"
       "  common flags: --seed=N --requests=N --stations=N\n"
       "  online:       --horizon=N\n"
       "  resilience:   --horizon=N --plan=FILE | --chaos=INTENSITY "
@@ -632,10 +871,15 @@ void usage() {
       "                [--metrics-out=FILE(.prom|.json)] "
       "[--trace-out=FILE]\n"
       "                [--trace-capacity=N]\n"
+      "                [--checkpoint-dir=DIR [--checkpoint-every=SLOTS] "
+      "[--resume]]\n"
+      "                [--crash-at=SLOT] [--crash-after-units=N]  "
+      "(SIGKILL injection)\n"
       "  metrics:      (no flags) telemetry metric inventory\n"
       "  list:         (no flags) policy registry + scenario keys\n"
       "  trace:        --duration=SECONDS --frame-kb=KB\n"
-      "  fuzz-lp:      [--seeds=N] | --seed=K  differential LP fuzzer\n";
+      "  fuzz-lp:      [--seeds=N] | --seed=K  differential LP fuzzer\n"
+      "  fuzz-ckpt:    [--seeds=N] | --seed=K  snapshot framing fuzzer\n";
 }
 
 }  // namespace
@@ -658,6 +902,7 @@ int main(int argc, char** argv) {
     if (command == "trace") return cmd_trace(cli);
     if (command == "lp") return cmd_lp(cli);
     if (command == "fuzz-lp") return cmd_fuzz_lp(cli);
+    if (command == "fuzz-ckpt") return cmd_fuzz_ckpt(cli);
   } catch (const std::exception& error) {
     std::cerr << "mecar_cli: " << error.what() << '\n';
     return 1;
